@@ -1,0 +1,462 @@
+//! The four qubit-level calibration experiments of Figure 11, each
+//! driven end-to-end through the HISQ stack: the experiment compiles a
+//! small HISQ program, executes it on a [`Controller`], and feeds the
+//! committed codewords — in TCU-grid time order — into the analog chain
+//! (pulses → qubit physics → readout).
+//!
+//! | Experiment | Controlled dimension | Expected response |
+//! |---|---|---|
+//! | Draw circle | pulse **phase** | circle in the IQ plane |
+//! | Spectroscopy | pulse **frequency** | Lorentzian dip/peak at f01 |
+//! | Rabi | pulse **amplitude** | sinusoidal oscillation |
+//! | T1 | pulse **timing** | exponential decay, T1 ≈ 9.9 µs |
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hisq_core::{Controller, NodeConfig};
+use hisq_isa::{Assembler, CYCLE_NS};
+
+use crate::fit::{
+    fit_circle, fit_exponential, fit_lorentzian, fit_sinusoid, CircleFit, ExponentialFit,
+    LorentzianFit, SinusoidFit,
+};
+use crate::pulse::Pulse;
+use crate::qubit::TwoLevelQubit;
+use crate::readout::ReadoutChain;
+
+/// What a committed codeword does in the analog front-end.
+#[derive(Debug, Clone)]
+enum AnalogAction {
+    /// Drive the qubit with a pulse (XY channel).
+    Drive(Pulse),
+    /// Excite the readout resonator with the given phase and acquire.
+    Acquire {
+        /// Excitation phase in radians.
+        phase_rad: f64,
+    },
+}
+
+/// One analog acquisition record.
+#[derive(Debug, Clone, Copy)]
+struct Acquisition {
+    iq: (f64, f64),
+    excited: bool,
+}
+
+/// Runs a single-controller HISQ program against the analog chain.
+///
+/// Commits are replayed on the 4 ns grid; gaps between commits idle the
+/// qubit (T1/T2 decay), which is exactly how the T1 experiment's delay
+/// sweep acts on the physics.
+fn run_analog(
+    source: &str,
+    table: &[(u32, u32, AnalogAction)],
+    qubit: &mut TwoLevelQubit,
+    chain: &ReadoutChain,
+    rng: &mut StdRng,
+) -> Vec<Acquisition> {
+    let program = Assembler::new()
+        .assemble(source)
+        .expect("experiment programs are valid HISQ assembly");
+    let mut controller = Controller::new(NodeConfig::new(0), program.insts().to_vec());
+    let mut outbox = Vec::new();
+    let outcome = controller.step(&mut outbox);
+    assert!(outcome.is_halted(), "experiment program must halt");
+
+    let mut acquisitions = Vec::new();
+    let mut last_cycle = 0u64;
+    for commit in controller.commits() {
+        let gap_ns = (commit.cycle - last_cycle) * CYCLE_NS;
+        qubit.idle(gap_ns as f64);
+        last_cycle = commit.cycle;
+        let action = table
+            .iter()
+            .find(|(port, cw, _)| *port == commit.port && *cw == commit.codeword)
+            .map(|(_, _, action)| action)
+            .expect("committed codeword must be in the analog table");
+        match action {
+            AnalogAction::Drive(pulse) => qubit.drive(pulse),
+            AnalogAction::Acquire { phase_rad } => {
+                let iq = chain.acquire(*phase_rad, qubit.p_excited(), rng);
+                let excited = qubit.measure(rng);
+                acquisitions.push(Acquisition { iq, excited });
+            }
+        }
+    }
+    acquisitions
+}
+
+// ---------------------------------------------------------------------
+// (a) Draw circle
+// ---------------------------------------------------------------------
+
+/// Configuration for the Figure 11(a) readout self-verification.
+#[derive(Debug, Clone)]
+pub struct CircleConfig {
+    /// Number of phase steps over 2π.
+    pub points: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CircleConfig {
+    fn default() -> CircleConfig {
+        CircleConfig {
+            points: 48,
+            seed: 0xC1C1,
+        }
+    }
+}
+
+/// Result of the draw-circle experiment.
+#[derive(Debug, Clone)]
+pub struct CircleResult {
+    /// Demodulated IQ points, one per phase step.
+    pub iq: Vec<(f64, f64)>,
+    /// Fitted circle.
+    pub fit: CircleFit,
+    /// Peak-to-peak radial deviation relative to the radius — the
+    /// adjacent-qubit interference signature.
+    pub relative_deviation: f64,
+}
+
+/// Runs the phase-sweep circle experiment.
+pub fn circle_experiment(config: &CircleConfig) -> CircleResult {
+    let chain = ReadoutChain::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut iq = Vec::with_capacity(config.points);
+    for step in 0..config.points {
+        let phase = step as f64 / config.points as f64 * std::f64::consts::TAU;
+        let table = vec![(2u32, 1u32, AnalogAction::Acquire { phase_rad: phase })];
+        let source = "waiti 25\ncw.i.i 2, 1\nwaiti 75\nstop";
+        let mut qubit = TwoLevelQubit::paper_device();
+        let acq = run_analog(source, &table, &mut qubit, &chain, &mut rng);
+        iq.push(acq[0].iq);
+    }
+    let fit = fit_circle(&iq);
+    let radii: Vec<f64> = iq
+        .iter()
+        .map(|&(x, y)| ((x - fit.cx).powi(2) + (y - fit.cy).powi(2)).sqrt())
+        .collect();
+    let min = radii.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = radii.iter().cloned().fold(0.0f64, f64::max);
+    CircleResult {
+        iq,
+        relative_deviation: (max - min) / fit.radius,
+        fit,
+    }
+}
+
+// ---------------------------------------------------------------------
+// (b) Qubit spectroscopy
+// ---------------------------------------------------------------------
+
+/// Configuration for the Figure 11(b) frequency sweep.
+#[derive(Debug, Clone)]
+pub struct SpectroscopyConfig {
+    /// Sweep centre in GHz.
+    pub center_ghz: f64,
+    /// Sweep span in MHz.
+    pub span_mhz: f64,
+    /// Number of frequency points.
+    pub points: usize,
+    /// Shots per point.
+    pub shots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpectroscopyConfig {
+    fn default() -> SpectroscopyConfig {
+        SpectroscopyConfig {
+            center_ghz: 4.60,
+            span_mhz: 120.0,
+            points: 41,
+            shots: 200,
+            seed: 0x5EC,
+        }
+    }
+}
+
+/// Result of the spectroscopy experiment.
+#[derive(Debug, Clone)]
+pub struct SpectroscopyResult {
+    /// Drive frequencies in GHz.
+    pub frequency_ghz: Vec<f64>,
+    /// Measured excitation probability per point.
+    pub p_excited: Vec<f64>,
+    /// Lorentzian fit over the response.
+    pub fit: LorentzianFit,
+    /// The extracted qubit frequency in GHz.
+    pub fitted_frequency_ghz: f64,
+}
+
+/// Runs the spectroscopy experiment.
+pub fn spectroscopy_experiment(config: &SpectroscopyConfig) -> SpectroscopyResult {
+    let chain = ReadoutChain::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut frequency_ghz = Vec::new();
+    let mut p_excited = Vec::new();
+    // A long, weak pulse: saturation-style spectroscopy.
+    let duration_ns = 400.0;
+    let amplitude = 1.0 / (2.0 * 12.5e6 * duration_ns * 1e-9); // π on resonance
+
+    for step in 0..config.points {
+        let offset_mhz = (step as f64 / (config.points - 1) as f64 - 0.5) * config.span_mhz;
+        let f_hz = config.center_ghz * 1e9 + offset_mhz * 1e6;
+        let pulse = Pulse::square(duration_ns, amplitude, f_hz, 0.0);
+        let table = vec![
+            (0u32, 1u32, AnalogAction::Drive(pulse)),
+            (2u32, 1u32, AnalogAction::Acquire { phase_rad: 0.0 }),
+        ];
+        let source = "cw.i.i 0, 1\nwaiti 100\ncw.i.i 2, 1\nwaiti 75\nstop";
+        let mut ones = 0usize;
+        for _ in 0..config.shots {
+            let mut qubit = TwoLevelQubit::paper_device();
+            let acq = run_analog(source, &table, &mut qubit, &chain, &mut rng);
+            ones += usize::from(acq[0].excited);
+        }
+        frequency_ghz.push(f_hz / 1e9);
+        p_excited.push(ones as f64 / config.shots as f64);
+    }
+    let fit = fit_lorentzian(&frequency_ghz, &p_excited);
+    SpectroscopyResult {
+        fitted_frequency_ghz: fit.center,
+        frequency_ghz,
+        p_excited,
+        fit,
+    }
+}
+
+// ---------------------------------------------------------------------
+// (c) Rabi oscillation
+// ---------------------------------------------------------------------
+
+/// Configuration for the Figure 11(c) amplitude sweep.
+#[derive(Debug, Clone)]
+pub struct RabiConfig {
+    /// Maximum drive amplitude (DAC fraction).
+    pub max_amplitude: f64,
+    /// Number of amplitude points.
+    pub points: usize,
+    /// Shots per point.
+    pub shots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RabiConfig {
+    fn default() -> RabiConfig {
+        RabiConfig {
+            max_amplitude: 1.0,
+            points: 41,
+            shots: 200,
+            seed: 0xAB1,
+        }
+    }
+}
+
+/// Result of the Rabi experiment.
+#[derive(Debug, Clone)]
+pub struct RabiResult {
+    /// Drive amplitudes.
+    pub amplitude: Vec<f64>,
+    /// Measured excitation probability per point.
+    pub p_excited: Vec<f64>,
+    /// Sinusoid fit of the oscillation.
+    pub fit: SinusoidFit,
+    /// The extracted π-pulse amplitude.
+    pub pi_amplitude: f64,
+}
+
+/// Runs the Rabi experiment (80 ns square pulses).
+pub fn rabi_experiment(config: &RabiConfig) -> RabiResult {
+    let chain = ReadoutChain::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut amplitude = Vec::new();
+    let mut p_excited = Vec::new();
+    let duration_ns = 80.0;
+
+    for step in 0..config.points {
+        let amp = config.max_amplitude * step as f64 / (config.points - 1) as f64;
+        let pulse = Pulse::square(duration_ns, amp, 4.62e9, 0.0);
+        let table = vec![
+            (0u32, 1u32, AnalogAction::Drive(pulse)),
+            (2u32, 1u32, AnalogAction::Acquire { phase_rad: 0.0 }),
+        ];
+        let source = "cw.i.i 0, 1\nwaiti 20\ncw.i.i 2, 1\nwaiti 75\nstop";
+        let mut ones = 0usize;
+        for _ in 0..config.shots {
+            let mut qubit = TwoLevelQubit::paper_device();
+            let acq = run_analog(source, &table, &mut qubit, &chain, &mut rng);
+            ones += usize::from(acq[0].excited);
+        }
+        amplitude.push(amp);
+        p_excited.push(ones as f64 / config.shots as f64);
+    }
+    let fit = fit_sinusoid(&amplitude, &p_excited);
+    // First maximum of A·sin(2πf·a + φ) + C.
+    let mut pi_amplitude =
+        (std::f64::consts::FRAC_PI_2 - fit.phase) / (2.0 * std::f64::consts::PI * fit.frequency);
+    let period = 1.0 / fit.frequency;
+    while pi_amplitude < 0.0 {
+        pi_amplitude += period;
+    }
+    while pi_amplitude > period {
+        pi_amplitude -= period;
+    }
+    RabiResult {
+        amplitude,
+        p_excited,
+        fit,
+        pi_amplitude,
+    }
+}
+
+// ---------------------------------------------------------------------
+// (d) Relaxation time (T1)
+// ---------------------------------------------------------------------
+
+/// Configuration for the Figure 11(d) delay sweep.
+#[derive(Debug, Clone)]
+pub struct T1Config {
+    /// Maximum delay in microseconds.
+    pub max_delay_us: f64,
+    /// Number of delay points.
+    pub points: usize,
+    /// Shots per point.
+    pub shots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for T1Config {
+    fn default() -> T1Config {
+        T1Config {
+            max_delay_us: 30.0,
+            points: 25,
+            shots: 400,
+            seed: 0x71,
+        }
+    }
+}
+
+/// Result of the T1 experiment.
+#[derive(Debug, Clone)]
+pub struct T1Result {
+    /// Delays in microseconds.
+    pub delay_us: Vec<f64>,
+    /// Measured excitation probability per point.
+    pub p_excited: Vec<f64>,
+    /// Exponential fit.
+    pub fit: ExponentialFit,
+    /// Extracted relaxation time in microseconds.
+    pub fitted_t1_us: f64,
+    /// The reference value measured with the mature firmware stack
+    /// (§6.2 of the paper).
+    pub reference_t1_us: f64,
+}
+
+/// Runs the T1 experiment: π pulse, variable delay, measure.
+pub fn t1_experiment(config: &T1Config) -> T1Result {
+    let chain = ReadoutChain::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut delay_us = Vec::new();
+    let mut p_excited = Vec::new();
+    let duration_ns = 80.0;
+    let pi_amp = 1.0 / (2.0 * 12.5e6 * duration_ns * 1e-9);
+
+    for step in 0..config.points {
+        let delay = config.max_delay_us * step as f64 / (config.points - 1) as f64;
+        let delay_cycles = ((delay * 1000.0) / CYCLE_NS as f64).round().max(1.0) as u64;
+        let pulse = Pulse::square(duration_ns, pi_amp, 4.62e9, 0.0);
+        let table = vec![
+            (0u32, 1u32, AnalogAction::Drive(pulse)),
+            (2u32, 1u32, AnalogAction::Acquire { phase_rad: 0.0 }),
+        ];
+        // The delay is the HISQ program's wait — the timing dimension.
+        let source = format!("cw.i.i 0, 1\nwaiti {delay_cycles}\ncw.i.i 2, 1\nwaiti 75\nstop");
+        let mut ones = 0usize;
+        for _ in 0..config.shots {
+            let mut qubit = TwoLevelQubit::paper_device();
+            let acq = run_analog(&source, &table, &mut qubit, &chain, &mut rng);
+            ones += usize::from(acq[0].excited);
+        }
+        delay_us.push(delay);
+        p_excited.push(ones as f64 / config.shots as f64);
+    }
+    let fit = fit_exponential(&delay_us, &p_excited);
+    T1Result {
+        delay_us,
+        p_excited,
+        fitted_t1_us: fit.tau,
+        fit,
+        reference_t1_us: 10.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_experiment_traces_a_circle() {
+        let result = circle_experiment(&CircleConfig::default());
+        assert_eq!(result.iq.len(), 48);
+        // Radius near the chain's ground response, centred near the
+        // electronics offset.
+        assert!((result.fit.radius - 1000.0).abs() < 60.0);
+        assert!((result.fit.cx - 120.0).abs() < 30.0);
+        assert!((result.fit.cy + 80.0).abs() < 30.0);
+        // The interference deviation is visible but small.
+        assert!(result.relative_deviation > 0.02);
+        assert!(result.relative_deviation < 0.25);
+    }
+
+    #[test]
+    fn spectroscopy_finds_the_qubit_frequency() {
+        let config = SpectroscopyConfig {
+            shots: 120,
+            points: 31,
+            ..SpectroscopyConfig::default()
+        };
+        let result = spectroscopy_experiment(&config);
+        assert!(
+            (result.fitted_frequency_ghz - 4.62).abs() < 0.01,
+            "fitted {} GHz",
+            result.fitted_frequency_ghz
+        );
+        // The peak response dominates the baseline.
+        let max = result.p_excited.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.7);
+    }
+
+    #[test]
+    fn rabi_oscillation_and_pi_amplitude() {
+        let config = RabiConfig {
+            shots: 150,
+            ..RabiConfig::default()
+        };
+        let result = rabi_experiment(&config);
+        // Ω t = 12.5 MHz × 80 ns × amp → π at amp = 0.5.
+        assert!(
+            (result.pi_amplitude - 0.5).abs() < 0.05,
+            "pi amplitude {}",
+            result.pi_amplitude
+        );
+        assert!(result.fit.amplitude > 0.3, "oscillation visible");
+    }
+
+    #[test]
+    fn t1_matches_the_device() {
+        let result = t1_experiment(&T1Config::default());
+        assert!(
+            (result.fitted_t1_us - 9.9).abs() < 0.8,
+            "fitted T1 {} µs",
+            result.fitted_t1_us
+        );
+        // Within natural-fluctuation range of the reference stack.
+        assert!((result.fitted_t1_us - result.reference_t1_us).abs() < 1.5);
+    }
+}

@@ -1,0 +1,407 @@
+//! Least-squares fitters used by the calibration analysis.
+//!
+//! Each fitter reduces to linear least squares over the linear
+//! parameters with a grid + golden-section refinement over the
+//! non-linear ones — robust and dependency-free.
+
+/// Result of a circle fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircleFit {
+    /// Centre x.
+    pub cx: f64,
+    /// Centre y.
+    pub cy: f64,
+    /// Radius.
+    pub radius: f64,
+    /// RMS radial residual.
+    pub rms_residual: f64,
+}
+
+/// Kåsa algebraic circle fit.
+///
+/// # Panics
+///
+/// Panics if fewer than three points are supplied.
+pub fn fit_circle(points: &[(f64, f64)]) -> CircleFit {
+    assert!(points.len() >= 3, "circle fit needs at least 3 points");
+    // Solve: x² + y² + D·x + E·y + F = 0 in least squares.
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut sxz, mut syz, mut sz) = (0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let z = x * x + y * y;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+        sxz += x * z;
+        syz += y * z;
+        sz += z;
+    }
+    // Normal equations for [D, E, F].
+    let a = [[sxx, sxy, sx], [sxy, syy, sy], [sx, sy, n]];
+    let b = [-sxz, -syz, -sz];
+    let [d, e, f] = solve3(a, b);
+    let cx = -d / 2.0;
+    let cy = -e / 2.0;
+    let radius = (cx * cx + cy * cy - f).max(0.0).sqrt();
+    let rms = (points
+        .iter()
+        .map(|&(x, y)| {
+            let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+            (r - radius).powi(2)
+        })
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    CircleFit {
+        cx,
+        cy,
+        radius,
+        rms_residual: rms,
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        for row in col + 1..3 {
+            let factor = a[row][col] / diag;
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in row + 1..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+/// Solves a 2×2 linear system.
+fn solve2(a: [[f64; 2]; 2], b: [f64; 2]) -> [f64; 2] {
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    [
+        (b[0] * a[1][1] - b[1] * a[0][1]) / det,
+        (a[0][0] * b[1] - a[1][0] * b[0]) / det,
+    ]
+}
+
+/// Result of an exponential-decay fit `y = A·exp(−x/τ) + C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Amplitude A.
+    pub amplitude: f64,
+    /// Decay constant τ (same units as x).
+    pub tau: f64,
+    /// Offset C.
+    pub offset: f64,
+}
+
+fn exp_sse(x: &[f64], y: &[f64], tau: f64) -> (f64, f64, f64) {
+    // For fixed τ the model is linear in (A, C).
+    let n = x.len() as f64;
+    let e: Vec<f64> = x.iter().map(|&xi| (-xi / tau).exp()).collect();
+    let se: f64 = e.iter().sum();
+    let see: f64 = e.iter().map(|v| v * v).sum();
+    let sy: f64 = y.iter().sum();
+    let sey: f64 = e.iter().zip(y).map(|(ei, yi)| ei * yi).sum();
+    let [a, c] = solve2([[see, se], [se, n]], [sey, sy]);
+    let sse: f64 = e
+        .iter()
+        .zip(y)
+        .map(|(ei, yi)| (a * ei + c - yi).powi(2))
+        .sum();
+    (sse, a, c)
+}
+
+/// Fits `y = A·exp(−x/τ) + C` by golden-section search over τ.
+///
+/// # Panics
+///
+/// Panics if the series have mismatched lengths or fewer than 3 points.
+pub fn fit_exponential(x: &[f64], y: &[f64]) -> ExponentialFit {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 3, "exponential fit needs at least 3 points");
+    let span = x.iter().cloned().fold(0.0, f64::max).max(1e-12);
+    let (mut lo, mut hi) = (span * 1e-3, span * 100.0);
+    // Coarse log-grid then golden-section refinement.
+    let mut best = (f64::INFINITY, lo);
+    let steps = 200;
+    for i in 0..=steps {
+        let tau = lo * (hi / lo).powf(i as f64 / steps as f64);
+        let (sse, _, _) = exp_sse(x, y, tau);
+        if sse < best.0 {
+            best = (sse, tau);
+        }
+    }
+    lo = best.1 / 2.0;
+    hi = best.1 * 2.0;
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..80 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if exp_sse(x, y, m1).0 < exp_sse(x, y, m2).0 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let tau = (lo + hi) / 2.0;
+    let (_, amplitude, offset) = exp_sse(x, y, tau);
+    ExponentialFit {
+        amplitude,
+        tau,
+        offset,
+    }
+}
+
+/// Result of a Lorentzian fit `y = A·w²/((x−x0)² + w²) + C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LorentzianFit {
+    /// Peak centre x₀.
+    pub center: f64,
+    /// Half-width at half-maximum w.
+    pub width: f64,
+    /// Peak amplitude A.
+    pub amplitude: f64,
+    /// Offset C.
+    pub offset: f64,
+}
+
+fn lorentz_sse(x: &[f64], y: &[f64], center: f64, width: f64) -> (f64, f64, f64) {
+    let n = x.len() as f64;
+    let g: Vec<f64> = x
+        .iter()
+        .map(|&xi| width * width / ((xi - center).powi(2) + width * width))
+        .collect();
+    let sg: f64 = g.iter().sum();
+    let sgg: f64 = g.iter().map(|v| v * v).sum();
+    let sy: f64 = y.iter().sum();
+    let sgy: f64 = g.iter().zip(y).map(|(gi, yi)| gi * yi).sum();
+    let [a, c] = solve2([[sgg, sg], [sg, n]], [sgy, sy]);
+    let sse: f64 = g
+        .iter()
+        .zip(y)
+        .map(|(gi, yi)| (a * gi + c - yi).powi(2))
+        .sum();
+    (sse, a, c)
+}
+
+/// Fits a Lorentzian by grid search over centre and width.
+///
+/// # Panics
+///
+/// Panics on mismatched or too-short series.
+pub fn fit_lorentzian(x: &[f64], y: &[f64]) -> LorentzianFit {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 4, "Lorentzian fit needs at least 4 points");
+    let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut best = (f64::INFINITY, lo, span / 10.0);
+    for ci in 0..=120 {
+        let center = lo + span * ci as f64 / 120.0;
+        for wi in 1..=40 {
+            let width = span * wi as f64 / 80.0;
+            let (sse, _, _) = lorentz_sse(x, y, center, width);
+            if sse < best.0 {
+                best = (sse, center, width);
+            }
+        }
+    }
+    // Local refinement on the centre.
+    let (_, mut center, width) = best;
+    let mut step = span / 120.0;
+    for _ in 0..40 {
+        let left = lorentz_sse(x, y, center - step, width).0;
+        let here = lorentz_sse(x, y, center, width).0;
+        let right = lorentz_sse(x, y, center + step, width).0;
+        if left < here {
+            center -= step;
+        } else if right < here {
+            center += step;
+        } else {
+            step /= 2.0;
+        }
+    }
+    let (_, amplitude, offset) = lorentz_sse(x, y, center, width);
+    LorentzianFit {
+        center,
+        width,
+        amplitude,
+        offset,
+    }
+}
+
+/// Result of a sinusoid fit `y = A·sin(2π·f·x + φ) + C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinusoidFit {
+    /// Frequency f (cycles per unit x).
+    pub frequency: f64,
+    /// Phase φ in radians.
+    pub phase: f64,
+    /// Amplitude A (non-negative).
+    pub amplitude: f64,
+    /// Offset C.
+    pub offset: f64,
+}
+
+fn sin_sse(x: &[f64], y: &[f64], freq: f64) -> (f64, f64, f64, f64) {
+    // Linear in (a, b, c) with y = a·sin + b·cos + c.
+    let n = x.len() as f64;
+    let s: Vec<f64> = x
+        .iter()
+        .map(|&xi| (2.0 * std::f64::consts::PI * freq * xi).sin())
+        .collect();
+    let c: Vec<f64> = x
+        .iter()
+        .map(|&xi| (2.0 * std::f64::consts::PI * freq * xi).cos())
+        .collect();
+    let ss: f64 = s.iter().map(|v| v * v).sum();
+    let cc: f64 = c.iter().map(|v| v * v).sum();
+    let sc: f64 = s.iter().zip(&c).map(|(a, b)| a * b).sum();
+    let s1: f64 = s.iter().sum();
+    let c1: f64 = c.iter().sum();
+    let sy: f64 = s.iter().zip(y).map(|(a, b)| a * b).sum();
+    let cy: f64 = c.iter().zip(y).map(|(a, b)| a * b).sum();
+    let y1: f64 = y.iter().sum();
+    let [a, b, off] = solve3([[ss, sc, s1], [sc, cc, c1], [s1, c1, n]], [sy, cy, y1]);
+    let sse: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let arg = 2.0 * std::f64::consts::PI * freq * xi;
+            (a * arg.sin() + b * arg.cos() + off - yi).powi(2)
+        })
+        .sum();
+    (sse, a, b, off)
+}
+
+/// Fits a sinusoid by scanning frequency, then solving the linear
+/// parameters.
+///
+/// # Panics
+///
+/// Panics on mismatched or too-short series.
+pub fn fit_sinusoid(x: &[f64], y: &[f64]) -> SinusoidFit {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 4, "sinusoid fit needs at least 4 points");
+    let span = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = span.max(1e-12);
+    // 0.25 to ~n/2 oscillations across the span.
+    let max_cycles = (x.len() as f64) / 2.0;
+    let mut best = (f64::INFINITY, 0.25 / span);
+    let steps = 600;
+    for i in 0..=steps {
+        let cycles = 0.25 + (max_cycles - 0.25) * i as f64 / steps as f64;
+        let freq = cycles / span;
+        let (sse, ..) = sin_sse(x, y, freq);
+        if sse < best.0 {
+            best = (sse, freq);
+        }
+    }
+    // Golden-section refinement around the best frequency.
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (best.1 * 0.9, best.1 * 1.1);
+    for _ in 0..60 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if sin_sse(x, y, m1).0 < sin_sse(x, y, m2).0 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let frequency = (lo + hi) / 2.0;
+    let (_, a, b, offset) = sin_sse(x, y, frequency);
+    SinusoidFit {
+        frequency,
+        phase: b.atan2(a),
+        amplitude: (a * a + b * b).sqrt(),
+        offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_fit_recovers_parameters() {
+        let points: Vec<(f64, f64)> = (0..24)
+            .map(|i| {
+                let t = i as f64 / 24.0 * std::f64::consts::TAU;
+                (3.0 + 5.0 * t.cos(), -2.0 + 5.0 * t.sin())
+            })
+            .collect();
+        let fit = fit_circle(&points);
+        assert!((fit.cx - 3.0).abs() < 1e-9);
+        assert!((fit.cy + 2.0).abs() < 1e-9);
+        assert!((fit.radius - 5.0).abs() < 1e-9);
+        assert!(fit.rms_residual < 1e-9);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_tau() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 0.9 * (-xi / 4.2).exp() + 0.05).collect();
+        let fit = fit_exponential(&x, &y);
+        assert!((fit.tau - 4.2).abs() < 0.01, "tau = {}", fit.tau);
+        assert!((fit.amplitude - 0.9).abs() < 0.01);
+        assert!((fit.offset - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn lorentzian_fit_finds_the_peak() {
+        let x: Vec<f64> = (0..81).map(|i| 4.5 + i as f64 * 0.005).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 0.8 * 0.02f64.powi(2) / ((xi - 4.62).powi(2) + 0.02f64.powi(2)) + 0.1)
+            .collect();
+        let fit = fit_lorentzian(&x, &y);
+        assert!((fit.center - 4.62).abs() < 0.003, "center {}", fit.center);
+        assert!(fit.amplitude > 0.5);
+    }
+
+    #[test]
+    fn sinusoid_fit_recovers_frequency() {
+        let x: Vec<f64> = (0..60).map(|i| i as f64 * 0.02).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 0.45 * (2.0 * std::f64::consts::PI * 2.5 * xi + 0.7).sin() + 0.5)
+            .collect();
+        let fit = fit_sinusoid(&x, &y);
+        assert!((fit.frequency - 2.5).abs() < 0.02, "f = {}", fit.frequency);
+        assert!((fit.amplitude - 0.45).abs() < 0.02);
+        assert!((fit.offset - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn fits_tolerate_noise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| (-xi / 12.0).exp() + rng.gen_range(-0.02..0.02))
+            .collect();
+        let fit = fit_exponential(&x, &y);
+        assert!((fit.tau - 12.0).abs() < 1.5, "tau {}", fit.tau);
+    }
+}

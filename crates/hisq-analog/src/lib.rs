@@ -1,0 +1,45 @@
+//! # hisq-analog — the technology-dependent analog implementation
+//!
+//! The paper's single-node architecture (Figure 3c) splits a controller
+//! into the hardware-agnostic **HISQ core** and a **technology-dependent
+//! analog implementation** that interprets codewords as pulses. This
+//! crate is that analog layer for a superconducting-qubit system, plus
+//! the physics needed to reproduce the four qubit-level calibration
+//! experiments of Figure 11:
+//!
+//! - [`pulse`] — envelopes and NCO-modulated drive pulses (phase,
+//!   frequency, amplitude, duration: the four control dimensions the
+//!   experiments probe);
+//! - [`qubit`] — a two-level system with Rabi dynamics under detuned
+//!   drive and T1/T2 decay;
+//! - [`readout`] — dispersive readout producing IQ-plane points,
+//!   including the neighbour-interference distortion seen in
+//!   Figure 11(a);
+//! - [`fit`] — the least-squares fitters (circle, Lorentzian, sinusoid,
+//!   exponential) the calibration analysis uses;
+//! - [`experiments`] — the four experiments, each driven end-to-end
+//!   through real HISQ programs executing on a [`hisq_core::Controller`]
+//!   whose codeword commits trigger the analog chain.
+//!
+//! # Example
+//!
+//! ```
+//! use hisq_analog::experiments::{t1_experiment, T1Config};
+//!
+//! let result = t1_experiment(&T1Config::default());
+//! // The paper measures T1 = 9.9 µs on this qubit.
+//! assert!((result.fitted_t1_us - 9.9).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod pulse;
+pub mod qubit;
+pub mod readout;
+
+pub use pulse::{Envelope, Pulse};
+pub use qubit::TwoLevelQubit;
+pub use readout::ReadoutChain;

@@ -1,0 +1,153 @@
+//! Drive-pulse synthesis: envelopes modulated by a numerically
+//! controlled oscillator (NCO).
+//!
+//! A codeword on an XY channel resolves to a [`Pulse`]: the direct
+//! microwave-synthesis path of §2.2 (set NCO frequency/phase, trigger a
+//! DAC envelope).
+
+/// A pulse envelope shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Envelope {
+    /// Constant amplitude over the pulse duration.
+    Square,
+    /// Gaussian with the given sigma as a fraction of the duration
+    /// (typical: 0.25).
+    Gaussian {
+        /// Standard deviation relative to the pulse duration.
+        sigma_fraction: f64,
+    },
+}
+
+impl Envelope {
+    /// Envelope value at normalized time `t ∈ [0, 1]` (peak 1).
+    pub fn value(&self, t: f64) -> f64 {
+        match *self {
+            Envelope::Square => 1.0,
+            Envelope::Gaussian { sigma_fraction } => {
+                let x = (t - 0.5) / sigma_fraction;
+                (-0.5 * x * x).exp()
+            }
+        }
+    }
+
+    /// The envelope's area relative to a unit square pulse — the
+    /// effective rotation-angle fraction.
+    pub fn area_fraction(&self) -> f64 {
+        match *self {
+            Envelope::Square => 1.0,
+            Envelope::Gaussian { .. } => {
+                // ∫ exp(-(t-.5)²/2σ²) dt over [0,1] ≈ σ√(2π) for σ ≪ 1;
+                // numeric quadrature keeps it exact for any σ.
+                let n = 256;
+                (0..n)
+                    .map(|i| self.value((i as f64 + 0.5) / n as f64))
+                    .sum::<f64>()
+                    / n as f64
+            }
+        }
+    }
+}
+
+/// A fully parameterized drive pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Envelope shape.
+    pub envelope: Envelope,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Dimensionless amplitude (1.0 = full DAC scale).
+    pub amplitude: f64,
+    /// NCO carrier frequency in Hz.
+    pub frequency_hz: f64,
+    /// NCO phase in radians (the drive axis on the Bloch equator).
+    pub phase_rad: f64,
+}
+
+impl Pulse {
+    /// A square pulse with every knob explicit.
+    pub fn square(duration_ns: f64, amplitude: f64, frequency_hz: f64, phase_rad: f64) -> Pulse {
+        Pulse {
+            envelope: Envelope::Square,
+            duration_ns,
+            amplitude,
+            frequency_hz,
+            phase_rad,
+        }
+    }
+
+    /// A Gaussian pulse (σ = duration/4).
+    pub fn gaussian(duration_ns: f64, amplitude: f64, frequency_hz: f64, phase_rad: f64) -> Pulse {
+        Pulse {
+            envelope: Envelope::Gaussian {
+                sigma_fraction: 0.25,
+            },
+            duration_ns,
+            amplitude,
+            frequency_hz,
+            phase_rad,
+        }
+    }
+
+    /// Effective drive area: amplitude × duration × envelope area.
+    pub fn area_ns(&self) -> f64 {
+        self.amplitude * self.duration_ns * self.envelope.area_fraction()
+    }
+
+    /// DAC samples at `rate_hz` (baseband-modulated envelope), for
+    /// waveform-level inspection.
+    pub fn samples(&self, rate_hz: f64) -> Vec<f64> {
+        let count = ((self.duration_ns * 1e-9) * rate_hz).round().max(1.0) as usize;
+        (0..count)
+            .map(|i| {
+                let t_norm = (i as f64 + 0.5) / count as f64;
+                let t_s = t_norm * self.duration_ns * 1e-9;
+                let carrier =
+                    (2.0 * std::f64::consts::PI * self.frequency_hz * t_s + self.phase_rad).cos();
+                self.amplitude * self.envelope.value(t_norm) * carrier
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_envelope_is_flat() {
+        assert_eq!(Envelope::Square.value(0.1), 1.0);
+        assert_eq!(Envelope::Square.value(0.9), 1.0);
+        assert!((Envelope::Square.area_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_envelope_peaks_at_center() {
+        let g = Envelope::Gaussian {
+            sigma_fraction: 0.25,
+        };
+        assert!((g.value(0.5) - 1.0).abs() < 1e-12);
+        assert!(g.value(0.0) < g.value(0.25));
+        assert!(g.value(0.25) < g.value(0.5));
+        let area = g.area_fraction();
+        assert!(area > 0.4 && area < 0.8, "gaussian area {area}");
+    }
+
+    #[test]
+    fn pulse_area_scales_with_amplitude_and_duration() {
+        let base = Pulse::square(20.0, 0.5, 4.62e9, 0.0);
+        let double_amp = Pulse::square(20.0, 1.0, 4.62e9, 0.0);
+        let double_dur = Pulse::square(40.0, 0.5, 4.62e9, 0.0);
+        assert!((double_amp.area_ns() - 2.0 * base.area_ns()).abs() < 1e-9);
+        assert!((double_dur.area_ns() - 2.0 * base.area_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_follow_envelope_and_carrier() {
+        let pulse = Pulse::square(10.0, 1.0, 1e8, 0.0);
+        let samples = pulse.samples(2e9); // 20 samples
+        assert_eq!(samples.len(), 20);
+        assert!(samples.iter().all(|s| s.abs() <= 1.0 + 1e-12));
+        // A 100 MHz carrier completes one period per 10 ns: sign changes.
+        assert!(samples.iter().any(|&s| s < 0.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Two-level-system physics: Rabi dynamics under detuned drive plus
+//! T1/T2 relaxation, on the Bloch sphere.
+
+use rand::Rng;
+
+use crate::pulse::Pulse;
+
+/// A superconducting transmon modelled as a driven, decaying two-level
+/// system. The Bloch convention is `z = +1` for |0⟩.
+#[derive(Debug, Clone)]
+pub struct TwoLevelQubit {
+    /// Qubit transition frequency in Hz.
+    pub frequency_hz: f64,
+    /// Relaxation time in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time in microseconds.
+    pub t2_us: f64,
+    /// Rabi frequency per unit drive amplitude, in Hz (how hard the
+    /// drive line couples).
+    pub rabi_hz_per_amp: f64,
+    /// Bloch vector (x, y, z).
+    pub bloch: (f64, f64, f64),
+}
+
+impl TwoLevelQubit {
+    /// The paper's measured device values: f01 = 4.62 GHz, T1 = 9.9 µs
+    /// (Figure 11), with a typical 10 MHz full-scale Rabi rate.
+    pub fn paper_device() -> TwoLevelQubit {
+        TwoLevelQubit {
+            frequency_hz: 4.62e9,
+            t1_us: 9.9,
+            t2_us: 7.5,
+            rabi_hz_per_amp: 12.5e6,
+            bloch: (0.0, 0.0, 1.0),
+        }
+    }
+
+    /// Resets to |0⟩.
+    pub fn reset(&mut self) {
+        self.bloch = (0.0, 0.0, 1.0);
+    }
+
+    /// Excited-state population `P(|1⟩) = (1 − z)/2`.
+    pub fn p_excited(&self) -> f64 {
+        ((1.0 - self.bloch.2) / 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Rotates the Bloch vector by `angle` around the (unit) `axis`.
+    fn rotate(&mut self, axis: (f64, f64, f64), angle: f64) {
+        let (x, y, z) = self.bloch;
+        let (ux, uy, uz) = axis;
+        let (sin, cos) = angle.sin_cos();
+        let dot = ux * x + uy * y + uz * z;
+        let cross = (uy * z - uz * y, uz * x - ux * z, ux * y - uy * x);
+        self.bloch = (
+            x * cos + cross.0 * sin + ux * dot * (1.0 - cos),
+            y * cos + cross.1 * sin + uy * dot * (1.0 - cos),
+            z * cos + cross.2 * sin + uz * dot * (1.0 - cos),
+        );
+    }
+
+    /// Applies a drive pulse in the rotating frame: Rabi rate
+    /// `Ω = rabi_hz_per_amp × amplitude × envelope_area`, detuning
+    /// `Δ = f_drive − f_qubit`; rotation about the tilted axis
+    /// `(Ω cosφ, Ω sinφ, Δ)` by `2π √(Ω² + Δ²) · t`.
+    pub fn drive(&mut self, pulse: &Pulse) {
+        let t_s = pulse.duration_ns * 1e-9;
+        let omega = self.rabi_hz_per_amp * pulse.amplitude * pulse.envelope.area_fraction();
+        let detuning = pulse.frequency_hz - self.frequency_hz;
+        let effective = (omega * omega + detuning * detuning).sqrt();
+        if effective <= 0.0 {
+            return;
+        }
+        let axis = (
+            omega * pulse.phase_rad.cos() / effective,
+            omega * pulse.phase_rad.sin() / effective,
+            detuning / effective,
+        );
+        let angle = 2.0 * std::f64::consts::PI * effective * t_s;
+        self.rotate(axis, angle);
+        // Decay over the pulse duration as well.
+        self.idle(pulse.duration_ns);
+    }
+
+    /// Free evolution for `duration_ns`: amplitude damping toward |0⟩
+    /// with T1 and transverse decay with T2.
+    pub fn idle(&mut self, duration_ns: f64) {
+        let t_us = duration_ns / 1000.0;
+        let amp = (-t_us / self.t1_us).exp();
+        let coherence = (-t_us / self.t2_us).exp();
+        let (x, y, z) = self.bloch;
+        self.bloch = (x * coherence, y * coherence, 1.0 - (1.0 - z) * amp);
+    }
+
+    /// Projective Z measurement: samples from `P(|1⟩)` and collapses.
+    pub fn measure(&mut self, rng: &mut impl Rng) -> bool {
+        let one = rng.gen_bool(self.p_excited());
+        self.bloch = if one { (0.0, 0.0, -1.0) } else { (0.0, 0.0, 1.0) };
+        one
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::Pulse;
+
+    /// The amplitude giving a π rotation for a square pulse of the given
+    /// duration.
+    fn pi_amplitude(qubit: &TwoLevelQubit, duration_ns: f64) -> f64 {
+        // Ω · t = 1/2  →  amp = 1 / (2 · rabi_rate · t).
+        1.0 / (2.0 * qubit.rabi_hz_per_amp * duration_ns * 1e-9)
+    }
+
+    fn no_decay() -> TwoLevelQubit {
+        TwoLevelQubit {
+            t1_us: 1e12,
+            t2_us: 1e12,
+            ..TwoLevelQubit::paper_device()
+        }
+    }
+
+    #[test]
+    fn resonant_pi_pulse_inverts() {
+        let mut q = no_decay();
+        let amp = pi_amplitude(&q, 20.0);
+        q.drive(&Pulse::square(20.0, amp, q.frequency_hz, 0.0));
+        assert!((q.p_excited() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_pi_gives_even_superposition() {
+        let mut q = no_decay();
+        let amp = pi_amplitude(&q, 20.0) / 2.0;
+        q.drive(&Pulse::square(20.0, amp, q.frequency_hz, 0.0));
+        assert!((q.p_excited() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detuned_drive_is_less_effective() {
+        let mut on_resonance = no_decay();
+        let amp = pi_amplitude(&on_resonance, 20.0);
+        on_resonance.drive(&Pulse::square(20.0, amp, on_resonance.frequency_hz, 0.0));
+
+        let mut detuned = no_decay();
+        let f = detuned.frequency_hz + 40e6; // 40 MHz off
+        detuned.drive(&Pulse::square(20.0, amp, f, 0.0));
+        assert!(detuned.p_excited() < on_resonance.p_excited());
+        assert!(detuned.p_excited() < 0.5);
+    }
+
+    #[test]
+    fn t1_decay_is_exponential() {
+        let mut q = TwoLevelQubit::paper_device();
+        q.bloch = (0.0, 0.0, -1.0); // |1⟩
+        q.idle(9_900.0); // one T1
+        let expected = (-1.0f64).exp();
+        assert!((q.p_excited() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut q = no_decay();
+        let amp = pi_amplitude(&q, 20.0) / 2.0;
+        q.drive(&Pulse::square(20.0, amp, q.frequency_hz, 0.0));
+        let first = q.measure(&mut rng);
+        // Post-collapse the state is definite.
+        assert_eq!(q.p_excited() > 0.5, first);
+        let second = q.measure(&mut rng);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn phase_sets_the_rotation_axis() {
+        // Two π/2 pulses with opposite phases cancel.
+        let mut q = no_decay();
+        let amp = pi_amplitude(&q, 20.0) / 2.0;
+        q.drive(&Pulse::square(20.0, amp, q.frequency_hz, 0.0));
+        q.drive(&Pulse::square(
+            20.0,
+            amp,
+            q.frequency_hz,
+            std::f64::consts::PI,
+        ));
+        assert!(q.p_excited() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Microarchitecture-level throughput benches: the building blocks the
+//! figure-level results rest on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hisq_core::{Controller, NodeConfig};
+use hisq_isa::{Assembler, Program};
+use hisq_quantum::{Stabilizer, StateVector};
+
+fn figure12_source() -> &'static str {
+    "
+        addi $2,$0,120
+        addi $1,$0,0
+    loop:
+        waiti 1
+        cw.i.i 21,2
+        addi $1,$1,40
+        cw.i.i 20,2
+        waitr $1
+        waiti 8
+        cw.i.i 7,1
+        waiti 50
+        bne $1,$2,loop
+        stop
+    "
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let source = figure12_source();
+    let mut group = c.benchmark_group("isa");
+    group.throughput(Throughput::Elements(12));
+    group.bench_function("assemble_figure12", |b| {
+        b.iter(|| Assembler::new().assemble(std::hint::black_box(source)).unwrap())
+    });
+    let program = Assembler::new().assemble(source).unwrap();
+    let words = program.encode().unwrap();
+    group.bench_function("decode_figure12", |b| {
+        b.iter(|| Program::decode(std::hint::black_box(&words)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    // A tight arithmetic loop: 3 000 retired instructions per run.
+    let program = Assembler::new()
+        .assemble(
+            "
+            li t0, 1000
+        loop:
+            addi t0, t0, -1
+            addi t1, t1, 3
+            bnez t0, loop
+            stop
+            ",
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("controller");
+    group.throughput(Throughput::Elements(3002));
+    group.bench_function("classical_pipeline", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(NodeConfig::new(0), program.insts().to_vec());
+            let mut outbox = Vec::new();
+            assert!(ctrl.step(&mut outbox).is_halted());
+            ctrl.stats().executed
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantum_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum");
+    group.bench_function("stabilizer_100q_round", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut tab = Stabilizer::new(100);
+            for q in 0..99 {
+                tab.h(q);
+                tab.cx(q, q + 1);
+            }
+            (0..100).map(|q| tab.measure(q, &mut rng)).filter(|&m| m).count()
+        })
+    });
+    group.bench_function("statevector_16q_layer", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::new(16);
+            for q in 0..16 {
+                sv.apply_gate(hisq_quantum::Gate::H, &[q]);
+            }
+            for q in 0..15 {
+                sv.apply_gate(hisq_quantum::Gate::Cx, &[q, q + 1]);
+            }
+            sv.prob_one(15)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    microarch,
+    bench_assembler,
+    bench_controller,
+    bench_quantum_backends
+);
+criterion_main!(microarch);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 7: remote synchronization with non-zero overhead
+//! when deterministic work cannot cover the booking latency.
+
+use hisq_bench::figures::fig07_overhead;
+
+fn main() {
+    let r = fig07_overhead();
+    println!("Figure 7: non-zero synchronization overhead");
+    println!("  C2 deterministic horizon D2 = {} cycles", r.d2);
+    println!("  booking uplink latency  L2 = {} cycles", r.l2);
+    println!("  commit with real links:   {} cycles", r.commit_real);
+    println!("  commit with ideal links:  {} cycles", r.commit_ideal);
+    println!("  measured overhead = {} cycles (expected L2 - D2 = {})",
+        r.overhead, r.l2 - r.d2);
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 1: FPGA resource consumption of HISQ on the
+//! control and readout boards, from the additive resource model.
+
+use hisq_bench::resources::{
+    board_resources, BASE_CORE, CONTROL_BOARD_CHANNELS, EVENT_QUEUE, READOUT_BOARD_CHANNELS,
+    SYNC_UNIT,
+};
+
+fn main() {
+    println!("Table 1: FPGA resource consumption of HISQ");
+    println!("{:-<66}", "");
+    println!(
+        "{:<28} {:>8} {:>12} {:>8}",
+        "Type", "#LUTs", "#BlockRAM", "#FF"
+    );
+    println!("{:-<66}", "");
+    let control = board_resources(CONTROL_BOARD_CHANNELS);
+    let readout = board_resources(READOUT_BOARD_CHANNELS);
+    println!(
+        "{:<28} {:>8} {:>12.1} {:>8}   (paper: 4155 / 75 / 6392)",
+        "Control Board (28 ch)", control.luts, control.bram_blocks, control.ffs
+    );
+    println!(
+        "{:<28} {:>8} {:>12.1} {:>8}   (paper: 2435 / 45 / 3192)",
+        "Readout Board (8 ch)", readout.luts, readout.bram_blocks, readout.ffs
+    );
+    println!(
+        "{:<28} {:>8} {:>12.1} {:>8}   (paper: 86 / 1.5 / 160)",
+        "Event Queue (38b x 1024)", EVENT_QUEUE.luts, EVENT_QUEUE.bram_blocks, EVENT_QUEUE.ffs
+    );
+    println!("{:-<66}", "");
+    println!("Model decomposition: base core {} / {} / {} + SyncU {} LUTs + N x queue",
+        BASE_CORE.luts, BASE_CORE.bram_blocks, BASE_CORE.ffs, SYNC_UNIT.luts);
+    println!("\nExtrapolation (multi-core configurations of Section 7.1):");
+    for channels in [8u64, 16, 28, 56, 112] {
+        let r = board_resources(channels);
+        println!(
+            "  {:>4} channels: {:>6} LUTs {:>7.1} BRAM {:>7} FFs  ({:.2} Mb)",
+            channels, r.luts, r.bram_blocks, r.ffs, r.bram_blocks * 32.0 / 1024.0
+        );
+    }
+}

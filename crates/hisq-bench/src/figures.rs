@@ -1,0 +1,481 @@
+//! Data producers for every figure of the paper's evaluation. The
+//! `src/bin/` harnesses print these; the criterion benches measure them.
+
+use distributed_hisq::compiler::{
+    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions,
+    LongRangeConfig,
+};
+use distributed_hisq::quantum::{Circuit, CoherenceParams, Gate};
+use distributed_hisq::runner::build_system;
+use distributed_hisq::sim::RandomBackend;
+use distributed_hisq::workloads::Benchmark;
+use hisq_core::NodeConfig;
+use hisq_isa::{Assembler, CYCLE_NS};
+use hisq_net::TopologyBuilder;
+use hisq_sim::{System, Telf};
+
+/// Figure 5(a): nearby BISP synchronization timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig05Nearby {
+    /// C0's booking cycle (B₀).
+    pub booking0: u64,
+    /// C1's booking cycle (B₁).
+    pub booking1: u64,
+    /// Link latency (the calibrated countdown N = L).
+    pub link_latency: u64,
+    /// C0's synchronous-task commit cycle.
+    pub commit0: u64,
+    /// C1's synchronous-task commit cycle.
+    pub commit1: u64,
+    /// Synchronization overhead in cycles (0 = the paper's zero-cycle
+    /// claim).
+    pub overhead: u64,
+}
+
+/// Runs the Figure 5(a) scenario: two controllers with different-length
+/// deterministic prologues synchronize; both must commit at
+/// `max(T₀, T₁)` with zero overhead.
+pub fn fig05_nearby() -> Fig05Nearby {
+    let latency = 6;
+    let asm = |pad: u64| {
+        Assembler::new()
+            .assemble(&format!("waiti {pad}\nsync {}\nwaiti {latency}\ncw.i.i 0, 1\nstop", 1))
+            .unwrap()
+            .insts()
+            .to_vec()
+    };
+    let mut system = System::new();
+    system.add_controller(NodeConfig::new(0).with_neighbor(1, latency), asm(40));
+    // Controller 1's program must target address 0.
+    let b = Assembler::new()
+        .assemble(&format!("waiti 90\nsync 0\nwaiti {latency}\ncw.i.i 0, 1\nstop"))
+        .unwrap()
+        .insts()
+        .to_vec();
+    system.add_controller(NodeConfig::new(1).with_neighbor(0, latency), b);
+    let report = system.run().expect("runs");
+    assert!(report.all_halted);
+    let telf = system.telf();
+    let commit0 = telf.commits_of(0)[0].cycle;
+    let commit1 = telf.commits_of(1)[0].cycle;
+    // Natural readiness: T_i = booking + countdown; the later controller
+    // (booking 90) dictates.
+    let t_late = 90 + latency;
+    Fig05Nearby {
+        booking0: 40,
+        booking1: 90,
+        link_latency: latency,
+        commit0,
+        commit1,
+        overhead: commit0.max(commit1) - t_late,
+    }
+}
+
+/// Figure 5(b)/7: region-level synchronization through the router tree.
+#[derive(Debug, Clone)]
+pub struct Fig05Remote {
+    /// Per-controller booked time-points T_i (wall cycles).
+    pub bookings: Vec<(u64, u64)>, // (booking cycle B_i, horizon)
+    /// The common commit cycle of the synchronous task.
+    pub commit: u64,
+    /// All controllers committed at the same cycle.
+    pub aligned: bool,
+}
+
+/// Runs a three-controller region sync (Figure 5(b)): every controller
+/// books a time-point with the root router and all commit together.
+pub fn fig05_remote() -> Fig05Remote {
+    let topo = TopologyBuilder::linear(3)
+        .neighbor_latency(5)
+        .router_latency(10)
+        .build();
+    let root = topo.root_router().unwrap();
+    let pads = [40u64, 90, 60];
+    let horizon = 30u64;
+    let mut programs = std::collections::BTreeMap::new();
+    for (i, pad) in pads.iter().enumerate() {
+        let src =
+            format!("li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop");
+        programs.insert(
+            i as u16,
+            Assembler::new().assemble(&src).unwrap().insts().to_vec(),
+        );
+    }
+    let mut system = System::from_topology(&topo, programs).expect("builds");
+    let report = system.run().expect("runs");
+    assert!(report.all_halted, "{:?}", report.blocked);
+    let telf = system.telf();
+    let commits: Vec<u64> = (0..3u16).map(|a| telf.commits_of(a)[0].cycle).collect();
+    Fig05Remote {
+        bookings: pads.iter().map(|&p| (p, horizon)).collect(),
+        commit: commits[0],
+        aligned: commits.iter().all(|&c| c == commits[0]),
+    }
+}
+
+/// Figure 7: synchronization overhead when deterministic work cannot
+/// cover the booking communication latency.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig07 {
+    /// The short controller's deterministic horizon D₂ (cycles).
+    pub d2: u64,
+    /// The booking uplink latency L₂ (cycles).
+    pub l2: u64,
+    /// Commit cycle with real latency.
+    pub commit_real: u64,
+    /// Commit cycle with zero-latency links (the theoretical earliest).
+    pub commit_ideal: u64,
+    /// Measured overhead = real − ideal; expected `L₂ − D₂`.
+    pub overhead: u64,
+}
+
+/// Runs the Figure 7 scenario twice (real vs zero-latency links) and
+/// reports the overhead.
+pub fn fig07_overhead() -> Fig07 {
+    let d2 = 4u64;
+    let l2 = 10u64;
+    let run = |router_latency: u64| -> u64 {
+        let topo = TopologyBuilder::linear(3)
+            .neighbor_latency(5)
+            .router_latency(router_latency)
+            .build();
+        let root = topo.root_router().unwrap();
+        let mut programs = std::collections::BTreeMap::new();
+        // C0 and C1 finish early with generous horizons; C2 is the
+        // bottleneck with only D2 cycles of deterministic work.
+        for (i, (pad, horizon)) in [(10u64, 40u64), (20, 40), (60, d2)].iter().enumerate() {
+            let src = format!(
+                "li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop"
+            );
+            programs.insert(
+                i as u16,
+                Assembler::new().assemble(&src).unwrap().insts().to_vec(),
+            );
+        }
+        let mut system = System::from_topology(&topo, programs).expect("builds");
+        let report = system.run().expect("runs");
+        assert!(report.all_halted, "{:?}", report.blocked);
+        system.telf().commits_of(2)[0].cycle
+    };
+    let commit_real = run(l2);
+    let commit_ideal = run(0);
+    Fig07 {
+        d2,
+        l2,
+        commit_real,
+        commit_ideal,
+        overhead: commit_real - commit_ideal,
+    }
+}
+
+/// Figure 6: the generated per-controller listings for a synchronized
+/// two-qubit gate, showing the hoisted `sync` placement.
+pub fn fig06_listing() -> (String, String) {
+    let topo = TopologyBuilder::linear(2).neighbor_latency(5).build();
+    let mut circuit = Circuit::new(2, 1);
+    circuit.h(0);
+    circuit.h(0);
+    circuit.cz(0, 1);
+    let compiled = compile_bisp(&circuit, &topo, &BispOptions::default()).unwrap();
+    (
+        compiled.sources[&0].clone(),
+        compiled.sources[&1].clone(),
+    )
+}
+
+/// Figures 12/13: the paper's electronics-level synchronization
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// The full TELF trace of both boards.
+    pub telf: Telf,
+    /// Per-iteration cycle difference between the synchronized pulses
+    /// (control port 7 vs readout port 5); constant = cycle-aligned.
+    pub alignment: Vec<i64>,
+    /// Commit cycles of the control board's synchronized pulse per
+    /// iteration (the `waitr` drift is visible here).
+    pub control_pulses: Vec<u64>,
+}
+
+/// Runs the paper's Figure 12 programs (bounded to three inner-loop
+/// iterations) on a two-board system.
+pub fn fig13_waveforms() -> Fig13 {
+    let latency = 4;
+    // The control board of Figure 12, with the infinite outer loop
+    // replaced by `stop`.
+    let control = "
+        addi $2,$0,120
+        addi $1,$0,0
+    loop:
+        waiti 1
+        cw.i.i 21,2
+        addi $1,$1,40
+        cw.i.i 20,2
+        waitr $1
+        sync 1
+        waiti 8
+        cw.i.i 7,1
+        waiti 50
+        bne $1,$2,loop
+        stop
+    ";
+    // The readout board, bounded to the same three iterations.
+    let readout = "
+        addi $3,$0,3
+    loop:
+        waiti 2
+        sync 0
+        waiti 6
+        waiti 57
+        cw.i.i 5,1
+        addi $3,$3,-1
+        bnez $3, loop
+        stop
+    ";
+    let mut system = System::new();
+    system.add_controller(
+        NodeConfig::new(0).with_neighbor(1, latency),
+        Assembler::new().assemble(control).unwrap().insts().to_vec(),
+    );
+    system.add_controller(
+        NodeConfig::new(1).with_neighbor(0, latency),
+        Assembler::new().assemble(readout).unwrap().insts().to_vec(),
+    );
+    let report = system.run().expect("runs");
+    assert!(report.all_halted, "{:?}", report.blocked);
+    let telf = system.telf();
+    let alignment = telf.alignment((0, 7), (1, 5));
+    let control_pulses = telf.channel(0, 7).iter().map(|r| r.cycle).collect();
+    Fig13 {
+        telf,
+        alignment,
+        control_pulses,
+    }
+}
+
+/// One row of Figure 15.
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Distributed-HISQ end-to-end runtime (ns).
+    pub bisp_ns: u64,
+    /// Lock-step baseline runtime (ns).
+    pub lockstep_ns: u64,
+    /// `bisp / lockstep` (the paper's normalized runtime; < 1 means
+    /// Distributed-HISQ wins).
+    pub normalized: f64,
+    /// Total instructions executed under Distributed-HISQ.
+    pub bisp_instructions: u64,
+    /// Total instructions executed under the baseline.
+    pub lockstep_instructions: u64,
+}
+
+/// Compiles and simulates one benchmark under both schemes.
+pub fn fig15_row(bench: &Benchmark, seed: u64) -> Fig15Row {
+    let topo = bench.topology();
+    let bisp = compile_bisp(&bench.physical, &topo, &BispOptions::default())
+        .unwrap_or_else(|e| panic!("{}: BISP compile failed: {e}", bench.name));
+    let lockstep = compile_lockstep(&bench.physical, &LockstepOptions::default())
+        .unwrap_or_else(|e| panic!("{}: lock-step compile failed: {e}", bench.name));
+
+    let mut sys_b = build_system(&bisp, Some(&topo)).expect("bisp system");
+    sys_b.set_backend(RandomBackend::new(seed, 0.5));
+    let rep_b = sys_b.run().expect("bisp run");
+    assert!(rep_b.all_halted, "{} bisp blocked: {:?}", bench.name, rep_b.blocked);
+
+    let mut sys_l = build_system(&lockstep, None).expect("lockstep system");
+    sys_l.set_backend(RandomBackend::new(seed, 0.5));
+    let rep_l = sys_l.run().expect("lockstep run");
+    assert!(
+        rep_l.all_halted,
+        "{} lockstep blocked: {:?}",
+        bench.name, rep_l.blocked
+    );
+
+    Fig15Row {
+        name: bench.name.clone(),
+        bisp_ns: rep_b.makespan_cycles * CYCLE_NS,
+        lockstep_ns: rep_l.makespan_cycles * CYCLE_NS,
+        normalized: (rep_b.makespan_cycles as f64) / (rep_l.makespan_cycles as f64),
+        bisp_instructions: rep_b.total_instructions,
+        lockstep_instructions: rep_l.total_instructions,
+    }
+}
+
+/// One point of the Figure 16 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig16Point {
+    /// Relaxation time T1 = T2 in microseconds.
+    pub t_us: f64,
+    /// Distributed-HISQ circuit infidelity.
+    pub infidelity_bisp: f64,
+    /// Baseline circuit infidelity.
+    pub infidelity_lockstep: f64,
+    /// Reduction ratio (baseline / Distributed-HISQ).
+    pub reduction_ratio: f64,
+}
+
+/// The Figure 16 circuit: several long-range CNOTs (Figure 14 gadgets
+/// with immediate corrections) executing simultaneously — the
+/// simultaneous-feedback scenario whose serialization hurts the
+/// baseline. Returns the physical circuit and the physical sites of the
+/// data qubits carrying |ψ₁⟩/|ψ₂⟩.
+pub fn fig16_circuit(parallel: usize, span: usize) -> (Circuit, Vec<usize>) {
+    let seg = span + 1;
+    let n = parallel * seg;
+    let mut logical = Circuit::new(n, 1);
+    let mut data_sites = Vec::new();
+    for g in 0..parallel {
+        let c = g * seg;
+        let t = c + span;
+        logical.gate(Gate::Ry(0.7), &[c]);
+        logical.gate(Gate::Ry(1.1), &[t]);
+        logical.cx(c, t);
+        data_sites.push(2 * c);
+        data_sites.push(2 * t);
+    }
+    let config = LongRangeConfig {
+        substitution_probability: 1.0,
+        seed: 16,
+        immediate_corrections: true,
+    };
+    let physical = map_to_physical(&logical, &config).expect("mapping is total");
+    (physical.circuit, data_sites)
+}
+
+/// Runs the Figure 16 experiment: simulate both schemes once, then
+/// evaluate the exposure ledgers over the T1 sweep.
+///
+/// Data qubits carry the circuit's quantum output, so their exposure
+/// extends to the end of the schedule (they decohere until the whole
+/// dynamic circuit completes); ancillas decohere only over their own
+/// prepare→measure windows.
+pub fn fig16_sweep(t_us_points: &[f64]) -> Vec<Fig16Point> {
+    let (physical, data_sites) = fig16_circuit(4, 7);
+    let width = physical.num_qubits();
+    let topo = TopologyBuilder::linear(width)
+        .neighbor_latency(5)
+        .router_latency(10)
+        .build();
+    let bisp = compile_bisp(&physical, &topo, &BispOptions::default()).unwrap();
+    // The long-range CNOT serves the cross-chip scenario of §2.1.1; the
+    // baseline's central controller sits a chassis hop away (250 ns per
+    // leg) in that setting, unlike the on-backplane 100 ns of Figure 15.
+    let lockstep_options = LockstepOptions {
+        star_up_latency: 63,
+        star_down_latency: 62,
+        ..LockstepOptions::default()
+    };
+    let lockstep = compile_lockstep(&physical, &lockstep_options).unwrap();
+
+    let mut sys_b = build_system(&bisp, Some(&topo)).expect("bisp system");
+    sys_b.set_backend(RandomBackend::new(16, 0.5));
+    let rep_b = sys_b.run().expect("bisp run");
+    assert!(rep_b.all_halted, "{:?}", rep_b.blocked);
+
+    let mut sys_l = build_system(&lockstep, None).expect("lockstep system");
+    sys_l.set_backend(RandomBackend::new(16, 0.5));
+    let rep_l = sys_l.run().expect("lockstep run");
+    assert!(rep_l.all_halted, "{:?}", rep_l.blocked);
+
+    // Score the data qubits carrying the circuit's output: they stay
+    // coherent from circuit start until the whole dynamic circuit
+    // completes. (Ancilla errors feed back through the measured
+    // corrections and are not double-counted as output decoherence.)
+    let mut ledger_b = hisq_quantum::ExposureLedger::new();
+    let mut ledger_l = hisq_quantum::ExposureLedger::new();
+    for &q in &data_sites {
+        ledger_b.record_span(q, 0, rep_b.makespan_ns);
+        ledger_l.record_span(q, 0, rep_l.makespan_ns);
+    }
+
+    t_us_points
+        .iter()
+        .map(|&t_us| {
+            let params = CoherenceParams::uniform(t_us);
+            let infidelity_bisp = ledger_b.infidelity(params);
+            let infidelity_lockstep = ledger_l.infidelity(params);
+            Fig16Point {
+                t_us,
+                infidelity_bisp,
+                infidelity_lockstep,
+                reduction_ratio: infidelity_lockstep / infidelity_bisp,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributed_hisq::workloads::{fig15_suite, SuiteScale};
+
+    #[test]
+    fn fig05_nearby_zero_overhead() {
+        let r = fig05_nearby();
+        assert_eq!(r.commit0, r.commit1, "cycle-level alignment");
+        assert_eq!(r.overhead, 0, "zero-cycle overhead");
+    }
+
+    #[test]
+    fn fig05_remote_aligns_region() {
+        let r = fig05_remote();
+        assert!(r.aligned);
+    }
+
+    #[test]
+    fn fig07_overhead_is_l2_minus_d2() {
+        let r = fig07_overhead();
+        assert_eq!(r.overhead, r.l2 - r.d2, "{r:?}");
+    }
+
+    #[test]
+    fn fig06_sync_is_hoisted() {
+        let (src0, _) = fig06_listing();
+        let sync_pos = src0.find("sync").unwrap();
+        let last_cw = src0.rfind("cw.i.i").unwrap();
+        assert!(sync_pos < last_cw, "{src0}");
+    }
+
+    #[test]
+    fn fig13_pulses_stay_aligned_despite_waitr_drift() {
+        let r = fig13_waveforms();
+        assert_eq!(r.alignment.len(), 3, "three inner-loop iterations");
+        assert!(
+            r.alignment.windows(2).all(|w| w[0] == w[1]),
+            "constant offset = cycle-level sync: {:?}",
+            r.alignment
+        );
+        // The waitr drift: iterations are spaced by more than the 120
+        // extra cycles of register growth.
+        assert!(r.control_pulses.windows(2).all(|w| w[1] - w[0] >= 120));
+    }
+
+    #[test]
+    fn fig15_quick_rows_favor_bisp_on_feedback_workloads() {
+        let suite = fig15_suite(SuiteScale::Quick);
+        let qec = suite.iter().find(|b| b.name == "logical_t_d3x2").unwrap();
+        let row = fig15_row(qec, 1);
+        assert!(
+            row.normalized < 1.0,
+            "parallel logical-T must favour BISP: {row:?}"
+        );
+        // Both schemes report instruction counts for the harness table.
+        assert!(row.lockstep_instructions > 0 && row.bisp_instructions > 0);
+    }
+
+    #[test]
+    fn fig16_ratio_above_one_and_stable() {
+        let points = fig16_sweep(&[30.0, 150.0, 300.0]);
+        for p in &points {
+            assert!(
+                p.reduction_ratio > 1.5,
+                "baseline must be worse: {p:?}"
+            );
+        }
+        // Infidelity falls with T1 under both schemes.
+        assert!(points[0].infidelity_bisp > points[2].infidelity_bisp);
+        assert!(points[0].infidelity_lockstep > points[2].infidelity_lockstep);
+    }
+}

@@ -1,0 +1,22 @@
+//! # hisq-bench — experiment regeneration for every table and figure
+//!
+//! Each evaluation artifact of the paper maps to a binary in `src/bin/`
+//! and a data-producing function here (shared with the criterion
+//! benches):
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table 1 (FPGA resources) | [`resources::board_resources`] | `table1` |
+//! | Figure 5 (BISP timing) | [`figures::fig05_nearby`], [`figures::fig05_remote`] | `fig05` |
+//! | Figure 6 (sync placement) | [`figures::fig06_listing`] | `fig06` |
+//! | Figure 7 (non-zero overhead) | [`figures::fig07_overhead`] | `fig07` |
+//! | Figure 11 (calibration) | `hisq_analog::experiments` | `fig11` |
+//! | Figures 12/13 (electronics sync) | [`figures::fig13_waveforms`] | `fig13` |
+//! | Figure 15 (runtime vs baseline) | [`figures::fig15_row`] | `fig15` |
+//! | Figure 16 (infidelity vs T1) | [`figures::fig16_sweep`] | `fig16` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod resources;

@@ -1,0 +1,300 @@
+//! Per-controller assembly stream builders.
+//!
+//! Code generation emits HISQ assembly *text* (labels and all), then
+//! assembles it with the `hisq-isa` assembler — the generated programs
+//! are human-readable artifacts, and the production assembler is
+//! exercised on every compile.
+//!
+//! The builder also implements the **booking advance** of BISP (§4.2):
+//! a `sync` is inserted at the *hoist point* — just after the last
+//! instruction whose timing is non-deterministic (a `recv`, a branch, a
+//! previous synchronization point) — so the calibrated countdown overlaps
+//! the deterministic work emitted since.
+
+use hisq_core::NodeAddr;
+use hisq_isa::{AsmError, Assembler, Program};
+
+/// Maximum immediate of a single `waiti` (22-bit field).
+const MAX_WAITI: u64 = (1 << 22) - 1;
+
+/// An append-mostly assembly stream for one controller.
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    addr: NodeAddr,
+    lines: Vec<String>,
+    /// Grid cycles consumed by each line (non-zero only for `waiti`).
+    line_cycles: Vec<u64>,
+    labels: usize,
+    /// Index into `lines` where a hoisted `sync` may be inserted.
+    hoist_point: usize,
+    /// Deterministic grid cycles accumulated since the hoist point.
+    det_cycles: u64,
+}
+
+impl StreamBuilder {
+    /// Creates an empty stream for controller `addr`.
+    pub fn new(addr: NodeAddr) -> StreamBuilder {
+        StreamBuilder {
+            addr,
+            lines: Vec::new(),
+            line_cycles: Vec::new(),
+            labels: 0,
+            hoist_point: 0,
+            det_cycles: 0,
+        }
+    }
+
+    /// The owning controller's address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Deterministic cycles accumulated since the last blocker.
+    pub fn det_cycles(&self) -> u64 {
+        self.det_cycles
+    }
+
+    fn push_line(&mut self, line: String, cycles: u64) {
+        self.lines.push(line);
+        self.line_cycles.push(cycles);
+    }
+
+    /// Appends a raw assembly line.
+    pub fn raw(&mut self, line: impl Into<String>) {
+        self.push_line(line.into(), 0);
+    }
+
+    /// Returns a fresh unique label with the given prefix.
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        self.labels += 1;
+        format!(".{prefix}_{}_{}", self.addr, self.labels)
+    }
+
+    /// Places a label definition.
+    pub fn label(&mut self, name: &str) {
+        self.push_line(format!("{name}:"), 0);
+    }
+
+    /// Advances the timing grid by `cycles` (splitting waits that exceed
+    /// the 22-bit `waiti` field). Zero-cycle waits emit nothing.
+    pub fn wait(&mut self, mut cycles: u64) {
+        self.det_cycles += cycles;
+        while cycles > 0 {
+            let chunk = cycles.min(MAX_WAITI);
+            self.push_line(format!("waiti {chunk}"), chunk);
+            cycles -= chunk;
+        }
+    }
+
+    /// Emits a codeword trigger (does not advance the grid).
+    pub fn cw(&mut self, port: u32, codeword: u32) {
+        self.push_line(format!("cw.i.i {port}, {codeword}"), 0);
+    }
+
+    /// Emits a blocking receive into `reg`.
+    ///
+    /// Receives cap the hoist point: a later `sync` must not be hoisted
+    /// above a message dependency, or the controller would block on the
+    /// sync before satisfying it.
+    pub fn recv(&mut self, reg: &str, source: NodeAddr) {
+        self.push_line(format!("recv {reg}, {source}"), 0);
+        self.hoist_point = self.lines.len();
+    }
+
+    /// Emits a send of `reg` to `target`.
+    ///
+    /// Sends also cap the hoist point: hoisting a blocking `sync` above
+    /// a send would delay the message a remote consumer may need before
+    /// *its* half of that very synchronization (deadlock). Sends take no
+    /// grid time, so the accumulated deterministic cycles are kept.
+    pub fn send(&mut self, target: NodeAddr, reg: &str) {
+        self.push_line(format!("send {target}, {reg}"), 0);
+        self.hoist_point = self.lines.len();
+    }
+
+    /// Inserts `sync target` exactly `cover` deterministic grid cycles
+    /// before the current stream position (the optimal booking advance:
+    /// booking further ahead than the countdown buys nothing and can
+    /// replay overlappable work after a late partner). The hoist stops
+    /// at the last blocker. Oversized `waiti` lines are split so the
+    /// insertion point is exact. Returns the deterministic cycles that
+    /// actually cover the countdown (`min(cover, available work)`).
+    pub fn sync_covering(&mut self, target: NodeAddr, cover: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut pos = self.lines.len();
+        while pos > self.hoist_point && acc < cover {
+            let cycles = self.line_cycles[pos - 1];
+            if acc + cycles > cover {
+                // Split the wait so exactly `cover` cycles follow the sync.
+                let needed = cover - acc;
+                let before = cycles - needed;
+                self.lines[pos - 1] = format!("waiti {before}");
+                self.line_cycles[pos - 1] = before;
+                self.lines.insert(pos, format!("waiti {needed}"));
+                self.line_cycles.insert(pos, needed);
+                acc = cover;
+                break;
+            }
+            acc += cycles;
+            pos -= 1;
+        }
+        self.lines.insert(pos, format!("sync {target}"));
+        self.line_cycles.insert(pos, 0);
+        acc
+    }
+
+    /// Appends `sync target` at the current position (the QubiC-style
+    /// placement immediately before the synchronization point; used by
+    /// the no-booking-advance ablation).
+    pub fn sync_here(&mut self, target: NodeAddr) {
+        self.push_line(format!("sync {target}"), 0);
+        // Everything accumulated so far is before the sync; the countdown
+        // overlaps nothing.
+        self.det_cycles = 0;
+        self.hoist_point = self.lines.len();
+    }
+
+    /// Appends a region sync against `router` booking `horizon` cycles
+    /// ahead (loads the horizon into `t6` first).
+    pub fn region_sync(&mut self, router: NodeAddr, horizon: u64) {
+        if horizon == 0 {
+            self.push_line(format!("sync {router}"), 0);
+        } else {
+            self.push_line(format!("li t6, {horizon}"), 0);
+            self.push_line(format!("sync {router}, t6"), 0);
+        }
+        self.mark_blocker();
+    }
+
+    /// Declares that the timing of everything after this point restarts
+    /// from a non-deterministic event (recv, branch, synchronization
+    /// point): future hoisted syncs will not cross it.
+    pub fn mark_blocker(&mut self) {
+        self.hoist_point = self.lines.len();
+        self.det_cycles = 0;
+    }
+
+    /// Emits the program epilogue and assembles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (a code-generation bug).
+    pub fn finish(mut self) -> Result<(String, Program), AsmError> {
+        self.push_line("stop".to_string(), 0);
+        let source = self.lines.join("\n") + "\n";
+        let program = Assembler::new().assemble(&source)?;
+        Ok((source, program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waits_are_split_and_merged_into_det_cycles() {
+        let mut b = StreamBuilder::new(0);
+        b.wait(MAX_WAITI + 10);
+        assert_eq!(b.det_cycles(), MAX_WAITI + 10);
+        b.wait(0); // no instruction
+        let (source, program) = b.finish().unwrap();
+        assert_eq!(source.matches("waiti").count(), 2);
+        assert_eq!(program.len(), 3); // two waits + stop
+    }
+
+    #[test]
+    fn sync_covering_inserts_at_exact_coverage() {
+        let mut b = StreamBuilder::new(1);
+        b.recv("t0", 7);
+        b.mark_blocker();
+        b.wait(5);
+        b.cw(0, 1);
+        let covered = b.sync_covering(2, 5);
+        assert_eq!(covered, 5);
+        let (source, _) = b.finish().unwrap();
+        let lines: Vec<&str> = source.lines().collect();
+        // sync sits right after the recv: exactly 5 deterministic cycles
+        // of coverage follow it.
+        assert_eq!(lines[0], "recv t0, 7");
+        assert_eq!(lines[1], "sync 2");
+        assert_eq!(lines[2], "waiti 5");
+    }
+
+    #[test]
+    fn sync_covering_stops_at_blocker_when_short() {
+        let mut b = StreamBuilder::new(1);
+        b.recv("t0", 7);
+        b.mark_blocker();
+        b.wait(3);
+        let covered = b.sync_covering(2, 10);
+        assert_eq!(covered, 3, "only 3 cycles available to cover");
+        let (source, _) = b.finish().unwrap();
+        assert_eq!(source.lines().nth(1), Some("sync 2"));
+    }
+
+    #[test]
+    fn sync_covering_splits_oversized_waits() {
+        let mut b = StreamBuilder::new(1);
+        b.wait(75); // one long measurement wait
+        let covered = b.sync_covering(2, 5);
+        assert_eq!(covered, 5);
+        let (source, _) = b.finish().unwrap();
+        let lines: Vec<&str> = source.lines().collect();
+        assert_eq!(lines[0], "waiti 70");
+        assert_eq!(lines[1], "sync 2");
+        assert_eq!(lines[2], "waiti 5");
+    }
+
+    #[test]
+    fn sync_covering_does_not_book_too_early() {
+        // 30 cycles of work available, countdown only 5: the sync must
+        // be placed 5 cycles before the end, not at the stream start.
+        let mut b = StreamBuilder::new(1);
+        b.wait(10);
+        b.wait(10);
+        b.wait(10);
+        let covered = b.sync_covering(2, 5);
+        assert_eq!(covered, 5);
+        let (source, _) = b.finish().unwrap();
+        let lines: Vec<&str> = source.lines().collect();
+        assert_eq!(lines[0], "waiti 10");
+        assert_eq!(lines[1], "waiti 10");
+        assert_eq!(lines[2], "waiti 5");
+        assert_eq!(lines[3], "sync 2");
+        assert_eq!(lines[4], "waiti 5");
+    }
+
+    #[test]
+    fn sync_here_overlaps_nothing() {
+        let mut b = StreamBuilder::new(1);
+        b.wait(50);
+        b.sync_here(2);
+        assert_eq!(b.det_cycles(), 0);
+        let (source, _) = b.finish().unwrap();
+        let lines: Vec<&str> = source.lines().collect();
+        assert_eq!(lines[0], "waiti 50");
+        assert_eq!(lines[1], "sync 2");
+    }
+
+    #[test]
+    fn labels_are_unique_and_assemble() {
+        let mut b = StreamBuilder::new(3);
+        let l1 = b.fresh_label("skip");
+        let l2 = b.fresh_label("skip");
+        assert_ne!(l1, l2);
+        b.raw(format!("beqz t0, {l1}"));
+        b.cw(0, 1);
+        b.label(&l1);
+        let (_, program) = b.finish().unwrap();
+        assert_eq!(program.len(), 3);
+    }
+
+    #[test]
+    fn region_sync_with_horizon_loads_register() {
+        let mut b = StreamBuilder::new(0);
+        b.region_sync(100, 30);
+        let (source, _) = b.finish().unwrap();
+        assert!(source.contains("li t6, 30"));
+        assert!(source.contains("sync 100, t6"));
+    }
+}

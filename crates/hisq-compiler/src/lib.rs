@@ -1,0 +1,288 @@
+//! # hisq-compiler — the Distributed-HISQ software stack
+//!
+//! Lowers [`hisq_quantum::Circuit`] dynamic circuits to per-controller
+//! HISQ binaries, standing in for the paper's Quingo → SISQ → HISQ
+//! pipeline (Figure 10). Two complete backends implement the two
+//! execution schemes the evaluation compares:
+//!
+//! - [`compile_bisp`] — **Distributed-HISQ**: independent per-controller
+//!   streams, nearby `sync` pairs with booking advance for two-qubit
+//!   gates, direct producer→consumer feedback messages, region-level
+//!   synchronization between repetitions;
+//! - [`compile_lockstep`] — the **lock-step baseline** (§6.4.3):
+//!   IBM-style shared program flow through a central broadcast hub on a
+//!   star topology with size-independent latency.
+//!
+//! A third pass, [`longrange::map_to_physical`], rewrites logical
+//! circuits onto the interleaved data/ancilla layout, substituting
+//! long-range CNOTs with the constant-depth dynamic gadget of Figure 14.
+//!
+//! # Example
+//!
+//! ```
+//! use hisq_compiler::{compile_bisp, BispOptions};
+//! use hisq_net::TopologyBuilder;
+//! use hisq_quantum::{Circuit, Condition};
+//!
+//! let mut circuit = Circuit::new(2, 1);
+//! circuit.h(0);
+//! circuit.measure(0, 0);
+//! circuit.x_if(1, Condition::bit(0, true));
+//!
+//! let topology = TopologyBuilder::linear(2).build();
+//! let compiled = compile_bisp(&circuit, &topology, &BispOptions::default())?;
+//! assert_eq!(compiled.programs.len(), 2);
+//! # Ok::<(), hisq_compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen_bisp;
+pub mod codegen_lockstep;
+pub mod codewords;
+pub mod emit;
+pub mod longrange;
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use hisq_core::NodeAddr;
+use hisq_isa::{AsmError, Program, CYCLE_NS};
+use hisq_quantum::GateDurations;
+
+pub use codegen_bisp::{compile_bisp, BispOptions};
+pub use codegen_lockstep::{compile_lockstep, LockstepOptions};
+pub use codewords::{Binding, BindingAction, CodewordTable, PORT_GATE, PORT_READOUT};
+pub use emit::StreamBuilder;
+pub use longrange::{map_to_physical, LongRangeConfig, LongRangeStats, PhysicalCircuit};
+
+/// Operation durations quantized to TCU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleDurations {
+    /// Single-qubit gate duration (cycles).
+    pub single: u64,
+    /// Two-qubit gate duration (cycles).
+    pub two_qubit: u64,
+    /// Measurement duration (cycles).
+    pub measurement: u64,
+    /// Active reset duration (cycles).
+    pub reset: u64,
+}
+
+impl CycleDurations {
+    /// The paper's §6.4.1 durations on the 4 ns grid: 5 / 10 / 75 cycles.
+    pub const PAPER: CycleDurations = CycleDurations {
+        single: 5,
+        two_qubit: 10,
+        measurement: 75,
+        reset: 75,
+    };
+
+    /// Quantizes nanosecond durations to cycles (rounding up).
+    pub fn from_durations(durations: GateDurations) -> CycleDurations {
+        CycleDurations {
+            single: durations.single_qubit_ns.div_ceil(CYCLE_NS),
+            two_qubit: durations.two_qubit_ns.div_ceil(CYCLE_NS),
+            measurement: durations.measurement_ns.div_ceil(CYCLE_NS),
+            reset: durations.reset_ns.div_ceil(CYCLE_NS),
+        }
+    }
+}
+
+impl Default for CycleDurations {
+    fn default() -> CycleDurations {
+        CycleDurations::PAPER
+    }
+}
+
+/// The execution scheme a program was compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Distributed-HISQ with BISP synchronization.
+    Bisp,
+    /// The lock-step shared-program-flow baseline.
+    Lockstep,
+}
+
+/// Baseline broadcast-hub parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubSpec {
+    /// Hub network address.
+    pub addr: NodeAddr,
+    /// Producer → hub latency (cycles).
+    pub up_latency: u64,
+    /// Hub → subscriber latency (cycles).
+    pub down_latency: u64,
+}
+
+/// Compilation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Total HISQ instructions across all controllers.
+    pub instructions: u64,
+    /// Nearby `sync` instructions emitted (two per synchronized gate).
+    pub nearby_syncs: u64,
+    /// Region-level `sync` instructions emitted.
+    pub region_syncs: u64,
+    /// Classical sends emitted.
+    pub sends: u64,
+    /// Classical receives emitted (excluding measurement-FIFO reads).
+    pub recvs: u64,
+    /// Feedback (conditioned) operations emitted.
+    pub feedbacks: u64,
+}
+
+/// A compiled distributed program: one HISQ binary per controller plus
+/// the codeword bindings and scheme metadata needed to run it.
+#[derive(Debug, Clone)]
+pub struct CompiledSystem {
+    /// The scheme this system was compiled for.
+    pub scheme: Scheme,
+    /// Assembled programs per controller.
+    pub programs: BTreeMap<NodeAddr, Program>,
+    /// Generated assembly text per controller (human-readable artifact).
+    pub sources: BTreeMap<NodeAddr, String>,
+    /// Codeword → quantum action bindings.
+    pub bindings: Vec<Binding>,
+    /// Number of circuit qubits (= participating controllers).
+    pub num_qubits: usize,
+    /// Broadcast hub parameters (lock-step only).
+    pub hub: Option<HubSpec>,
+    /// Durations the schedule was built with.
+    pub durations: CycleDurations,
+    /// Compilation counters.
+    pub stats: CompileStats,
+}
+
+impl CompiledSystem {
+    /// Total instruction count across all controllers.
+    pub fn total_instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+}
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit has more qubits than the topology has controllers.
+    TooManyQubits {
+        /// Circuit qubits.
+        qubits: usize,
+        /// Available controllers.
+        controllers: usize,
+    },
+    /// A two-qubit gate spans controllers without a mesh edge.
+    NonAdjacentGate {
+        /// Instruction index in the circuit.
+        index: usize,
+        /// The offending operand pair.
+        qubits: (usize, usize),
+    },
+    /// A condition guards an unsupported operation (only single-qubit
+    /// gates may be conditioned).
+    UnsupportedConditional {
+        /// Instruction index in the circuit.
+        index: usize,
+    },
+    /// A condition reads a classical bit no measurement has written.
+    ConditionBeforeMeasurement {
+        /// Instruction index in the circuit.
+        index: usize,
+        /// The unwritten classical bit.
+        clbit: usize,
+    },
+    /// The topology has no router to coordinate region synchronization.
+    NoRootRouter,
+    /// Generated assembly failed to assemble (a code-generation bug).
+    Asm(AsmError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyQubits {
+                qubits,
+                controllers,
+            } => write!(
+                f,
+                "circuit needs {qubits} controllers but the topology has {controllers}"
+            ),
+            CompileError::NonAdjacentGate { index, qubits } => write!(
+                f,
+                "instruction {index}: two-qubit gate on non-adjacent qubits {qubits:?} \
+                 (run the long-range mapping pass first)"
+            ),
+            CompileError::UnsupportedConditional { index } => write!(
+                f,
+                "instruction {index}: only single-qubit gates may be conditioned"
+            ),
+            CompileError::ConditionBeforeMeasurement { index, clbit } => write!(
+                f,
+                "instruction {index}: condition reads clbit {clbit} before any measurement"
+            ),
+            CompileError::NoRootRouter => {
+                write!(f, "topology has no router for region synchronization")
+            }
+            CompileError::Asm(e) => write!(f, "generated assembly failed to assemble: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for CompileError {
+    fn from(e: AsmError) -> CompileError {
+        CompileError::Asm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_durations_quantize_correctly() {
+        let d = CycleDurations::from_durations(GateDurations::PAPER);
+        assert_eq!(d, CycleDurations::PAPER);
+        assert_eq!(d.single, 5); // 20 ns at 4 ns/cycle
+        assert_eq!(d.two_qubit, 10); // 40 ns
+        assert_eq!(d.measurement, 75); // 300 ns
+    }
+
+    #[test]
+    fn rounding_up_for_non_multiples() {
+        let d = CycleDurations::from_durations(GateDurations {
+            single_qubit_ns: 21,
+            two_qubit_ns: 41,
+            measurement_ns: 301,
+            reset_ns: 1,
+        });
+        assert_eq!(d.single, 6);
+        assert_eq!(d.two_qubit, 11);
+        assert_eq!(d.measurement, 76);
+        assert_eq!(d.reset, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::NonAdjacentGate {
+            index: 7,
+            qubits: (0, 5),
+        };
+        assert!(e.to_string().contains("long-range"));
+        let e = CompileError::TooManyQubits {
+            qubits: 10,
+            controllers: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,505 @@
+//! Long-range CNOT rewriting (Figure 14 of the paper).
+//!
+//! Logical circuits are mapped onto an interleaved physical layout —
+//! data qubit `i` at physical site `2i`, measurement ancillas at the odd
+//! sites — and every CNOT between non-adjacent sites is (with a
+//! configurable probability, following the paper's *"randomly
+//! substituting CNOTs between non-adjacent qubits with long-range
+//! CNOTs"*) replaced by the **constant-depth dynamic-circuit gadget**
+//! based on gate teleportation:
+//!
+//! 1. Bell pairs are prepared on disjoint ancilla pairs along the chain;
+//! 2. entanglement swapping (Bell measurements at the pair junctions)
+//!    fuses them into one long-range Bell pair;
+//! 3. the CNOT is gate-teleported through that pair;
+//! 4. Pauli corrections conditioned on measurement **parities** (the
+//!    XOR of Figure 14) repair the by-products.
+//!
+//! Non-substituted long-range CNOTs fall back to unitary SWAP routing,
+//! whose depth grows linearly with distance — exactly the trade-off the
+//! dynamic circuit removes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hisq_quantum::{Circuit, CircuitError, Condition, Gate, Instruction, Operation};
+
+/// Options for the physical mapping pass.
+#[derive(Debug, Clone)]
+pub struct LongRangeConfig {
+    /// Probability that a non-adjacent CNOT becomes a dynamic gadget
+    /// (the rest are SWAP-routed). The paper substitutes randomly; 1.0
+    /// makes every long-range CNOT dynamic.
+    pub substitution_probability: f64,
+    /// RNG seed for the random substitution choice.
+    pub seed: u64,
+    /// Apply entanglement-swapping corrections immediately on the chain
+    /// (more, simultaneous feedback — the Figure 14/16 flavour) instead
+    /// of deferring all parities to the final corrections.
+    pub immediate_corrections: bool,
+}
+
+impl Default for LongRangeConfig {
+    fn default() -> LongRangeConfig {
+        LongRangeConfig {
+            substitution_probability: 1.0,
+            seed: 0xF16_14,
+            immediate_corrections: false,
+        }
+    }
+}
+
+/// Statistics of a mapping pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LongRangeStats {
+    /// CNOTs replaced by the dynamic gadget.
+    pub substituted: usize,
+    /// CNOTs routed with unitary SWAP chains.
+    pub swap_routed: usize,
+    /// CNOTs that were already nearest-neighbour.
+    pub direct: usize,
+}
+
+/// The result of mapping a logical circuit to the interleaved layout.
+#[derive(Debug, Clone)]
+pub struct PhysicalCircuit {
+    /// The physical dynamic circuit.
+    pub circuit: Circuit,
+    /// Physical site of each logical qubit (`2i`).
+    pub data_sites: Vec<usize>,
+    /// Mapping statistics.
+    pub stats: LongRangeStats,
+}
+
+struct PhysBuilder {
+    instructions: Vec<Instruction>,
+    num_qubits: usize,
+    next_clbit: usize,
+}
+
+impl PhysBuilder {
+    fn gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.instructions.push(Instruction {
+            op: Operation::Gate {
+                gate,
+                qubits: qubits.to_vec(),
+            },
+            condition: None,
+        });
+    }
+
+    fn gate_if(&mut self, gate: Gate, qubits: &[usize], condition: Condition) {
+        self.instructions.push(Instruction {
+            op: Operation::Gate {
+                gate,
+                qubits: qubits.to_vec(),
+            },
+            condition: Some(condition),
+        });
+    }
+
+    fn measure(&mut self, qubit: usize) -> usize {
+        let clbit = self.next_clbit;
+        self.next_clbit += 1;
+        self.instructions.push(Instruction {
+            op: Operation::Measure { qubit, clbit },
+            condition: None,
+        });
+        clbit
+    }
+
+    fn reset(&mut self, qubit: usize) {
+        self.instructions.push(Instruction {
+            op: Operation::Reset { qubit },
+            condition: None,
+        });
+    }
+
+    /// Emits the dynamic long-range CNOT gadget over the chain
+    /// `c, ancillas..., t` (all physically adjacent steps).
+    fn dynamic_cnot(&mut self, c: usize, t: usize, ancillas: &[usize], immediate: bool) {
+        let m = ancillas.len();
+        assert!(m >= 1, "dynamic gadget needs at least one ancilla");
+
+        if m == 1 {
+            // Single-ancilla fan-out gadget: CX(c,a); CX(a,t); X-measure a;
+            // Z on c conditioned on the outcome.
+            let a = ancillas[0];
+            self.gate(Gate::Cx, &[c, a]);
+            self.gate(Gate::Cx, &[a, t]);
+            self.gate(Gate::H, &[a]);
+            let bit = self.measure(a);
+            self.gate_if(Gate::Z, &[c], Condition::parity(vec![bit], true));
+            self.reset(a);
+            return;
+        }
+
+        // Bell pairs over a maximal even prefix of the ancilla chain.
+        let paired = if m % 2 == 0 { m } else { m - 1 };
+        for k in (0..paired).step_by(2) {
+            self.gate(Gate::H, &[ancillas[k]]);
+            self.gate(Gate::Cx, &[ancillas[k], ancillas[k + 1]]);
+        }
+
+        // Entanglement swapping at pair junctions.
+        let mut p_bits = Vec::new();
+        let mut q_bits = Vec::new();
+        let mut k = 1;
+        while k + 1 < paired {
+            let x = ancillas[k];
+            let y = ancillas[k + 1];
+            self.gate(Gate::Cx, &[x, y]);
+            self.gate(Gate::H, &[x]);
+            let p = self.measure(x);
+            let q = self.measure(y);
+            p_bits.push(p);
+            q_bits.push(q);
+            self.reset(x);
+            self.reset(y);
+            k += 2;
+        }
+
+        // The b-side half of the fused pair.
+        let mut b_end = ancillas[paired - 1];
+        if immediate && !(p_bits.is_empty() && q_bits.is_empty()) {
+            // Repair the fused pair on the spot: one conditional per
+            // junction outcome — these feedbacks are mutually
+            // independent, i.e. *simultaneous feedback* (§2.1.2).
+            for &q in &q_bits {
+                self.gate_if(Gate::X, &[b_end], Condition::parity(vec![q], true));
+            }
+            for &p in &p_bits {
+                self.gate_if(Gate::Z, &[b_end], Condition::parity(vec![p], true));
+            }
+            p_bits.clear();
+            q_bits.clear();
+        }
+        if m % 2 == 1 {
+            // Odd chain: shuttle the Bell half one site toward the target.
+            let spare = ancillas[m - 1];
+            self.gate(Gate::Swap, &[b_end, spare]);
+            b_end = spare;
+        }
+
+        // Gate teleportation of the CNOT through the fused pair.
+        self.gate(Gate::Cx, &[c, ancillas[0]]);
+        let m1 = self.measure(ancillas[0]);
+        self.gate(Gate::Cx, &[b_end, t]);
+        self.gate(Gate::H, &[b_end]);
+        let m2 = self.measure(b_end);
+
+        // Final parity corrections (the XOR of Figure 14).
+        let mut x_parity = vec![m1];
+        x_parity.extend(&q_bits);
+        self.gate_if(Gate::X, &[t], Condition::parity(x_parity, true));
+        let mut z_parity = vec![m2];
+        z_parity.extend(&p_bits);
+        self.gate_if(Gate::Z, &[c], Condition::parity(z_parity, true));
+
+        self.reset(ancillas[0]);
+        self.reset(b_end);
+    }
+
+    /// Unitary fallback: shuttle `c` next to `t` with SWAPs and back.
+    fn swap_routed_cnot(&mut self, c: usize, t: usize, ancillas: &[usize]) {
+        for &a in ancillas {
+            let prev = if a == ancillas[0] { c } else { a - 1 };
+            self.gate(Gate::Swap, &[prev, a]);
+        }
+        let moved = *ancillas.last().expect("non-empty chain");
+        self.gate(Gate::Cx, &[moved, t]);
+        for &a in ancillas.iter().rev() {
+            let prev = if a == ancillas[0] { c } else { a - 1 };
+            self.gate(Gate::Swap, &[prev, a]);
+        }
+    }
+}
+
+/// Decomposes a two-qubit gate into CNOTs plus single-qubit gates.
+fn decompose_2q(gate: Gate, a: usize, b: usize) -> Vec<(Gate, Vec<usize>)> {
+    match gate {
+        Gate::Cx => vec![(Gate::Cx, vec![a, b])],
+        Gate::Cz => vec![
+            (Gate::H, vec![b]),
+            (Gate::Cx, vec![a, b]),
+            (Gate::H, vec![b]),
+        ],
+        Gate::Cphase(theta) => vec![
+            (Gate::Phase(theta / 2.0), vec![a]),
+            (Gate::Cx, vec![a, b]),
+            (Gate::Phase(-theta / 2.0), vec![b]),
+            (Gate::Cx, vec![a, b]),
+            (Gate::Phase(theta / 2.0), vec![b]),
+        ],
+        Gate::Swap => vec![
+            (Gate::Cx, vec![a, b]),
+            (Gate::Cx, vec![b, a]),
+            (Gate::Cx, vec![a, b]),
+        ],
+        other => panic!("{other:?} is not a two-qubit gate"),
+    }
+}
+
+/// Maps a logical circuit to the interleaved physical layout, rewriting
+/// long-range CNOTs per the configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from physical-circuit construction (only
+/// possible on malformed logical input).
+pub fn map_to_physical(
+    logical: &Circuit,
+    config: &LongRangeConfig,
+) -> Result<PhysicalCircuit, CircuitError> {
+    let n = logical.num_qubits();
+    let phys_qubits = if n == 0 { 0 } else { 2 * n - 1 };
+    let site = |q: usize| 2 * q;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut builder = PhysBuilder {
+        instructions: Vec::new(),
+        num_qubits: phys_qubits,
+        next_clbit: logical.num_clbits(),
+    };
+    let mut stats = LongRangeStats::default();
+
+    for instruction in logical.instructions() {
+        match &instruction.op {
+            Operation::Gate { gate, qubits } if gate.arity() == 2 => {
+                assert!(
+                    instruction.condition.is_none(),
+                    "conditional two-qubit gates are not supported by the mapper"
+                );
+                for (g, operands) in decompose_2q(*gate, qubits[0], qubits[1]) {
+                    if g.arity() == 1 {
+                        builder.gate(g, &[site(operands[0])]);
+                        continue;
+                    }
+                    let (c, t) = (site(operands[0]), site(operands[1]));
+                    let (lo, hi) = (c.min(t), c.max(t));
+                    if hi - lo == 1 {
+                        builder.gate(Gate::Cx, &[c, t]);
+                        stats.direct += 1;
+                        continue;
+                    }
+                    let ancillas: Vec<usize> = if c < t {
+                        (lo + 1..hi).collect()
+                    } else {
+                        (lo + 1..hi).rev().collect()
+                    };
+                    if rng.gen_bool(config.substitution_probability.clamp(0.0, 1.0)) {
+                        builder.dynamic_cnot(c, t, &ancillas, config.immediate_corrections);
+                        stats.substituted += 1;
+                    } else {
+                        builder.swap_routed_cnot(c, t, &ancillas);
+                        stats.swap_routed += 1;
+                    }
+                }
+            }
+            Operation::Gate { gate, qubits } => {
+                let mapped = vec![site(qubits[0])];
+                builder.instructions.push(Instruction {
+                    op: Operation::Gate {
+                        gate: *gate,
+                        qubits: mapped,
+                    },
+                    condition: instruction.condition.clone(),
+                });
+            }
+            Operation::Measure { qubit, clbit } => {
+                builder.instructions.push(Instruction {
+                    op: Operation::Measure {
+                        qubit: site(*qubit),
+                        clbit: *clbit,
+                    },
+                    condition: None,
+                });
+            }
+            Operation::Reset { qubit } => builder.reset(site(*qubit)),
+            Operation::Barrier { qubits } => {
+                let mapped = qubits.iter().map(|&q| site(q)).collect();
+                builder.instructions.push(Instruction {
+                    op: Operation::Barrier { qubits: mapped },
+                    condition: None,
+                });
+            }
+            Operation::Delay { qubit, duration_ns } => {
+                builder.instructions.push(Instruction {
+                    op: Operation::Delay {
+                        qubit: site(*qubit),
+                        duration_ns: *duration_ns,
+                    },
+                    condition: None,
+                });
+            }
+        }
+    }
+
+    let mut circuit = Circuit::named(
+        format!("{}_physical", logical.name()),
+        builder.num_qubits,
+        builder.next_clbit.max(1),
+    );
+    for instruction in builder.instructions {
+        circuit.push(instruction)?;
+    }
+    Ok(PhysicalCircuit {
+        circuit,
+        data_sites: (0..n).map(site).collect(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Verifies the gadget acts exactly like CNOT for a given data-qubit
+    /// distance, on a batch of random product inputs.
+    fn verify_distance(logical_distance: usize, immediate: bool) {
+        let n = logical_distance + 1;
+        let mut rng = StdRng::seed_from_u64(42 + logical_distance as u64);
+        for trial in 0..6 {
+            // Random single-qubit preparations on control and target.
+            let theta_c = rng.gen_range(0.0..std::f64::consts::PI);
+            let phi_c = rng.gen_range(0.0..std::f64::consts::PI);
+            let theta_t = rng.gen_range(0.0..std::f64::consts::PI);
+
+            let mut logical = Circuit::new(n, 1);
+            logical.gate(Gate::Ry(theta_c), &[0]);
+            logical.gate(Gate::Rz(phi_c), &[0]);
+            logical.gate(Gate::Ry(theta_t), &[n - 1]);
+            logical.cx(0, n - 1);
+
+            let config = LongRangeConfig {
+                substitution_probability: 1.0,
+                seed: trial,
+                immediate_corrections: immediate,
+            };
+            let physical = map_to_physical(&logical, &config).unwrap();
+            assert_eq!(physical.stats.substituted, 1);
+
+            // Reference: same preparation + ideal CNOT on the physical
+            // register (ancillas untouched in |0⟩).
+            let phys_n = physical.circuit.num_qubits();
+            let mut reference = Circuit::new(phys_n, 1);
+            reference.gate(Gate::Ry(theta_c), &[0]);
+            reference.gate(Gate::Rz(phi_c), &[0]);
+            reference.gate(Gate::Ry(theta_t), &[phys_n - 1]);
+            reference.cx(0, phys_n - 1);
+
+            let mut rng_run = StdRng::seed_from_u64(1000 + trial);
+            let out = StateVector::run(&physical.circuit, &mut rng_run).unwrap();
+            let reference_out =
+                StateVector::run(&reference, &mut StdRng::seed_from_u64(0)).unwrap();
+            let fidelity = out.state.fidelity(&reference_out.state);
+            assert!(
+                fidelity > 1.0 - 1e-9,
+                "distance {logical_distance} immediate={immediate} trial {trial}: \
+                 gadget fidelity {fidelity}"
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_equals_cnot_distance_1() {
+        verify_distance(1, false); // m = 1 ancilla
+    }
+
+    #[test]
+    fn gadget_equals_cnot_distance_2() {
+        verify_distance(2, false); // m = 3 ancillas (odd, swap path)
+    }
+
+    #[test]
+    fn gadget_equals_cnot_distance_3() {
+        verify_distance(3, false); // m = 5 ancillas (one junction)
+    }
+
+    #[test]
+    fn gadget_equals_cnot_with_immediate_corrections() {
+        verify_distance(3, true);
+        verify_distance(4, true); // m = 7, two junctions
+    }
+
+    #[test]
+    fn reversed_direction_gadget() {
+        // CNOT with control above target (c > t).
+        let mut logical = Circuit::new(3, 1);
+        logical.x(2);
+        logical.cx(2, 0);
+        let physical = map_to_physical(&logical, &LongRangeConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = StateVector::run(&physical.circuit, &mut rng).unwrap();
+        // |1⟩ control flips target: physical sites 4 (control) and 0.
+        assert!((out.state.prob_one(0) - 1.0).abs() < 1e-9);
+        assert!((out.state.prob_one(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_routing_fallback_is_correct() {
+        let mut logical = Circuit::new(3, 1);
+        logical.x(0);
+        logical.cx(0, 2);
+        let config = LongRangeConfig {
+            substitution_probability: 0.0,
+            ..LongRangeConfig::default()
+        };
+        let physical = map_to_physical(&logical, &config).unwrap();
+        assert_eq!(physical.stats.swap_routed, 1);
+        assert_eq!(physical.stats.substituted, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = StateVector::run(&physical.circuit, &mut rng).unwrap();
+        assert!((out.state.prob_one(4) - 1.0).abs() < 1e-9); // target flipped
+        assert!((out.state.prob_one(0) - 1.0).abs() < 1e-9); // control restored
+    }
+
+    #[test]
+    fn cz_and_cphase_decompositions_are_exact() {
+        // Compare decomposed vs primitive on a 2-qubit state vector.
+        for gate in [Gate::Cz, Gate::Cphase(0.7), Gate::Swap] {
+            let mut direct = StateVector::new(2);
+            direct.apply_gate(Gate::H, &[0]);
+            direct.apply_gate(Gate::Ry(0.3), &[1]);
+            direct.apply_gate(gate, &[0, 1]);
+
+            let mut decomposed = StateVector::new(2);
+            decomposed.apply_gate(Gate::H, &[0]);
+            decomposed.apply_gate(Gate::Ry(0.3), &[1]);
+            for (g, q) in decompose_2q(gate, 0, 1) {
+                decomposed.apply_gate(g, &q);
+            }
+            let fidelity = direct.fidelity(&decomposed);
+            assert!(
+                fidelity > 1.0 - 1e-9,
+                "{gate:?} decomposition fidelity {fidelity}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_data_qubits_use_one_ancilla() {
+        let mut logical = Circuit::new(2, 1);
+        logical.cx(0, 1);
+        let physical = map_to_physical(&logical, &LongRangeConfig::default()).unwrap();
+        assert_eq!(physical.circuit.num_qubits(), 3);
+        assert_eq!(physical.stats.substituted, 1);
+        // One measurement (the X-basis disentangling) plus one feedback.
+        assert_eq!(physical.circuit.measurement_count(), 1);
+        assert_eq!(physical.circuit.feedback_count(), 1);
+    }
+
+    #[test]
+    fn mapping_preserves_conditionals_and_measures() {
+        let mut logical = Circuit::new(2, 2);
+        logical.h(0);
+        logical.measure(0, 0);
+        logical.x_if(1, Condition::bit(0, true));
+        let physical = map_to_physical(&logical, &LongRangeConfig::default()).unwrap();
+        assert_eq!(physical.data_sites, vec![0, 2]);
+        assert!(physical.circuit.feedback_count() >= 1);
+    }
+}

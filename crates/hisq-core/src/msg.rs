@@ -1,0 +1,128 @@
+//! Message and record types exchanged between a controller and the
+//! surrounding distributed system.
+
+use std::fmt;
+
+/// Network address of a node (controller or router). 12 bits are
+/// encodable in the `sync`/`send`/`recv` instructions.
+pub type NodeAddr = u16;
+
+/// A message emitted by a controller, to be routed by the network
+/// substrate with the appropriate link latency.
+///
+/// All timestamps are in TCU cycles (4 ns) on the global wall clock
+/// (clock distribution keeps all node clocks phase-aligned, §1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutboundMessage {
+    /// The 1-bit nearby-synchronization signal of BISP (Figure 4).
+    SyncPulse {
+        /// Destination neighbour controller.
+        to: NodeAddr,
+        /// Booking time — the cycle the SyncU emitted the signal.
+        sent_at: u64,
+    },
+    /// A region-level booking: "I will reach my synchronization point at
+    /// `time_point`" (§4.3).
+    BookTime {
+        /// The ancestor router coordinating the region.
+        router: NodeAddr,
+        /// The booked synchronization time-point `T_i`.
+        time_point: u64,
+        /// When the booking left the controller.
+        sent_at: u64,
+    },
+    /// A classical payload (e.g. a measurement result) for another
+    /// controller's MsgU.
+    Classical {
+        /// Destination controller.
+        to: NodeAddr,
+        /// Payload value.
+        value: u32,
+        /// When the message left the controller.
+        sent_at: u64,
+    },
+}
+
+impl OutboundMessage {
+    /// The message's destination node.
+    pub fn destination(&self) -> NodeAddr {
+        match *self {
+            OutboundMessage::SyncPulse { to, .. } => to,
+            OutboundMessage::BookTime { router, .. } => router,
+            OutboundMessage::Classical { to, .. } => to,
+        }
+    }
+
+    /// The cycle the message left its sender.
+    pub fn sent_at(&self) -> u64 {
+        match *self {
+            OutboundMessage::SyncPulse { sent_at, .. }
+            | OutboundMessage::BookTime { sent_at, .. }
+            | OutboundMessage::Classical { sent_at, .. } => sent_at,
+        }
+    }
+}
+
+/// A committed codeword trigger: the TCU issued `codeword` to `port` at
+/// `cycle`. The sequence of commit records is the controller's TELF
+/// (Timing Event Logging Format) trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Destination port (channel index on the board).
+    pub port: u32,
+    /// The committed codeword.
+    pub codeword: u32,
+    /// Commit time in TCU cycles on the wall clock.
+    pub cycle: u64,
+}
+
+impl fmt::Display for CommitRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:>8} ({:>9} ns): port {:>3} <- cw {:#x}",
+            self.cycle,
+            self.cycle * hisq_isa::CYCLE_NS,
+            self.port,
+            self.codeword
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn destination_and_timestamp_accessors() {
+        let m = OutboundMessage::SyncPulse { to: 7, sent_at: 42 };
+        assert_eq!(m.destination(), 7);
+        assert_eq!(m.sent_at(), 42);
+        let m = OutboundMessage::BookTime {
+            router: 9,
+            time_point: 100,
+            sent_at: 50,
+        };
+        assert_eq!(m.destination(), 9);
+        assert_eq!(m.sent_at(), 50);
+        let m = OutboundMessage::Classical {
+            to: 3,
+            value: 1,
+            sent_at: 8,
+        };
+        assert_eq!(m.destination(), 3);
+        assert_eq!(m.sent_at(), 8);
+    }
+
+    #[test]
+    fn commit_record_display_shows_nanoseconds() {
+        let r = CommitRecord {
+            port: 5,
+            codeword: 1,
+            cycle: 25,
+        };
+        let text = r.to_string();
+        assert!(text.contains("100 ns"), "{text}");
+        assert!(text.contains("port   5"), "{text}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Classical-pipeline building blocks: register file and data memory.
+
+use hisq_isa::Reg;
+
+/// The 32-entry RV32I register file with `x0` hard-wired to zero.
+///
+/// # Example
+///
+/// ```
+/// use hisq_core::RegFile;
+/// use hisq_isa::Reg;
+///
+/// let mut regs = RegFile::new();
+/// regs.write(Reg::new(5).unwrap(), 42);
+/// assert_eq!(regs.read(Reg::new(5).unwrap()), 42);
+/// regs.write(Reg::X0, 99); // silently discarded
+/// assert_eq!(regs.read(Reg::X0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    regs: [u32; 32],
+}
+
+impl RegFile {
+    /// All-zero register file.
+    pub fn new() -> RegFile {
+        RegFile { regs: [0; 32] }
+    }
+
+    /// Reads a register (`x0` always reads 0).
+    pub fn read(&self, reg: Reg) -> u32 {
+        self.regs[reg.index()]
+    }
+
+    /// Writes a register; writes to `x0` are discarded.
+    pub fn write(&mut self, reg: Reg, value: u32) {
+        if reg.index() != 0 {
+            self.regs[reg.index()] = value;
+        }
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile::new()
+    }
+}
+
+/// Byte-addressed little-endian data memory with bounds checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+/// An out-of-bounds access fault raised by [`Memory`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u32,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory access of {} byte(s) at address {:#x} out of bounds",
+            self.width, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `bytes` bytes.
+    pub fn new(bytes: usize) -> Memory {
+        Memory {
+            bytes: vec![0; bytes],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u32, width: u32) -> Result<usize, MemFault> {
+        let end = addr as u64 + u64::from(width);
+        if end > self.bytes.len() as u64 {
+            return Err(MemFault { addr, width });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads `width` ∈ {1,2,4} bytes little-endian (zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on out-of-bounds access.
+    pub fn load(&self, addr: u32, width: u32) -> Result<u32, MemFault> {
+        let base = self.check(addr, width)?;
+        let mut value = 0u32;
+        for i in 0..width as usize {
+            value |= u32::from(self.bytes[base + i]) << (8 * i);
+        }
+        Ok(value)
+    }
+
+    /// Stores the low `width` ∈ {1,2,4} bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on out-of-bounds access.
+    pub fn store(&mut self, addr: u32, width: u32, value: u32) -> Result<(), MemFault> {
+        let base = self.check(addr, width)?;
+        for i in 0..width as usize {
+            self.bytes[base + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+/// Sign-extends the low `bits` bits of `value` to 32 bits.
+pub fn sign_extend(value: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut regs = RegFile::new();
+        regs.write(Reg::X0, 0xdead_beef);
+        assert_eq!(regs.read(Reg::X0), 0);
+    }
+
+    #[test]
+    fn memory_little_endian_round_trip() {
+        let mut mem = Memory::new(16);
+        mem.store(4, 4, 0x1234_5678).unwrap();
+        assert_eq!(mem.load(4, 4).unwrap(), 0x1234_5678);
+        assert_eq!(mem.load(4, 1).unwrap(), 0x78);
+        assert_eq!(mem.load(5, 1).unwrap(), 0x56);
+        assert_eq!(mem.load(4, 2).unwrap(), 0x5678);
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let mut mem = Memory::new(8);
+        assert!(mem.load(5, 4).is_err());
+        assert!(mem.store(8, 1, 0).is_err());
+        assert!(mem.load(4, 4).is_ok());
+        // Address arithmetic must not overflow.
+        assert!(mem.load(u32::MAX, 4).is_err());
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xff, 8) as i32, -1);
+        assert_eq!(sign_extend(0x7f, 8), 127);
+        assert_eq!(sign_extend(0x8000, 16) as i32, -32768);
+    }
+}

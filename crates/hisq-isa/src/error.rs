@@ -1,0 +1,190 @@
+//! Error types for the ISA toolchain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding an [`crate::Inst`] to its 32-bit word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate operand does not fit its encoding field.
+    ImmediateOutOfRange {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// The offending value.
+        value: i64,
+        /// Inclusive lower bound of the field.
+        min: i64,
+        /// Inclusive upper bound of the field.
+        max: i64,
+    },
+    /// A branch or jump offset is not a multiple of four bytes.
+    MisalignedOffset {
+        /// Instruction mnemonic.
+        mnemonic: &'static str,
+        /// The offending byte offset.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateOutOfRange {
+                mnemonic,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "immediate {value} out of range [{min}, {max}] for `{mnemonic}`"
+            ),
+            EncodeError::MisalignedOffset { mnemonic, offset } => {
+                write!(f, "offset {offset} for `{mnemonic}` is not 4-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Errors produced while decoding a 32-bit word back to an [`crate::Inst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not part of HISQ.
+    UnknownOpcode(u32),
+    /// The funct3/funct7 combination is not a defined instruction.
+    UnknownFunction {
+        /// The 32-bit word being decoded.
+        word: u32,
+    },
+    /// A register field decoded to an out-of-range index.
+    BadRegister(u8),
+    /// A branch or jump target is not 4-byte aligned. HISQ instruction
+    /// memory is word-addressed, so such targets can never be taken.
+    MisalignedTarget {
+        /// The decoded byte offset.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown major opcode {op:#04x}"),
+            DecodeError::UnknownFunction { word } => {
+                write!(f, "undefined function bits in word {word:#010x}")
+            }
+            DecodeError::BadRegister(index) => write!(f, "register index {index} out of range"),
+            DecodeError::MisalignedTarget { offset } => {
+                write!(f, "control-flow target offset {offset} is not 4-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Errors produced by the assembler, carrying 1-based source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Umbrella error for any ISA toolchain failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Assembly-time failure.
+    Asm(AsmError),
+    /// Encoding failure.
+    Encode(EncodeError),
+    /// Decoding failure.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Asm(e) => write!(f, "assembly error: {e}"),
+            IsaError::Encode(e) => write!(f, "encode error: {e}"),
+            IsaError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Asm(e) => Some(e),
+            IsaError::Encode(e) => Some(e),
+            IsaError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<AsmError> for IsaError {
+    fn from(e: AsmError) -> IsaError {
+        IsaError::Asm(e)
+    }
+}
+
+impl From<EncodeError> for IsaError {
+    fn from(e: EncodeError) -> IsaError {
+        IsaError::Encode(e)
+    }
+}
+
+impl From<DecodeError> for IsaError {
+    fn from(e: DecodeError) -> IsaError {
+        IsaError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EncodeError::ImmediateOutOfRange {
+            mnemonic: "addi",
+            value: 5000,
+            min: -2048,
+            max: 2047,
+        };
+        let text = e.to_string();
+        assert!(text.contains("5000"));
+        assert!(text.contains("addi"));
+
+        let a = AsmError::new(7, "unknown mnemonic `frobnicate`");
+        assert!(a.to_string().starts_with("line 7:"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+        assert_send_sync::<AsmError>();
+        assert_send_sync::<EncodeError>();
+        assert_send_sync::<DecodeError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Network-level message envelopes.
+
+use hisq_core::NodeAddr;
+
+/// The payload of a network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// BISP nearby-sync 1-bit signal.
+    SyncPulse,
+    /// Region-sync booking: "`target` should synchronize its region; my
+    /// synchronization point is `time_point`".
+    BookTime {
+        /// The destination router coordinating the region.
+        target: NodeAddr,
+        /// Booked time-point (max-reduced along the way up).
+        time_point: u64,
+    },
+    /// Region-sync resolution: the earliest common start time.
+    MaxTime {
+        /// The agreed region start time `T_m`.
+        t_m: u64,
+        /// The router that coordinated this sync (controllers match the
+        /// broadcast against their pending booking by this address).
+        target: NodeAddr,
+    },
+    /// Classical data (measurement results, feedback operands).
+    Classical {
+        /// Payload value.
+        value: u32,
+    },
+}
+
+/// A routed message: payload plus addressing and delivery time.
+///
+/// `deliver_at` is an absolute wall-clock cycle computed by the sender's
+/// side of the link (`sent_at + link latency`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeAddr,
+    /// Receiving node.
+    pub to: NodeAddr,
+    /// Message content.
+    pub payload: Payload,
+    /// Absolute delivery cycle.
+    pub deliver_at: u64,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(from: NodeAddr, to: NodeAddr, payload: Payload, deliver_at: u64) -> Envelope {
+        Envelope {
+            from,
+            to,
+            payload,
+            deliver_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip_fields() {
+        let e = Envelope::new(1, 2, Payload::SyncPulse, 77);
+        assert_eq!(e.from, 1);
+        assert_eq!(e.to, 2);
+        assert_eq!(e.deliver_at, 77);
+        assert_eq!(e.payload, Payload::SyncPulse);
+    }
+}

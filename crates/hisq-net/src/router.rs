@@ -1,0 +1,304 @@
+//! The region-synchronization router (Figure 8 of the paper).
+//!
+//! Routers participate only in region-level sync: they buffer booking
+//! time-points from their children, max-reduce once every participating
+//! child has booked, and either forward the partial maximum to their
+//! parent or — when they are the sync destination — broadcast the final
+//! earliest common start time back down the tree.
+//!
+//! Bookings for *different* destinations are kept in separate sessions,
+//! and repeated synchronizations against the same destination pair up
+//! round-by-round in FIFO order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hisq_core::NodeAddr;
+
+/// An action the router asks the network to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterAction {
+    /// Forward an aggregated booking to the parent router.
+    ForwardUp {
+        /// Parent router address.
+        parent: NodeAddr,
+        /// Final sync destination (an ancestor router).
+        target: NodeAddr,
+        /// Max-reduced time-point of this subtree.
+        time_point: u64,
+        /// When the forwarding leaves this router (= the latest arrival
+        /// among this round's bookings).
+        sent_at: u64,
+    },
+    /// Broadcast the final earliest common start time to the children.
+    Broadcast {
+        /// Children to notify (controllers receive it directly;
+        /// sub-routers relay it downward).
+        children: Vec<NodeAddr>,
+        /// The agreed region start time.
+        t_m: u64,
+        /// The coordinating router (the original sync destination).
+        target: NodeAddr,
+    },
+}
+
+/// One buffered booking: the claimed time-point and its arrival time at
+/// this router. The effective contribution of a booking is
+/// `max(time_point, arrival)` — a router cannot act on information it
+/// has not yet received (this is the `max({Bᵢ + Lᵢ})` floor of §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Booking {
+    time_point: u64,
+    arrival: u64,
+}
+
+/// Per-destination synchronization session state.
+#[derive(Debug, Clone, Default)]
+struct Session {
+    /// FIFO of bookings per child.
+    per_child: BTreeMap<NodeAddr, VecDeque<Booking>>,
+}
+
+/// A router node in the inter-layer tree.
+#[derive(Debug, Clone)]
+pub struct Router {
+    addr: NodeAddr,
+    parent: Option<NodeAddr>,
+    children: Vec<NodeAddr>,
+    sessions: BTreeMap<NodeAddr, Session>,
+    rounds_completed: u64,
+}
+
+impl Router {
+    /// Creates a router with its tree links.
+    pub fn new(addr: NodeAddr, parent: Option<NodeAddr>, children: Vec<NodeAddr>) -> Router {
+        Router {
+            addr,
+            parent,
+            children,
+            sessions: BTreeMap::new(),
+            rounds_completed: 0,
+        }
+    }
+
+    /// This router's address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The router's children.
+    pub fn children(&self) -> &[NodeAddr] {
+        &self.children
+    }
+
+    /// Number of completed max-reduction rounds (diagnostics).
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Handles a booking from child `from` for destination `target`,
+    /// arriving at wall-clock `arrival`. Returns the actions to take.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not one of this router's children — the tree
+    /// routing invariant guarantees bookings only ever climb parent
+    /// links.
+    pub fn deliver_book_time(
+        &mut self,
+        from: NodeAddr,
+        target: NodeAddr,
+        time_point: u64,
+        arrival: u64,
+    ) -> Vec<RouterAction> {
+        assert!(
+            self.children.contains(&from),
+            "router {} received a booking from non-child {from}",
+            self.addr
+        );
+        let session = self.sessions.entry(target).or_default();
+        session.per_child.entry(from).or_default().push_back(Booking {
+            time_point,
+            arrival,
+        });
+
+        // A round completes once every child has a booking queued.
+        let complete = self
+            .children
+            .iter()
+            .all(|c| session.per_child.get(c).is_some_and(|q| !q.is_empty()));
+        if !complete {
+            return Vec::new();
+        }
+
+        let mut t_m = 0u64;
+        let mut latest_arrival = 0u64;
+        for child in &self.children {
+            let booking = self
+                .sessions
+                .get_mut(&target)
+                .expect("session exists")
+                .per_child
+                .get_mut(child)
+                .expect("queue exists")
+                .pop_front()
+                .expect("round checked complete");
+            t_m = t_m.max(booking.time_point).max(booking.arrival);
+            latest_arrival = latest_arrival.max(booking.arrival);
+        }
+        self.rounds_completed += 1;
+
+        if target == self.addr {
+            vec![RouterAction::Broadcast {
+                children: self.children.clone(),
+                t_m,
+                target,
+            }]
+        } else {
+            let parent = self.parent.unwrap_or_else(|| {
+                panic!(
+                    "router {} must forward a booking for {target} but has no parent",
+                    self.addr
+                )
+            });
+            vec![RouterAction::ForwardUp {
+                parent,
+                target,
+                time_point: t_m,
+                sent_at: latest_arrival,
+            }]
+        }
+    }
+
+    /// Handles a downward broadcast from the parent: relay to children.
+    pub fn deliver_max_time(&mut self, t_m: u64, target: NodeAddr) -> Vec<RouterAction> {
+        vec![RouterAction::Broadcast {
+            children: self.children.clone(),
+            t_m,
+            target,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_round_max_reduces_with_arrival_floor() {
+        let mut r = Router::new(100, None, vec![0, 1, 2]);
+        // Paper Figure 7: C2's booking arrives after its claimed
+        // time-point, so the arrival becomes the floor.
+        assert!(r.deliver_book_time(0, 100, 50, 20).is_empty());
+        assert!(r.deliver_book_time(1, 100, 60, 25).is_empty());
+        let actions = r.deliver_book_time(2, 100, 55, 70); // D2 < L2
+        assert_eq!(
+            actions,
+            vec![RouterAction::Broadcast {
+                children: vec![0, 1, 2],
+                t_m: 70, // max(T_i) = 60 but max(B_i + L_i) = 70 wins
+                target: 100,
+            }]
+        );
+        assert_eq!(r.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn zero_overhead_when_arrivals_hidden() {
+        let mut r = Router::new(100, None, vec![0, 1]);
+        assert!(r.deliver_book_time(0, 100, 90, 30).is_empty());
+        let actions = r.deliver_book_time(1, 100, 80, 40);
+        // max(T_i) = 90 dominates max(arrival) = 40: zero-cycle overhead.
+        assert_eq!(
+            actions,
+            vec![RouterAction::Broadcast {
+                children: vec![0, 1],
+                t_m: 90,
+                target: 100,
+            }]
+        );
+    }
+
+    #[test]
+    fn intermediate_router_forwards_up() {
+        let mut r = Router::new(100, Some(200), vec![0, 1]);
+        assert!(r.deliver_book_time(0, 200, 50, 10).is_empty());
+        let actions = r.deliver_book_time(1, 200, 70, 12);
+        assert_eq!(
+            actions,
+            vec![RouterAction::ForwardUp {
+                parent: 200,
+                target: 200,
+                time_point: 70,
+                sent_at: 12,
+            }]
+        );
+    }
+
+    #[test]
+    fn repeated_rounds_pair_fifo() {
+        let mut r = Router::new(100, None, vec![0, 1]);
+        // Child 0 books twice before child 1's first booking.
+        assert!(r.deliver_book_time(0, 100, 10, 5).is_empty());
+        assert!(r.deliver_book_time(0, 100, 200, 105).is_empty());
+        let first = r.deliver_book_time(1, 100, 20, 6);
+        assert_eq!(
+            first,
+            vec![RouterAction::Broadcast {
+                children: vec![0, 1],
+                t_m: 20,
+                target: 100,
+            }]
+        );
+        // Second round pairs child 0's second booking.
+        let second = r.deliver_book_time(1, 100, 150, 110);
+        assert_eq!(
+            second,
+            vec![RouterAction::Broadcast {
+                children: vec![0, 1],
+                t_m: 200,
+                target: 100,
+            }]
+        );
+        assert_eq!(r.rounds_completed(), 2);
+    }
+
+    #[test]
+    fn sessions_for_different_targets_are_independent() {
+        // Router coordinates nothing itself; it relays two targets.
+        let mut r = Router::new(100, Some(200), vec![0, 1]);
+        assert!(r.deliver_book_time(0, 200, 10, 1).is_empty());
+        assert!(r.deliver_book_time(0, 300, 99, 2).is_empty());
+        // Completing target-200's round is unaffected by the 300 session.
+        let actions = r.deliver_book_time(1, 200, 30, 3);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            RouterAction::ForwardUp {
+                target: 200,
+                time_point: 30,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn downward_broadcast_relays() {
+        let mut r = Router::new(100, Some(200), vec![0, 1]);
+        let actions = r.deliver_max_time(500, 300);
+        assert_eq!(
+            actions,
+            vec![RouterAction::Broadcast {
+                children: vec![0, 1],
+                t_m: 500,
+                target: 300,
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-child")]
+    fn booking_from_stranger_panics() {
+        let mut r = Router::new(100, None, vec![0, 1]);
+        r.deliver_book_time(9, 100, 1, 1);
+    }
+}

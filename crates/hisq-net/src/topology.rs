@@ -1,0 +1,453 @@
+//! The hybrid topology of Distributed-HISQ (§5.1).
+//!
+//! - **Intra-layer (mesh)**: controllers are arranged to mirror the qubit
+//!   device topology (Insight #2/#3), here a rectangular grid with
+//!   4-neighbour edges — two-qubit gates only ever need nearby sync
+//!   between adjacent controllers.
+//! - **Inter-layer (tree)**: a balanced `k`-ary router tree over the
+//!   controllers minimizes edges (`N − 1` for `N` nodes) while keeping
+//!   region-level communication within `2 × height` hops.
+//!
+//! Controllers receive addresses `0..num_controllers`; routers are
+//! numbered upwards from `num_controllers`, level by level, with the
+//! root last.
+
+use std::collections::BTreeMap;
+
+use hisq_core::{NodeAddr, NodeConfig};
+
+/// Builder for [`Topology`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    width: usize,
+    height: usize,
+    neighbor_latency: u64,
+    router_arity: usize,
+    router_latency: u64,
+    pipeline_headroom: u64,
+}
+
+impl TopologyBuilder {
+    /// A `width × height` controller grid.
+    pub fn grid(width: usize, height: usize) -> TopologyBuilder {
+        assert!(width * height > 0, "topology must have at least one controller");
+        TopologyBuilder {
+            width,
+            height,
+            neighbor_latency: 5,
+            router_arity: 4,
+            router_latency: 10,
+            pipeline_headroom: 32,
+        }
+    }
+
+    /// A 1-D chain of `n` controllers.
+    pub fn linear(n: usize) -> TopologyBuilder {
+        TopologyBuilder::grid(n, 1)
+    }
+
+    /// Sets the one-way mesh-edge latency in cycles (default 5 = 20 ns).
+    pub fn neighbor_latency(mut self, cycles: u64) -> TopologyBuilder {
+        self.neighbor_latency = cycles;
+        self
+    }
+
+    /// Sets the router tree arity (default 4).
+    pub fn router_arity(mut self, arity: usize) -> TopologyBuilder {
+        assert!(arity >= 2, "router arity must be at least 2");
+        self.router_arity = arity;
+        self
+    }
+
+    /// Sets the one-way tree-edge latency in cycles (default 10 = 40 ns).
+    pub fn router_latency(mut self, cycles: u64) -> TopologyBuilder {
+        self.router_latency = cycles;
+        self
+    }
+
+    /// Sets the controllers' TCU queue decoupling margin (default 32).
+    pub fn pipeline_headroom(mut self, cycles: u64) -> TopologyBuilder {
+        self.pipeline_headroom = cycles;
+        self
+    }
+
+    /// Builds the topology: mesh edges plus a balanced router tree.
+    pub fn build(self) -> Topology {
+        let num_controllers = self.width * self.height;
+        let mut parent: BTreeMap<NodeAddr, NodeAddr> = BTreeMap::new();
+        let mut children: BTreeMap<NodeAddr, Vec<NodeAddr>> = BTreeMap::new();
+
+        // Build the router tree bottom-up over controller addresses.
+        let mut level: Vec<NodeAddr> = (0..num_controllers as u16).collect();
+        let mut next_addr = num_controllers as u16;
+        let mut routers: Vec<NodeAddr> = Vec::new();
+        while level.len() > 1 || routers.is_empty() {
+            let mut next_level = Vec::new();
+            for group in level.chunks(self.router_arity) {
+                let router = next_addr;
+                next_addr += 1;
+                routers.push(router);
+                for &child in group {
+                    parent.insert(child, router);
+                }
+                children.insert(router, group.to_vec());
+                next_level.push(router);
+            }
+            level = next_level;
+        }
+
+        // Mesh edges: 4-neighbourhood on the grid.
+        let mut mesh: BTreeMap<NodeAddr, Vec<NodeAddr>> = BTreeMap::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let addr = (y * self.width + x) as u16;
+                let mut neighbors = Vec::new();
+                if x > 0 {
+                    neighbors.push(addr - 1);
+                }
+                if x + 1 < self.width {
+                    neighbors.push(addr + 1);
+                }
+                if y > 0 {
+                    neighbors.push(addr - self.width as u16);
+                }
+                if y + 1 < self.height {
+                    neighbors.push(addr + self.width as u16);
+                }
+                mesh.insert(addr, neighbors);
+            }
+        }
+
+        Topology {
+            width: self.width,
+            height: self.height,
+            num_controllers,
+            neighbor_latency: self.neighbor_latency,
+            router_latency: self.router_latency,
+            pipeline_headroom: self.pipeline_headroom,
+            parent,
+            children,
+            routers,
+            mesh,
+        }
+    }
+}
+
+/// A built hybrid topology. See the module docs for the addressing
+/// scheme.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    width: usize,
+    height: usize,
+    num_controllers: usize,
+    neighbor_latency: u64,
+    router_latency: u64,
+    pipeline_headroom: u64,
+    /// Child → parent router, for controllers and non-root routers.
+    parent: BTreeMap<NodeAddr, NodeAddr>,
+    /// Router → children (controllers or routers).
+    children: BTreeMap<NodeAddr, Vec<NodeAddr>>,
+    /// Router addresses, creation (level) order; root last.
+    routers: Vec<NodeAddr>,
+    /// Controller → mesh neighbours.
+    mesh: BTreeMap<NodeAddr, Vec<NodeAddr>>,
+}
+
+impl Topology {
+    /// Number of controllers (mesh layer).
+    pub fn num_controllers(&self) -> usize {
+        self.num_controllers
+    }
+
+    /// Number of routers (tree layers).
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Grid width of the mesh layer.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height of the mesh layer.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// One-way mesh-edge latency in cycles.
+    pub fn neighbor_latency(&self) -> u64 {
+        self.neighbor_latency
+    }
+
+    /// One-way tree-edge latency in cycles.
+    pub fn router_latency(&self) -> u64 {
+        self.router_latency
+    }
+
+    /// The controller address at grid position `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn controller_at(&self, x: usize, y: usize) -> NodeAddr {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside grid");
+        (y * self.width + x) as u16
+    }
+
+    /// Grid coordinates of a controller address.
+    pub fn coords(&self, addr: NodeAddr) -> (usize, usize) {
+        let addr = addr as usize;
+        assert!(addr < self.num_controllers, "{addr} is not a controller");
+        (addr % self.width, addr / self.width)
+    }
+
+    /// `true` if `addr` names a router.
+    pub fn is_router(&self, addr: NodeAddr) -> bool {
+        (addr as usize) >= self.num_controllers
+            && (addr as usize) < self.num_controllers + self.routers.len()
+    }
+
+    /// The root of the router tree.
+    pub fn root_router(&self) -> Option<NodeAddr> {
+        self.routers.last().copied()
+    }
+
+    /// All router addresses, bottom level first.
+    pub fn routers(&self) -> &[NodeAddr] {
+        &self.routers
+    }
+
+    /// The parent router of a controller or router (None for the root).
+    pub fn parent_of(&self, addr: NodeAddr) -> Option<NodeAddr> {
+        self.parent.get(&addr).copied()
+    }
+
+    /// The children (controllers or routers) of a router.
+    pub fn children_of(&self, router: NodeAddr) -> &[NodeAddr] {
+        self.children.get(&router).map_or(&[], Vec::as_slice)
+    }
+
+    /// Mesh neighbours of a controller.
+    pub fn mesh_neighbors(&self, addr: NodeAddr) -> &[NodeAddr] {
+        self.mesh.get(&addr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ancestor routers of a node, nearest first (ends at the root).
+    pub fn ancestors(&self, addr: NodeAddr) -> Vec<NodeAddr> {
+        let mut out = Vec::new();
+        let mut cursor = addr;
+        while let Some(p) = self.parent_of(cursor) {
+            out.push(p);
+            cursor = p;
+        }
+        out
+    }
+
+    /// All controllers in the subtree of `router`.
+    pub fn subtree_controllers(&self, router: NodeAddr) -> Vec<NodeAddr> {
+        let mut out = Vec::new();
+        let mut stack = vec![router];
+        while let Some(node) = stack.pop() {
+            if self.is_router(node) {
+                stack.extend(self.children_of(node));
+            } else {
+                out.push(node);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The lowest common ancestor router of a set of controllers — the
+    /// natural coordinator for a region-level sync.
+    pub fn region_router(&self, controllers: &[NodeAddr]) -> Option<NodeAddr> {
+        let first = *controllers.first()?;
+        for candidate in self.ancestors(first) {
+            let covers_all = controllers.iter().all(|&c| {
+                c == candidate || self.ancestors(c).contains(&candidate)
+            });
+            if covers_all {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Tree height (router levels above the controllers).
+    pub fn tree_height(&self) -> usize {
+        self.root_router()
+            .map(|root| {
+                // Depth of the deepest controller below the root.
+                self.ancestors(0).len()
+                    + usize::from(!self.ancestors(0).contains(&root) && root != 0)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Manhattan distance between two controllers on the mesh (in hops).
+    pub fn manhattan(&self, a: NodeAddr, b: NodeAddr) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Per-hop store-and-forward overhead for packetized classical
+    /// messages (serialization + switching), on top of the wire latency.
+    /// Sync pulses ride dedicated 1-bit LVDS wires and do not pay this.
+    pub const CLASSICAL_FORWARD_OVERHEAD: u64 = 10;
+
+    /// End-to-end classical message latency between two controllers:
+    /// hop-by-hop store-and-forward over the mesh, so it **grows with
+    /// distance** (the Distributed-HISQ cost the paper contrasts with
+    /// the baseline's assumed-constant latency, §6.4.4) — this is what
+    /// makes the long-haul `bv` benchmarks favour the baseline.
+    pub fn classical_latency(&self, a: NodeAddr, b: NodeAddr) -> u64 {
+        self.manhattan(a, b).max(1) as u64
+            * (self.neighbor_latency + Self::CLASSICAL_FORWARD_OVERHEAD)
+    }
+
+    /// The one-way latency of the direct link between `a` and `b`,
+    /// if such a link exists (mesh edge or tree edge).
+    pub fn latency(&self, a: NodeAddr, b: NodeAddr) -> Option<u64> {
+        if self.mesh.get(&a).is_some_and(|n| n.contains(&b)) {
+            return Some(self.neighbor_latency);
+        }
+        if self.parent_of(a) == Some(b) || self.parent_of(b) == Some(a) {
+            return Some(self.router_latency);
+        }
+        None
+    }
+
+    /// Builds the [`NodeConfig`] for a controller: neighbour links for
+    /// every mesh edge and a router link for every ancestor.
+    ///
+    /// The latency recorded for ancestor links is the **first-hop** edge
+    /// latency; multi-hop delivery times emerge from per-hop routing in
+    /// the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a controller.
+    pub fn node_config(&self, addr: NodeAddr) -> NodeConfig {
+        assert!(
+            (addr as usize) < self.num_controllers,
+            "{addr} is not a controller"
+        );
+        let mut config = NodeConfig::new(addr).with_pipeline_headroom(self.pipeline_headroom);
+        for &n in self.mesh_neighbors(addr) {
+            config = config.with_neighbor(n, self.neighbor_latency);
+        }
+        for ancestor in self.ancestors(addr) {
+            config = config.with_router(ancestor, self.router_latency);
+        }
+        config
+    }
+
+    /// Node configurations for every controller.
+    pub fn all_node_configs(&self) -> BTreeMap<NodeAddr, NodeConfig> {
+        (0..self.num_controllers as u16)
+            .map(|addr| (addr, self.node_config(addr)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_mesh_edges() {
+        let topo = TopologyBuilder::linear(4).build();
+        assert_eq!(topo.mesh_neighbors(0), &[1]);
+        assert_eq!(topo.mesh_neighbors(1), &[0, 2]);
+        assert_eq!(topo.mesh_neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn grid_mesh_edges() {
+        let topo = TopologyBuilder::grid(3, 2).build();
+        // Controller 4 is at (1, 1): neighbours 3, 5, 1.
+        let mut n = topo.mesh_neighbors(4).to_vec();
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3, 5]);
+        assert_eq!(topo.controller_at(1, 1), 4);
+        assert_eq!(topo.coords(4), (1, 1));
+    }
+
+    #[test]
+    fn tree_structure_balanced() {
+        let topo = TopologyBuilder::linear(8).router_arity(2).build();
+        // 8 leaves → 4 + 2 + 1 routers.
+        assert_eq!(topo.num_routers(), 7);
+        let root = topo.root_router().unwrap();
+        assert_eq!(topo.parent_of(root), None);
+        // Every controller reaches the root.
+        for c in 0..8 {
+            let anc = topo.ancestors(c);
+            assert_eq!(*anc.last().unwrap(), root);
+            assert_eq!(anc.len(), 3);
+        }
+        assert_eq!(topo.subtree_controllers(root), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_controller_still_has_root() {
+        let topo = TopologyBuilder::linear(1).build();
+        assert_eq!(topo.num_routers(), 1);
+        assert!(topo.root_router().is_some());
+    }
+
+    #[test]
+    fn region_router_is_lowest_common_ancestor() {
+        let topo = TopologyBuilder::linear(8).router_arity(2).build();
+        // Controllers 0,1 share their leaf router.
+        let r01 = topo.region_router(&[0, 1]).unwrap();
+        assert_eq!(topo.children_of(r01), &[0, 1]);
+        // 0 and 2 need the next level.
+        let r02 = topo.region_router(&[0, 2]).unwrap();
+        assert!(topo.subtree_controllers(r02).contains(&0));
+        assert!(topo.subtree_controllers(r02).contains(&2));
+        assert_ne!(r01, r02);
+        // 0 and 7 need the root.
+        assert_eq!(topo.region_router(&[0, 7]), topo.root_router());
+    }
+
+    #[test]
+    fn node_config_links() {
+        let topo = TopologyBuilder::linear(4)
+            .router_arity(2)
+            .neighbor_latency(3)
+            .router_latency(9)
+            .build();
+        let cfg = topo.node_config(1);
+        assert_eq!(cfg.link(0).unwrap().latency, 3);
+        assert_eq!(cfg.link(2).unwrap().latency, 3);
+        for r in topo.ancestors(1) {
+            assert_eq!(cfg.link(r).unwrap().latency, 9);
+            assert_eq!(cfg.link(r).unwrap().kind, hisq_core::LinkKind::Router);
+        }
+        assert_eq!(topo.all_node_configs().len(), 4);
+    }
+
+    #[test]
+    fn latency_lookup() {
+        let topo = TopologyBuilder::linear(4).router_arity(2).build();
+        assert_eq!(topo.latency(0, 1), Some(5));
+        assert_eq!(topo.latency(0, 2), None); // not adjacent
+        let parent = topo.parent_of(0).unwrap();
+        assert_eq!(topo.latency(0, parent), Some(10));
+        assert_eq!(topo.latency(parent, 0), Some(10));
+    }
+
+    #[test]
+    fn addresses_partition_controllers_and_routers() {
+        let topo = TopologyBuilder::grid(3, 3).router_arity(3).build();
+        assert_eq!(topo.num_controllers(), 9);
+        for c in 0..9u16 {
+            assert!(!topo.is_router(c));
+        }
+        for &r in topo.routers() {
+            assert!(topo.is_router(r));
+        }
+    }
+}

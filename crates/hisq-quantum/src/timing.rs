@@ -1,0 +1,91 @@
+//! Operation-duration tables (§6.4.1 of the paper).
+//!
+//! > "In our evaluation, we set 20 ns (40 ns) for single (two)-qubit
+//! > gates, and 300 ns for measurements."
+//!
+//! Durations are quantized to the TCU's 4 ns cycle grid when lowered to
+//! HISQ programs; they are kept in nanoseconds here so the quantum layer
+//! stays independent of controller clocking.
+
+use crate::circuit::Operation;
+use crate::gate::Gate;
+
+/// Fixed operation durations in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateDurations {
+    /// Single-qubit gate duration.
+    pub single_qubit_ns: u64,
+    /// Two-qubit gate duration.
+    pub two_qubit_ns: u64,
+    /// Measurement duration (excitation + acquisition + discrimination).
+    pub measurement_ns: u64,
+    /// Active qubit reset duration.
+    pub reset_ns: u64,
+}
+
+impl GateDurations {
+    /// The paper's evaluation parameters: 20 / 40 / 300 ns.
+    pub const PAPER: GateDurations = GateDurations {
+        single_qubit_ns: 20,
+        two_qubit_ns: 40,
+        measurement_ns: 300,
+        reset_ns: 300,
+    };
+
+    /// Duration of a gate.
+    pub fn gate_ns(&self, gate: Gate) -> u64 {
+        match gate.arity() {
+            1 => self.single_qubit_ns,
+            _ => self.two_qubit_ns,
+        }
+    }
+
+    /// Duration of an arbitrary circuit operation. Barriers take no time.
+    pub fn operation_ns(&self, op: &Operation) -> u64 {
+        match op {
+            Operation::Gate { gate, .. } => self.gate_ns(*gate),
+            Operation::Measure { .. } => self.measurement_ns,
+            Operation::Reset { .. } => self.reset_ns,
+            Operation::Barrier { .. } => 0,
+            Operation::Delay { duration_ns, .. } => *duration_ns,
+        }
+    }
+}
+
+impl Default for GateDurations {
+    fn default() -> GateDurations {
+        GateDurations::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let d = GateDurations::PAPER;
+        assert_eq!(d.gate_ns(Gate::H), 20);
+        assert_eq!(d.gate_ns(Gate::Cz), 40);
+        assert_eq!(
+            d.operation_ns(&Operation::Measure { qubit: 0, clbit: 0 }),
+            300
+        );
+        assert_eq!(
+            d.operation_ns(&Operation::Barrier { qubits: vec![] }),
+            0
+        );
+        assert_eq!(
+            d.operation_ns(&Operation::Delay {
+                qubit: 0,
+                duration_ns: 1234
+            }),
+            1234
+        );
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(GateDurations::default(), GateDurations::PAPER);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-backend agreement: the stabilizer tableau and the dense
+//! state-vector simulator must agree on every Clifford dynamic circuit.
+//!
+//! For random Clifford circuits we compare the *deterministic* structure:
+//! after running the same circuit with the same RNG seed on both
+//! backends, every deterministic measurement must match, and the
+//! stabilizer's `peek_deterministic` must be consistent with state-vector
+//! probabilities (0, 1, or strictly between).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hisq_quantum::{Circuit, Condition, Gate, Stabilizer, StateVector};
+
+/// A gate choice index into the random-circuit alphabet.
+#[derive(Debug, Clone)]
+enum RandomOp {
+    H(usize),
+    S(usize),
+    X(usize),
+    Y(usize),
+    Z(usize),
+    Cx(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+    Measure(usize, usize),
+    CondX(usize, usize),
+}
+
+fn arb_op(n_qubits: usize, n_clbits: usize) -> impl Strategy<Value = RandomOp> {
+    let q = 0..n_qubits;
+    let c = 0..n_clbits;
+    prop_oneof![
+        q.clone().prop_map(RandomOp::H),
+        q.clone().prop_map(RandomOp::S),
+        q.clone().prop_map(RandomOp::X),
+        q.clone().prop_map(RandomOp::Y),
+        q.clone().prop_map(RandomOp::Z),
+        (q.clone(), q.clone()).prop_map(|(a, b)| RandomOp::Cx(a, b)),
+        (q.clone(), q.clone()).prop_map(|(a, b)| RandomOp::Cz(a, b)),
+        (q.clone(), q.clone()).prop_map(|(a, b)| RandomOp::Swap(a, b)),
+        (q.clone(), c.clone()).prop_map(|(a, b)| RandomOp::Measure(a, b)),
+        (q, c).prop_map(|(a, b)| RandomOp::CondX(a, b)),
+    ]
+}
+
+fn build_circuit(n_qubits: usize, n_clbits: usize, ops: &[RandomOp]) -> Circuit {
+    let mut circuit = Circuit::new(n_qubits, n_clbits);
+    for op in ops {
+        match *op {
+            RandomOp::H(q) => {
+                circuit.h(q);
+            }
+            RandomOp::S(q) => {
+                circuit.s(q);
+            }
+            RandomOp::X(q) => {
+                circuit.x(q);
+            }
+            RandomOp::Y(q) => {
+                circuit.y(q);
+            }
+            RandomOp::Z(q) => {
+                circuit.z(q);
+            }
+            RandomOp::Cx(a, b) if a != b => {
+                circuit.cx(a, b);
+            }
+            RandomOp::Cz(a, b) if a != b => {
+                circuit.cz(a, b);
+            }
+            RandomOp::Swap(a, b) if a != b => {
+                circuit.gate(Gate::Swap, &[a, b]);
+            }
+            RandomOp::Cx(..) | RandomOp::Cz(..) | RandomOp::Swap(..) => {}
+            RandomOp::Measure(q, c) => {
+                circuit.measure(q, c);
+            }
+            RandomOp::CondX(q, c) => {
+                circuit.x_if(q, Condition::bit(c, true));
+            }
+        }
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Wherever the tableau claims a deterministic outcome, the
+    /// state-vector probability must agree exactly.
+    #[test]
+    fn deterministic_structure_agrees(
+        ops in proptest::collection::vec(arb_op(4, 3), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let circuit = build_circuit(4, 3, &ops);
+        prop_assume!(circuit.is_clifford());
+
+        // Execute instruction-by-instruction on both backends, feeding
+        // the stabilizer's measurement outcomes into the state vector via
+        // collapse checks: we run the stabilizer first, then verify each
+        // deterministic claim against the state vector.
+        let mut tab = Stabilizer::new(4);
+        let mut sv = StateVector::new(4);
+        let mut reg_tab = vec![false; 3];
+        let mut reg_sv = vec![false; 3];
+        let mut rng_tab = StdRng::seed_from_u64(seed);
+
+        for instruction in circuit.instructions() {
+            // Check deterministic agreement on every qubit *before* the op.
+            for q in 0..4 {
+                if let Some(v) = tab.peek_deterministic(q) {
+                    let p1 = sv.prob_one(q);
+                    prop_assert!(
+                        (p1 - f64::from(u8::from(v))).abs() < 1e-9,
+                        "tableau says q{q} deterministic={v}, sv P(1)={p1}"
+                    );
+                } else {
+                    let p1 = sv.prob_one(q);
+                    prop_assert!(
+                        p1 > 1e-9 && p1 < 1.0 - 1e-9,
+                        "tableau says q{q} random, sv P(1)={p1}"
+                    );
+                }
+            }
+            // Advance both backends; measurements reuse the tableau's
+            // outcome in the state vector by collapsing consistently.
+            match (&instruction.op, &instruction.condition) {
+                (hisq_quantum::Operation::Measure { qubit, clbit }, cond) => {
+                    let fire = cond.as_ref().is_none_or(|c| c.evaluate(&reg_tab));
+                    if fire {
+                        let outcome = tab.measure(*qubit, &mut rng_tab);
+                        reg_tab[*clbit] = outcome;
+                        // Collapse the state vector to the same branch.
+                        let p1 = sv.prob_one(*qubit);
+                        prop_assert!(
+                            if outcome { p1 > 1e-9 } else { p1 < 1.0 - 1e-9 },
+                            "state vector cannot realize tableau outcome"
+                        );
+                        sv_collapse(&mut sv, *qubit, outcome);
+                        reg_sv[*clbit] = outcome;
+                    }
+                }
+                _ => {
+                    tab.execute(instruction, &mut reg_tab, &mut rng_tab);
+                    let mut no_rng = StdRng::seed_from_u64(0);
+                    sv.execute(instruction, &mut reg_sv, &mut no_rng);
+                }
+            }
+        }
+    }
+}
+
+/// Projects the state vector onto `outcome` for `qubit` by measuring
+/// with a forced branch: apply the projector and renormalize.
+fn sv_collapse(sv: &mut StateVector, qubit: usize, outcome: bool) {
+    // Use the public API: measuring with an RNG that forces the branch.
+    // Instead of RNG games we rebuild via fidelity-preserving trick:
+    // repeatedly measure with fresh seeds until the desired branch occurs.
+    // Branch probability is ≥ 1e-9 by the caller's check; for test
+    // robustness we try many seeds.
+    for seed in 0..4096u64 {
+        let mut candidate = sv.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if candidate.measure(qubit, &mut rng) == outcome {
+            *sv = candidate;
+            return;
+        }
+    }
+    panic!("could not realize measurement branch with probability > 0");
+}

@@ -1,0 +1,209 @@
+//! Pluggable quantum backends supplying measurement outcomes to the
+//! simulated control system.
+//!
+//! Timing experiments (Figure 15/16) need only a *distribution* of
+//! feedback branches, so they use [`RandomBackend`] or [`FixedBackend`].
+//! Correctness verification replays every committed gate into a real
+//! simulator ([`StabilizerBackend`] or [`StateVectorBackend`]) so that
+//! measurement results are quantum-mechanically consistent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hisq_quantum::{Gate, Stabilizer, StateVector};
+
+/// A source of measurement outcomes that optionally tracks gates.
+pub trait QuantumBackend {
+    /// Applies a committed gate (no-op for statistical backends).
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]);
+
+    /// Measures `qubit` in the Z basis, collapsing backend state if any.
+    fn measure(&mut self, qubit: usize) -> bool;
+
+    /// Resets `qubit` to |0⟩ (no-op for statistical backends).
+    fn reset(&mut self, qubit: usize);
+}
+
+/// Statistically independent outcomes with probability `p_one` of 1.
+///
+/// # Example
+///
+/// ```
+/// use hisq_sim::{QuantumBackend, RandomBackend};
+///
+/// let mut backend = RandomBackend::new(7, 0.5);
+/// let _bit = backend.measure(3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomBackend {
+    rng: StdRng,
+    p_one: f64,
+}
+
+impl RandomBackend {
+    /// Creates a seeded random backend.
+    pub fn new(seed: u64, p_one: f64) -> RandomBackend {
+        RandomBackend {
+            rng: StdRng::seed_from_u64(seed),
+            p_one: p_one.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl QuantumBackend for RandomBackend {
+    fn apply_gate(&mut self, _gate: Gate, _qubits: &[usize]) {}
+
+    fn measure(&mut self, _qubit: usize) -> bool {
+        self.rng.gen_bool(self.p_one)
+    }
+
+    fn reset(&mut self, _qubit: usize) {}
+}
+
+/// Scripted outcomes: per-qubit FIFO with a default for exhaustion.
+#[derive(Debug, Clone, Default)]
+pub struct FixedBackend {
+    outcomes: std::collections::BTreeMap<usize, std::collections::VecDeque<bool>>,
+    default: bool,
+}
+
+impl FixedBackend {
+    /// Creates a backend returning `default` unless scripted otherwise.
+    pub fn new(default: bool) -> FixedBackend {
+        FixedBackend {
+            outcomes: Default::default(),
+            default,
+        }
+    }
+
+    /// Scripts the next outcomes of `qubit` (consumed FIFO).
+    pub fn script(&mut self, qubit: usize, outcomes: impl IntoIterator<Item = bool>) {
+        self.outcomes.entry(qubit).or_default().extend(outcomes);
+    }
+}
+
+impl QuantumBackend for FixedBackend {
+    fn apply_gate(&mut self, _gate: Gate, _qubits: &[usize]) {}
+
+    fn measure(&mut self, qubit: usize) -> bool {
+        self.outcomes
+            .get_mut(&qubit)
+            .and_then(|q| q.pop_front())
+            .unwrap_or(self.default)
+    }
+
+    fn reset(&mut self, _qubit: usize) {}
+}
+
+/// Stabilizer-tableau backend for Clifford workloads at QEC scale.
+#[derive(Debug, Clone)]
+pub struct StabilizerBackend {
+    tableau: Stabilizer,
+    rng: StdRng,
+}
+
+impl StabilizerBackend {
+    /// Creates a seeded tableau over `num_qubits` qubits in |0…0⟩.
+    pub fn new(num_qubits: usize, seed: u64) -> StabilizerBackend {
+        StabilizerBackend {
+            tableau: Stabilizer::new(num_qubits),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Read-only access to the tableau (verification aid).
+    pub fn tableau(&self) -> &Stabilizer {
+        &self.tableau
+    }
+}
+
+impl QuantumBackend for StabilizerBackend {
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.tableau.apply_gate(gate, qubits);
+    }
+
+    fn measure(&mut self, qubit: usize) -> bool {
+        self.tableau.measure(qubit, &mut self.rng)
+    }
+
+    fn reset(&mut self, qubit: usize) {
+        self.tableau.reset(qubit, &mut self.rng);
+    }
+}
+
+/// Dense state-vector backend for small non-Clifford workloads.
+#[derive(Debug, Clone)]
+pub struct StateVectorBackend {
+    state: StateVector,
+    rng: StdRng,
+}
+
+impl StateVectorBackend {
+    /// Creates a seeded state vector over `num_qubits` qubits in |0…0⟩.
+    pub fn new(num_qubits: usize, seed: u64) -> StateVectorBackend {
+        StateVectorBackend {
+            state: StateVector::new(num_qubits),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Read-only access to the state (verification aid).
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+}
+
+impl QuantumBackend for StateVectorBackend {
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.state.apply_gate(gate, qubits);
+    }
+
+    fn measure(&mut self, qubit: usize) -> bool {
+        self.state.measure(qubit, &mut self.rng)
+    }
+
+    fn reset(&mut self, qubit: usize) {
+        self.state.reset(qubit, &mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_backend_is_seed_deterministic() {
+        let mut a = RandomBackend::new(1, 0.5);
+        let mut b = RandomBackend::new(1, 0.5);
+        for q in 0..32 {
+            assert_eq!(a.measure(q), b.measure(q));
+        }
+    }
+
+    #[test]
+    fn fixed_backend_scripts_then_defaults() {
+        let mut f = FixedBackend::new(false);
+        f.script(2, [true, true]);
+        assert!(f.measure(2));
+        assert!(f.measure(2));
+        assert!(!f.measure(2)); // exhausted → default
+        assert!(!f.measure(5)); // unscripted → default
+    }
+
+    #[test]
+    fn stabilizer_backend_tracks_gates() {
+        let mut s = StabilizerBackend::new(2, 3);
+        s.apply_gate(Gate::X, &[0]);
+        s.apply_gate(Gate::Cx, &[0, 1]);
+        assert!(s.measure(0));
+        assert!(s.measure(1));
+    }
+
+    #[test]
+    fn statevector_backend_tracks_gates() {
+        let mut s = StateVectorBackend::new(2, 3);
+        s.apply_gate(Gate::X, &[1]);
+        assert!(!s.measure(0));
+        assert!(s.measure(1));
+    }
+}

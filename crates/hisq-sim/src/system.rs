@@ -1,0 +1,1005 @@
+//! The distributed system model and its discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::error::Error;
+use std::fmt;
+
+use hisq_core::{
+    BlockReason, Controller, NodeAddr, NodeConfig, OutboundMessage, Status, MEAS_FIFO_ADDR,
+};
+use hisq_isa::{Inst, CYCLE_NS};
+use hisq_net::{Envelope, Payload, Router, RouterAction, Topology};
+use hisq_quantum::{ExposureLedger, Gate, GateDurations};
+
+use crate::backend::{QuantumBackend, RandomBackend};
+use crate::telf::Telf;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Deliver region max-time broadcasts with zero latency (the paper's
+    /// §4.4 accounting — see the crate docs). Default `true`.
+    pub idealize_downlink: bool,
+    /// Latency for classical `send`s between nodes without a calibrated
+    /// link, in cycles. Default 25 (100 ns).
+    pub default_classical_latency: u64,
+    /// Latency for tree edges when no topology is attached. Default 10.
+    pub default_router_latency: u64,
+    /// Abort the run after this many processed events (runaway guard).
+    pub max_events: u64,
+    /// Operation durations used for exposure accounting.
+    pub durations: GateDurations,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            idealize_downlink: true,
+            default_classical_latency: 25,
+            default_router_latency: 10,
+            max_events: 200_000_000,
+            durations: GateDurations::PAPER,
+        }
+    }
+}
+
+/// A quantum action bound to a `(node, port, codeword)` commit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantumAction {
+    /// Apply a gate to the bound qubits.
+    Gate {
+        /// The gate.
+        gate: Gate,
+        /// Target qubits.
+        qubits: Vec<usize>,
+    },
+    /// Trigger a measurement; the discrimination result is delivered to
+    /// the committing controller's measurement FIFO after the
+    /// measurement duration.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+    },
+    /// Reset a qubit to |0⟩ (active reset pulse).
+    Reset {
+        /// The reset qubit.
+        qubit: usize,
+    },
+}
+
+/// A port-level measurement binding: *any* codeword committed to the
+/// port triggers a measurement of `qubit` (the DQCtrl readout boards
+/// trigger acquisition per channel, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasBinding {
+    /// The measured qubit.
+    pub qubit: usize,
+    /// Cycles from trigger to result delivery (readout + integration +
+    /// discrimination).
+    pub result_latency: u64,
+}
+
+/// A broadcast hub: any classical message sent to the hub's address is
+/// re-delivered to every subscriber after `down_latency` — the star
+/// topology of the lock-step baseline (§6.4.3), where a central
+/// controller broadcasts each measurement result to all controllers at a
+/// constant latency independent of system size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hub {
+    /// Controllers receiving every broadcast (usually all of them).
+    pub subscribers: Vec<NodeAddr>,
+    /// Constant hub→subscriber latency in cycles.
+    pub down_latency: u64,
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted (runaway program guard).
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A node address was used twice.
+    DuplicateAddr(NodeAddr),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "event budget of {budget} exceeded (runaway program?)")
+            }
+            SimError::DuplicateAddr(a) => write!(f, "node address {a} registered twice"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Post-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// `true` if every controller reached `stop`.
+    pub all_halted: bool,
+    /// Controllers left blocked (deadlock diagnosis).
+    pub blocked: Vec<(NodeAddr, BlockReason)>,
+    /// Controllers that faulted, with messages.
+    pub faulted: Vec<(NodeAddr, String)>,
+    /// Latest wall-clock cycle reached by any controller.
+    pub makespan_cycles: u64,
+    /// Makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Gate-replay ordering violations (0 for well-formed programs).
+    pub causality_warnings: u64,
+    /// Total TCU stall cycles across all controllers.
+    pub total_stall_cycles: u64,
+    /// Total instructions retired across all controllers.
+    pub total_instructions: u64,
+    /// Total `sync` instructions retired.
+    pub total_syncs: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Deliver(Envelope),
+    MeasResolve {
+        node: NodeAddr,
+        qubit: usize,
+        trigger_cycle: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueuedEvent {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A backend operation to replay in commit-cycle order.
+#[derive(Debug, Clone, PartialEq)]
+enum ReplayAction {
+    Gate(Gate, Vec<usize>),
+    Reset(usize),
+}
+
+/// A pending gate waiting to be replayed into the quantum backend in
+/// commit-cycle order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingGate {
+    cycle: u64,
+    seq: u64,
+    gate_index: usize,
+}
+
+impl Ord for PendingGate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl PartialOrd for PendingGate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The full Distributed-HISQ system under simulation.
+pub struct System {
+    config: SimConfig,
+    controllers: BTreeMap<NodeAddr, Controller>,
+    node_configs: BTreeMap<NodeAddr, NodeConfig>,
+    routers: BTreeMap<NodeAddr, Router>,
+    topology: Option<Topology>,
+    backend: Box<dyn QuantumBackend>,
+    bindings: BTreeMap<(NodeAddr, u32, u32), QuantumAction>,
+    meas_ports: BTreeMap<(NodeAddr, u32), MeasBinding>,
+    hubs: BTreeMap<NodeAddr, Hub>,
+
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    commit_watermark: BTreeMap<NodeAddr, usize>,
+    gate_heap: BinaryHeap<Reverse<PendingGate>>,
+    gate_store: Vec<ReplayAction>,
+    applied_through: u64,
+    causality_warnings: u64,
+    exposure: ExposureLedger,
+    events_processed: u64,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("controllers", &self.controllers.len())
+            .field("routers", &self.routers.len())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for System {
+    fn default() -> System {
+        System::new()
+    }
+}
+
+impl System {
+    /// Creates an empty system with a seeded 50/50 random backend.
+    pub fn new() -> System {
+        System::with_config(SimConfig::default())
+    }
+
+    /// Creates an empty system with explicit engine configuration.
+    pub fn with_config(config: SimConfig) -> System {
+        System {
+            config,
+            controllers: BTreeMap::new(),
+            node_configs: BTreeMap::new(),
+            routers: BTreeMap::new(),
+            topology: None,
+            backend: Box::new(RandomBackend::new(0, 0.5)),
+            bindings: BTreeMap::new(),
+            meas_ports: BTreeMap::new(),
+            hubs: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            commit_watermark: BTreeMap::new(),
+            gate_heap: BinaryHeap::new(),
+            gate_store: Vec::new(),
+            applied_through: 0,
+            causality_warnings: 0,
+            exposure: ExposureLedger::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Builds a system from a topology: one controller per program, plus
+    /// every router of the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateAddr`] if `programs` repeats an
+    /// address.
+    pub fn from_topology(
+        topology: &Topology,
+        programs: BTreeMap<NodeAddr, Vec<Inst>>,
+    ) -> Result<System, SimError> {
+        let mut system = System::new();
+        for (addr, program) in programs {
+            let config = topology.node_config(addr);
+            system.try_add_controller(config, program)?;
+        }
+        for &router_addr in topology.routers() {
+            let router = Router::new(
+                router_addr,
+                topology.parent_of(router_addr),
+                topology.children_of(router_addr).to_vec(),
+            );
+            system.add_router(router);
+        }
+        system.topology = Some(topology.clone());
+        Ok(system)
+    }
+
+    /// Adds a controller node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate address; use [`System::try_add_controller`]
+    /// for fallible insertion.
+    pub fn add_controller(&mut self, config: NodeConfig, program: Vec<Inst>) {
+        self.try_add_controller(config, program)
+            .expect("duplicate controller address");
+    }
+
+    /// Fallible [`System::add_controller`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateAddr`] when the address is taken.
+    pub fn try_add_controller(
+        &mut self,
+        config: NodeConfig,
+        program: Vec<Inst>,
+    ) -> Result<(), SimError> {
+        let addr = config.addr;
+        if self.controllers.contains_key(&addr) || self.routers.contains_key(&addr) {
+            return Err(SimError::DuplicateAddr(addr));
+        }
+        self.node_configs.insert(addr, config.clone());
+        self.controllers.insert(addr, Controller::new(config, program));
+        self.commit_watermark.insert(addr, 0);
+        Ok(())
+    }
+
+    /// Adds a router node.
+    pub fn add_router(&mut self, router: Router) {
+        self.routers.insert(router.addr(), router);
+    }
+
+    /// Adds a broadcast hub at `addr` (see [`Hub`]).
+    pub fn add_hub(&mut self, addr: NodeAddr, hub: Hub) {
+        self.hubs.insert(addr, hub);
+    }
+
+    /// Replaces the quantum backend (default: seeded random outcomes).
+    pub fn set_backend(&mut self, backend: impl QuantumBackend + 'static) {
+        self.backend = Box::new(backend);
+    }
+
+    /// Binds a `(node, port, codeword)` commit to a quantum action.
+    pub fn bind(&mut self, node: NodeAddr, port: u32, codeword: u32, action: QuantumAction) {
+        self.bindings.insert((node, port, codeword), action);
+    }
+
+    /// Binds every commit on `(node, port)` to a measurement trigger.
+    pub fn bind_measurement_port(&mut self, node: NodeAddr, port: u32, binding: MeasBinding) {
+        self.meas_ports.insert((node, port), binding);
+    }
+
+    /// Immutable access to a controller (assertions, TELF, registers).
+    pub fn controller(&self, addr: NodeAddr) -> Option<&Controller> {
+        self.controllers.get(&addr)
+    }
+
+    /// Mutable access to a controller (e.g. preloading registers).
+    pub fn controller_mut(&mut self, addr: NodeAddr) -> Option<&mut Controller> {
+        self.controllers.get_mut(&addr)
+    }
+
+    /// The aggregated TELF trace of all controllers.
+    pub fn telf(&self) -> Telf {
+        Telf::from_commits(
+            self.controllers
+                .iter()
+                .map(|(&addr, ctrl)| (addr, ctrl.commits())),
+        )
+    }
+
+    /// Per-qubit exposure accounting (drives the Figure 16 fidelity
+    /// model).
+    pub fn exposure(&self) -> &ExposureLedger {
+        &self.exposure
+    }
+
+    /// Read-only access to the quantum backend.
+    pub fn backend(&self) -> &dyn QuantumBackend {
+        self.backend.as_ref()
+    }
+
+    fn push_event(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn link_latency(&self, from: NodeAddr, to: NodeAddr) -> u64 {
+        if let Some(cfg) = self.node_configs.get(&from) {
+            if let Some(link) = cfg.link(to) {
+                return link.latency;
+            }
+        }
+        if let Some(topo) = &self.topology {
+            if let Some(l) = topo.latency(from, to) {
+                return l;
+            }
+            // Unlinked controller pairs: hop-by-hop over the mesh, so
+            // Distributed-HISQ's classical latency grows with distance.
+            let nc = topo.num_controllers() as u16;
+            if from < nc && to < nc {
+                return topo.classical_latency(from, to);
+            }
+        }
+        self.config.default_classical_latency
+    }
+
+    fn route(&mut self, from: NodeAddr, message: OutboundMessage) {
+        match message {
+            OutboundMessage::SyncPulse { to, sent_at } => {
+                let at = sent_at + self.link_latency(from, to);
+                self.push_event(
+                    at,
+                    EventKind::Deliver(Envelope::new(from, to, Payload::SyncPulse, at)),
+                );
+            }
+            OutboundMessage::BookTime {
+                router: target,
+                time_point,
+                sent_at,
+            } => {
+                // First hop: the sender's parent in the tree (or the
+                // target directly when no topology is attached).
+                let hop = self
+                    .topology
+                    .as_ref()
+                    .and_then(|t| t.parent_of(from))
+                    .unwrap_or(target);
+                let at = sent_at + self.link_latency(from, hop);
+                self.push_event(
+                    at,
+                    EventKind::Deliver(Envelope::new(
+                        from,
+                        hop,
+                        Payload::BookTime { target, time_point },
+                        at,
+                    )),
+                );
+            }
+            OutboundMessage::Classical { to, value, sent_at } => {
+                let at = sent_at + self.link_latency(from, to);
+                self.push_event(
+                    at,
+                    EventKind::Deliver(Envelope::new(from, to, Payload::Classical { value }, at)),
+                );
+            }
+        }
+    }
+
+    /// Applies buffered gates with commit cycle ≤ `cycle` to the backend.
+    fn apply_gates_through(&mut self, cycle: u64) {
+        while let Some(Reverse(top)) = self.gate_heap.peek() {
+            if top.cycle > cycle {
+                break;
+            }
+            let Reverse(pending) = self.gate_heap.pop().expect("peeked");
+            match self.gate_store[pending.gate_index].clone() {
+                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
+                ReplayAction::Reset(qubit) => self.backend.reset(qubit),
+            }
+            self.applied_through = self.applied_through.max(pending.cycle);
+        }
+    }
+
+    /// Harvests commits a controller produced during its last step:
+    /// exposure accounting, gate replay buffering, measurement triggers.
+    fn harvest_commits(&mut self, addr: NodeAddr) {
+        let watermark = self.commit_watermark.get(&addr).copied().unwrap_or(0);
+        let new: Vec<hisq_core::CommitRecord> = {
+            let ctrl = self.controllers.get(&addr).expect("controller exists");
+            ctrl.commits()[watermark..].to_vec()
+        };
+        self.commit_watermark.insert(addr, watermark + new.len());
+
+        for commit in new {
+            let key = (addr, commit.port, commit.codeword);
+            if let Some(action) = self.bindings.get(&key).cloned() {
+                match action {
+                    QuantumAction::Gate { gate, qubits } => {
+                        let duration = self.config.durations.gate_ns(gate);
+                        for &q in &qubits {
+                            self.exposure.record_span(
+                                q,
+                                commit.cycle * CYCLE_NS,
+                                commit.cycle * CYCLE_NS + duration,
+                            );
+                        }
+                        self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
+                    }
+                    QuantumAction::Measure { qubit } => {
+                        let latency =
+                            self.config.durations.measurement_ns / CYCLE_NS;
+                        self.schedule_measurement(addr, qubit, commit.cycle, latency);
+                    }
+                    QuantumAction::Reset { qubit } => {
+                        let duration = self.config.durations.reset_ns;
+                        self.exposure.record_span(
+                            qubit,
+                            commit.cycle * CYCLE_NS,
+                            commit.cycle * CYCLE_NS + duration,
+                        );
+                        self.replay(commit.cycle, ReplayAction::Reset(qubit));
+                    }
+                }
+                continue;
+            }
+            if let Some(binding) = self.meas_ports.get(&(addr, commit.port)).copied() {
+                self.schedule_measurement(addr, binding.qubit, commit.cycle, binding.result_latency);
+            }
+        }
+    }
+
+    /// Buffers a backend operation for in-order replay; stragglers
+    /// behind the replay frontier are applied immediately and counted.
+    fn replay(&mut self, cycle: u64, action: ReplayAction) {
+        if cycle < self.applied_through {
+            self.causality_warnings += 1;
+            match action {
+                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
+                ReplayAction::Reset(qubit) => self.backend.reset(qubit),
+            }
+            return;
+        }
+        let gate_index = self.gate_store.len();
+        self.gate_store.push(action);
+        let seq = self.seq;
+        self.seq += 1;
+        self.gate_heap.push(Reverse(PendingGate {
+            cycle,
+            seq,
+            gate_index,
+        }));
+    }
+
+    fn schedule_measurement(
+        &mut self,
+        node: NodeAddr,
+        qubit: usize,
+        trigger_cycle: u64,
+        result_latency: u64,
+    ) {
+        self.exposure.record_span(
+            qubit,
+            trigger_cycle * CYCLE_NS,
+            (trigger_cycle + result_latency) * CYCLE_NS,
+        );
+        self.push_event(
+            trigger_cycle + result_latency,
+            EventKind::MeasResolve {
+                node,
+                qubit,
+                trigger_cycle,
+            },
+        );
+    }
+
+    /// Steps one controller until it blocks or halts, routing its
+    /// messages and harvesting its commits.
+    fn step_controller(&mut self, addr: NodeAddr) {
+        let mut outbox = Vec::new();
+        {
+            let ctrl = self.controllers.get_mut(&addr).expect("controller exists");
+            let _ = ctrl.step(&mut outbox);
+        }
+        self.harvest_commits(addr);
+        for message in outbox {
+            self.route(addr, message);
+        }
+    }
+
+    fn deliver(&mut self, envelope: Envelope) {
+        let Envelope {
+            from,
+            to,
+            payload,
+            deliver_at,
+        } = envelope;
+        if self.controllers.contains_key(&to) {
+            {
+                let ctrl = self.controllers.get_mut(&to).expect("checked");
+                match payload {
+                    Payload::SyncPulse => ctrl.deliver_sync_pulse(from, deliver_at),
+                    Payload::MaxTime { t_m, target } => ctrl.deliver_max_time(target, t_m),
+                    Payload::Classical { value } => ctrl.deliver_classical(from, value, deliver_at),
+                    Payload::BookTime { .. } => {
+                        // Controllers never coordinate regions; drop.
+                    }
+                }
+            }
+            self.step_controller(to);
+        } else if let Some(hub) = self.hubs.get(&to).cloned() {
+            if let Payload::Classical { value } = payload {
+                for subscriber in hub.subscribers {
+                    let at = deliver_at + hub.down_latency;
+                    self.push_event(
+                        at,
+                        EventKind::Deliver(Envelope::new(
+                            to,
+                            subscriber,
+                            Payload::Classical { value },
+                            at,
+                        )),
+                    );
+                }
+            }
+        } else if let Some(router) = self.routers.get_mut(&to) {
+            let actions = match payload {
+                Payload::BookTime { target, time_point } => {
+                    router.deliver_book_time(from, target, time_point, deliver_at)
+                }
+                Payload::MaxTime { t_m, target } => router.deliver_max_time(t_m, target),
+                Payload::SyncPulse | Payload::Classical { .. } => Vec::new(),
+            };
+            for action in actions {
+                match action {
+                    RouterAction::ForwardUp {
+                        parent,
+                        target,
+                        time_point,
+                        sent_at,
+                    } => {
+                        let at = sent_at + self.link_latency(to, parent);
+                        self.push_event(
+                            at,
+                            EventKind::Deliver(Envelope::new(
+                                to,
+                                parent,
+                                Payload::BookTime { target, time_point },
+                                at,
+                            )),
+                        );
+                    }
+                    RouterAction::Broadcast { children, t_m, target } => {
+                        for child in children {
+                            let at = if self.config.idealize_downlink {
+                                deliver_at
+                            } else {
+                                deliver_at + self.link_latency(to, child)
+                            };
+                            self.push_event(
+                                at,
+                                EventKind::Deliver(Envelope::new(
+                                    to,
+                                    child,
+                                    Payload::MaxTime { t_m, target },
+                                    at,
+                                )),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Unknown destinations are dropped (configuration error surfaces
+        // as a deadlocked sender in the report).
+    }
+
+    /// Runs the system to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] if the configured event
+    /// budget is exhausted (e.g. a program loops forever emitting
+    /// messages).
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        let addrs: Vec<NodeAddr> = self.controllers.keys().copied().collect();
+        for addr in addrs {
+            self.step_controller(addr);
+        }
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.events_processed += 1;
+            if self.events_processed > self.config.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    budget: self.config.max_events,
+                });
+            }
+            match event.kind {
+                EventKind::Deliver(envelope) => self.deliver(envelope),
+                EventKind::MeasResolve {
+                    node,
+                    qubit,
+                    trigger_cycle,
+                } => {
+                    self.apply_gates_through(trigger_cycle);
+                    let outcome = self.backend.measure(qubit);
+                    if let Some(ctrl) = self.controllers.get_mut(&node) {
+                        ctrl.deliver_classical(MEAS_FIFO_ADDR, u32::from(outcome), event.at);
+                    }
+                    self.step_controller(node);
+                }
+            }
+        }
+        // Flush any trailing gates so post-run backend state is final.
+        self.apply_gates_through(u64::MAX);
+        Ok(self.report())
+    }
+
+    fn report(&self) -> SimReport {
+        let mut blocked = Vec::new();
+        let mut faulted = Vec::new();
+        let mut makespan = 0;
+        let mut total_stall = 0;
+        let mut total_instructions = 0;
+        let mut total_syncs = 0;
+        for (&addr, ctrl) in &self.controllers {
+            match ctrl.status() {
+                Status::Blocked(pending) => {
+                    // Re-derive the public reason from the pending op.
+                    let reason = match pending {
+                        hisq_core::controller::PendingOp::SyncPulse { partner, .. } => {
+                            BlockReason::AwaitSyncPulse { partner: *partner }
+                        }
+                        hisq_core::controller::PendingOp::MaxTime { router, .. } => {
+                            BlockReason::AwaitMaxTime { router: *router }
+                        }
+                        hisq_core::controller::PendingOp::Recv { source, .. } => {
+                            BlockReason::AwaitMessage { source: *source }
+                        }
+                    };
+                    blocked.push((addr, reason));
+                }
+                Status::Faulted(message) => faulted.push((addr, message.clone())),
+                Status::Halted | Status::Ready => {}
+            }
+            makespan = makespan.max(ctrl.now_wall());
+            total_stall += ctrl.total_stall();
+            total_instructions += ctrl.stats().executed;
+            total_syncs += ctrl.stats().syncs;
+        }
+        let all_halted = blocked.is_empty()
+            && faulted.is_empty()
+            && self
+                .controllers
+                .values()
+                .all(|c| matches!(c.status(), Status::Halted));
+        SimReport {
+            all_halted,
+            blocked,
+            faulted,
+            makespan_cycles: makespan,
+            makespan_ns: makespan * CYCLE_NS,
+            events_processed: self.events_processed,
+            causality_warnings: self.causality_warnings,
+            total_stall_cycles: total_stall,
+            total_instructions,
+            total_syncs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FixedBackend, StabilizerBackend};
+    use hisq_isa::Assembler;
+    use hisq_net::TopologyBuilder;
+
+    fn asm(src: &str) -> Vec<Inst> {
+        Assembler::new().assemble(src).unwrap().insts().to_vec()
+    }
+
+    #[test]
+    fn two_node_nearby_sync_aligns_commits() {
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0).with_neighbor(1, 6),
+            asm("waiti 40\nsync 1\nwaiti 6\ncw.i.i 0, 1\nstop"),
+        );
+        system.add_controller(
+            NodeConfig::new(1).with_neighbor(0, 6),
+            asm("waiti 90\nsync 0\nwaiti 6\ncw.i.i 0, 1\nstop"),
+        );
+        let report = system.run().unwrap();
+        assert!(report.all_halted);
+        let telf = system.telf();
+        assert_eq!(telf.alignment((0, 0), (1, 0)), vec![0]);
+        // The later controller (booking 90, T=96) sets the common time.
+        assert_eq!(telf.commits_of(0)[0].cycle, 96);
+    }
+
+    #[test]
+    fn region_sync_through_router_tree() {
+        // Four controllers, arity-2 tree. All sync against the root with
+        // different booking times; all must commit at the same cycle.
+        let topo = TopologyBuilder::linear(4)
+            .router_arity(2)
+            .neighbor_latency(5)
+            .router_latency(10)
+            .build();
+        let root = topo.root_router().unwrap();
+        let mut programs = BTreeMap::new();
+        for (i, delay) in [40u32, 90, 60, 120].iter().enumerate() {
+            let src = format!(
+                "li t0, 30\nwaiti {delay}\nsync {root}, t0\nwaiti 30\ncw.i.i 0, 1\nstop"
+            );
+            programs.insert(i as NodeAddr, asm(&src));
+        }
+        let mut system = System::from_topology(&topo, programs).unwrap();
+        let report = system.run().unwrap();
+        assert!(report.all_halted, "blocked: {:?}", report.blocked);
+        let telf = system.telf();
+        let cycles: Vec<u64> = (0..4u16)
+            .map(|addr| telf.commits_of(addr)[0].cycle)
+            .collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] == w[1]),
+            "region sync must align all commits: {cycles:?}"
+        );
+        // The slowest controller books at ~121 with horizon 30 → T_i ≈
+        // 151; bookings cross two tree hops (≤ 141 + 20), so the region
+        // meets at max(T_i, arrivals).
+        let common = cycles[0];
+        assert!(common >= 151, "common start {common} below slowest T_i");
+    }
+
+    #[test]
+    fn feedback_loop_with_scripted_measurement() {
+        // Controller 0 triggers a measurement on port 4, receives the
+        // result, and pulses port 1 only when the result is 1.
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0),
+            asm("
+                waiti 25
+                cw.i.i 4, 1
+                recv t0, 0xFFF
+                beqz t0, skip
+                waiti 10
+                cw.i.i 1, 1
+            skip:
+                stop
+            "),
+        );
+        system.bind_measurement_port(
+            0,
+            4,
+            MeasBinding {
+                qubit: 3,
+                result_latency: 75,
+            },
+        );
+        let mut backend = FixedBackend::new(false);
+        backend.script(3, [true]);
+        system.set_backend(backend);
+        let report = system.run().unwrap();
+        assert!(report.all_halted);
+        let telf = system.telf();
+        let pulses = telf.channel(0, 1);
+        assert_eq!(pulses.len(), 1, "conditional pulse must fire");
+        // Trigger at 25, result at 100, grid rebases then waits 10.
+        assert!(pulses[0].cycle >= 110);
+    }
+
+    #[test]
+    fn feedback_branch_not_taken() {
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0),
+            asm("
+                waiti 25
+                cw.i.i 4, 1
+                recv t0, 0xFFF
+                beqz t0, skip
+                waiti 10
+                cw.i.i 1, 1
+            skip:
+                stop
+            "),
+        );
+        system.bind_measurement_port(
+            0,
+            4,
+            MeasBinding {
+                qubit: 3,
+                result_latency: 75,
+            },
+        );
+        system.set_backend(FixedBackend::new(false));
+        let report = system.run().unwrap();
+        assert!(report.all_halted);
+        assert!(system.telf().channel(0, 1).is_empty());
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0).with_neighbor(1, 5),
+            asm("sync 1\nstop"),
+        );
+        system.add_controller(NodeConfig::new(1).with_neighbor(0, 5), asm("stop"));
+        let report = system.run().unwrap();
+        assert!(!report.all_halted);
+        assert_eq!(
+            report.blocked,
+            vec![(0, BlockReason::AwaitSyncPulse { partner: 1 })]
+        );
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_programs() {
+        let mut config = SimConfig::default();
+        config.max_events = 100;
+        let mut system = System::with_config(config);
+        // Two controllers bouncing classical messages forever.
+        system.add_controller(
+            NodeConfig::new(0).with_neighbor(1, 2),
+            asm("li t0, 1\nping: send 1, t0\nrecv t0, 1\nj ping"),
+        );
+        system.add_controller(
+            NodeConfig::new(1).with_neighbor(0, 2),
+            asm("pong: recv t0, 0\nsend 0, t0\nj pong"),
+        );
+        assert_eq!(
+            system.run(),
+            Err(SimError::EventBudgetExceeded { budget: 100 })
+        );
+    }
+
+    #[test]
+    fn gate_replay_drives_quantum_backend() {
+        // Bell pair across two controllers: controller 0 applies H then
+        // (virtually) both halves of the CNOT; both measure; outcomes
+        // must agree thanks to the stabilizer backend.
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0).with_neighbor(1, 5),
+            asm("
+                waiti 20
+                cw.i.i 0, 1     # H q0
+                waiti 5
+                cw.i.i 0, 2     # CX q0,q1
+                sync 1
+                waiti 5
+                cw.i.i 2, 1     # measure q0
+                recv t0, 0xFFF
+                stop
+            "),
+        );
+        system.add_controller(
+            NodeConfig::new(1).with_neighbor(0, 5),
+            asm("
+                waiti 20
+                sync 0
+                waiti 5
+                cw.i.i 2, 1     # measure q1
+                recv t0, 0xFFF
+                stop
+            "),
+        );
+        system.bind(
+            0,
+            0,
+            1,
+            QuantumAction::Gate {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+        );
+        system.bind(
+            0,
+            0,
+            2,
+            QuantumAction::Gate {
+                gate: Gate::Cx,
+                qubits: vec![0, 1],
+            },
+        );
+        system.bind(0, 2, 1, QuantumAction::Measure { qubit: 0 });
+        system.bind(1, 2, 1, QuantumAction::Measure { qubit: 1 });
+        system.set_backend(StabilizerBackend::new(2, 1234));
+        let report = system.run().unwrap();
+        assert!(report.all_halted, "{:?}", report);
+        assert_eq!(report.causality_warnings, 0);
+        let m0 = system.controller(0).unwrap().reg(hisq_isa::Reg::parse("t0").unwrap());
+        let m1 = system.controller(1).unwrap().reg(hisq_isa::Reg::parse("t0").unwrap());
+        assert_eq!(m0, m1, "Bell correlations through the full stack");
+    }
+
+    #[test]
+    fn exposure_ledger_tracks_gate_spans() {
+        let mut system = System::new();
+        system.add_controller(
+            NodeConfig::new(0),
+            asm("waiti 10\ncw.i.i 0, 1\nwaiti 100\ncw.i.i 0, 1\nstop"),
+        );
+        system.bind(
+            0,
+            0,
+            1,
+            QuantumAction::Gate {
+                gate: Gate::X,
+                qubits: vec![5],
+            },
+        );
+        system.run().unwrap();
+        // First gate at cycle 10 (40 ns), second at cycle 110 (440 ns) +
+        // 20 ns duration → exposure 40..460 = 420 ns.
+        assert_eq!(system.exposure().exposure_ns(5), 420);
+    }
+}

@@ -1,0 +1,205 @@
+//! TELF — Timing Event Logging Format.
+//!
+//! The paper verifies CACTUS-Light's timing against the FPGA
+//! implementation using TELF traces (§6.4.1). Our TELF aggregates every
+//! codeword commit across the system with its controller address, and
+//! offers the alignment queries behind Figure 13 plus a textual waveform
+//! renderer standing in for the oscilloscope screenshot.
+
+use std::fmt::Write as _;
+
+use hisq_core::{CommitRecord, NodeAddr};
+use hisq_isa::CYCLE_NS;
+
+/// One TELF record: a codeword commit on a specific controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelfRecord {
+    /// The committing controller.
+    pub node: NodeAddr,
+    /// Destination port.
+    pub port: u32,
+    /// Codeword value.
+    pub codeword: u32,
+    /// Commit time in TCU cycles.
+    pub cycle: u64,
+}
+
+impl TelfRecord {
+    /// Commit time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.cycle * CYCLE_NS
+    }
+}
+
+/// An aggregated, time-sorted TELF trace.
+#[derive(Debug, Clone, Default)]
+pub struct Telf {
+    records: Vec<TelfRecord>,
+}
+
+impl Telf {
+    /// Builds a trace from per-controller commit logs.
+    pub fn from_commits<'a>(
+        commits: impl IntoIterator<Item = (NodeAddr, &'a [CommitRecord])>,
+    ) -> Telf {
+        let mut records: Vec<TelfRecord> = commits
+            .into_iter()
+            .flat_map(|(node, list)| {
+                list.iter().map(move |c| TelfRecord {
+                    node,
+                    port: c.port,
+                    codeword: c.codeword,
+                    cycle: c.cycle,
+                })
+            })
+            .collect();
+        records.sort_by_key(|r| (r.cycle, r.node, r.port));
+        Telf { records }
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[TelfRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records committed by one controller, in time order.
+    pub fn commits_of(&self, node: NodeAddr) -> Vec<TelfRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// Records on a specific (controller, port) channel.
+    pub fn channel(&self, node: NodeAddr, port: u32) -> Vec<TelfRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.node == node && r.port == port)
+            .copied()
+            .collect()
+    }
+
+    /// The last commit cycle in the trace (the schedule makespan), or 0.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.cycle).max().unwrap_or(0)
+    }
+
+    /// Pairs the i-th events of two channels and returns their cycle
+    /// differences (`b − a`), the Figure 13 alignment check: for a
+    /// correctly synchronized pair every difference is a constant.
+    pub fn alignment(
+        &self,
+        a: (NodeAddr, u32),
+        b: (NodeAddr, u32),
+    ) -> Vec<i64> {
+        let ea = self.channel(a.0, a.1);
+        let eb = self.channel(b.0, b.1);
+        ea.iter()
+            .zip(&eb)
+            .map(|(x, y)| y.cycle as i64 - x.cycle as i64)
+            .collect()
+    }
+
+    /// Renders channels as ASCII waveforms (one row per channel, one
+    /// column per `resolution` cycles, `|` marking commits) — the
+    /// textual stand-in for the paper's oscilloscope view.
+    pub fn render_waveform(&self, channels: &[(NodeAddr, u32)], resolution: u64) -> String {
+        let resolution = resolution.max(1);
+        let end = self.makespan_cycles();
+        let columns = (end / resolution + 2) as usize;
+        let mut out = String::new();
+        for &(node, port) in channels {
+            let mut row = vec![b'_'; columns];
+            for r in self.channel(node, port) {
+                row[(r.cycle / resolution) as usize] = b'|';
+            }
+            let _ = writeln!(
+                out,
+                "n{node:03}.p{port:02} {}",
+                String::from_utf8(row).expect("ascii row")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telf {
+        let a = [
+            CommitRecord {
+                port: 7,
+                codeword: 1,
+                cycle: 100,
+            },
+            CommitRecord {
+                port: 7,
+                codeword: 1,
+                cycle: 200,
+            },
+        ];
+        let b = [
+            CommitRecord {
+                port: 5,
+                codeword: 1,
+                cycle: 100,
+            },
+            CommitRecord {
+                port: 5,
+                codeword: 1,
+                cycle: 200,
+            },
+        ];
+        Telf::from_commits([(1u16, a.as_slice()), (2u16, b.as_slice())])
+    }
+
+    #[test]
+    fn aggregation_sorts_by_time() {
+        let telf = sample();
+        assert_eq!(telf.len(), 4);
+        assert!(!telf.is_empty());
+        assert!(telf.records().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert_eq!(telf.makespan_cycles(), 200);
+        assert_eq!(telf.records()[0].time_ns(), 400);
+    }
+
+    #[test]
+    fn channel_filtering() {
+        let telf = sample();
+        assert_eq!(telf.commits_of(1).len(), 2);
+        assert_eq!(telf.channel(1, 7).len(), 2);
+        assert_eq!(telf.channel(1, 5).len(), 0);
+    }
+
+    #[test]
+    fn alignment_of_synchronized_channels_is_constant() {
+        let telf = sample();
+        let diffs = telf.alignment((1, 7), (2, 5));
+        assert_eq!(diffs, vec![0, 0]);
+    }
+
+    #[test]
+    fn waveform_rendering() {
+        let telf = sample();
+        let art = telf.render_waveform(&[(1, 7), (2, 5)], 50);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('|'));
+        // Both channels pulse in the same columns.
+        let strip = |s: &str| s.split_whitespace().nth(1).unwrap().to_string();
+        assert_eq!(strip(lines[0]), strip(lines[1]));
+    }
+}

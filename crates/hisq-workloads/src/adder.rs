@@ -1,0 +1,138 @@
+//! VBE ripple-carry adder (Vedral–Barenco–Ekert), the construction
+//! behind QASMBench's large `adder_n*` instances (3n+1 qubits).
+//!
+//! Registers are interleaved per bit position for locality:
+//! `c_i = 3i`, `a_i = 3i + 1`, `b_i = 3i + 2`, with the final carry at
+//! `3n`. The adder computes `b ← a + b (mod 2^n)` with the carry-out in
+//! qubit `3n`.
+
+use hisq_quantum::Circuit;
+
+use crate::toffoli::ccx;
+
+fn c(i: usize) -> usize {
+    3 * i
+}
+
+fn a(i: usize) -> usize {
+    3 * i + 1
+}
+
+fn b(i: usize) -> usize {
+    3 * i + 2
+}
+
+/// The CARRY block of the VBE adder.
+fn carry(circuit: &mut Circuit, ci: usize, ai: usize, bi: usize, cnext: usize) {
+    ccx(circuit, ai, bi, cnext);
+    circuit.cx(ai, bi);
+    ccx(circuit, ci, bi, cnext);
+}
+
+/// The inverse CARRY block.
+fn carry_dg(circuit: &mut Circuit, ci: usize, ai: usize, bi: usize, cnext: usize) {
+    ccx(circuit, ci, bi, cnext);
+    circuit.cx(ai, bi);
+    ccx(circuit, ai, bi, cnext);
+}
+
+/// The SUM block.
+fn sum(circuit: &mut Circuit, ci: usize, ai: usize, bi: usize) {
+    circuit.cx(ai, bi);
+    circuit.cx(ci, bi);
+}
+
+/// Builds an `n`-bit VBE adder computing `b ← a + b`, with the inputs
+/// preloaded via X gates from `a_value` and `b_value`.
+///
+/// Total qubits: `3n + 1`. The result appears in the `b` register
+/// (qubits `3i + 2`) with the carry-out at `3n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or an input value needs more than `n` bits.
+pub fn vbe_adder(n: usize, a_value: u64, b_value: u64) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    assert!(n >= 64 || a_value < (1u64 << n), "a_value must fit {n} bits");
+    assert!(n >= 64 || b_value < (1u64 << n), "b_value must fit {n} bits");
+    let mut circuit = Circuit::named(format!("adder_n{}", 3 * n + 1), 3 * n + 1, n + 1);
+
+    // Input bits beyond u64 width are zero.
+    for i in 0..n.min(64) {
+        if a_value >> i & 1 == 1 {
+            circuit.x(a(i));
+        }
+        if b_value >> i & 1 == 1 {
+            circuit.x(b(i));
+        }
+    }
+
+    // Forward carry chain.
+    for i in 0..n {
+        let cnext = if i + 1 < n { c(i + 1) } else { 3 * n };
+        carry(&mut circuit, c(i), a(i), b(i), cnext);
+    }
+    circuit.cx(a(n - 1), b(n - 1));
+    sum(&mut circuit, c(n - 1), a(n - 1), b(n - 1));
+    // Ripple back, producing sums.
+    for i in (0..n - 1).rev() {
+        carry_dg(&mut circuit, c(i), a(i), b(i), c(i + 1));
+        sum(&mut circuit, c(i), a(i), b(i));
+    }
+
+    // Read out the sum and carry.
+    for i in 0..n {
+        circuit.measure(b(i), i);
+    }
+    circuit.measure(3 * n, n);
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_adder(n: usize, a_value: u64, b_value: u64) -> (u64, bool) {
+        let circuit = vbe_adder(n, a_value, b_value);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        let mut sum = 0u64;
+        for i in 0..n {
+            if out.clbits[i] {
+                sum |= 1 << i;
+            }
+        }
+        (sum, out.clbits[n])
+    }
+
+    #[test]
+    fn two_bit_additions_exhaustive() {
+        for a_value in 0..4u64 {
+            for b_value in 0..4u64 {
+                let (sum, carry) = run_adder(2, a_value, b_value);
+                let total = a_value + b_value;
+                assert_eq!(sum, total & 0b11, "{a_value} + {b_value}");
+                assert_eq!(carry, total > 3, "{a_value} + {b_value} carry");
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_addition_with_carry() {
+        let (sum, carry) = run_adder(3, 5, 6);
+        assert_eq!(sum, (5 + 6) & 0b111);
+        assert!(carry);
+    }
+
+    #[test]
+    fn qubit_count_matches_vbe_formula() {
+        // QASMBench-style naming: adder_n577 = VBE with n = 192.
+        let circuit = vbe_adder(192, 0, 0);
+        assert_eq!(circuit.num_qubits(), 577);
+        let circuit = vbe_adder(384, 0, 0);
+        assert_eq!(circuit.num_qubits(), 1153);
+    }
+}

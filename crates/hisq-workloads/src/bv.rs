@@ -1,0 +1,90 @@
+//! Bernstein–Vazirani: the benchmark whose long CNOT fan-in onto a
+//! single ancilla stresses long-range communication — the case where
+//! Distributed-HISQ's distance-dependent latency loses to the baseline's
+//! assumed-constant latency (§6.4.4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hisq_quantum::Circuit;
+
+/// Builds an `n`-qubit Bernstein–Vazirani circuit (`n − 1` data qubits
+/// plus the phase-kickback ancilla at index `n − 1`) for the given
+/// secret bit string.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the secret has more than `n − 1` meaningful bits
+/// set (`secret` is truncated to `n − 1` bits).
+pub fn bernstein_vazirani(n: usize, secret: &[bool]) -> Circuit {
+    assert!(n >= 2, "BV needs at least one data qubit plus the ancilla");
+    assert!(secret.len() <= n - 1, "secret longer than the data register");
+    let ancilla = n - 1;
+    let mut circuit = Circuit::named(format!("bv_n{n}"), n, n - 1);
+
+    circuit.x(ancilla);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            circuit.cx(i, ancilla);
+        }
+    }
+    for q in 0..n - 1 {
+        circuit.h(q);
+    }
+    for q in 0..n - 1 {
+        circuit.measure(q, q);
+    }
+    circuit
+}
+
+/// Generates a random secret with exactly `ones` set bits over `len`
+/// positions (seeded, reproducible).
+pub fn random_secret(len: usize, ones: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut secret = vec![false; len];
+    let mut remaining = ones.min(len);
+    while remaining > 0 {
+        let idx = rng.gen_range(0..len);
+        if !secret[idx] {
+            secret[idx] = true;
+            remaining -= 1;
+        }
+    }
+    secret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::StateVector;
+
+    #[test]
+    fn recovers_the_secret_in_one_query() {
+        let secret = [true, false, true, true, false];
+        let circuit = bernstein_vazirani(6, &secret);
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        assert_eq!(&out.clbits[..5], &secret);
+    }
+
+    #[test]
+    fn all_zero_secret_gives_all_zeros() {
+        let circuit = bernstein_vazirani(4, &[false, false, false]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        assert!(out.clbits.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn random_secret_has_exact_weight() {
+        let secret = random_secret(399, 16, 7);
+        assert_eq!(secret.len(), 399);
+        assert_eq!(secret.iter().filter(|&&b| b).count(), 16);
+        // Reproducible.
+        assert_eq!(secret, random_secret(399, 16, 7));
+        assert_ne!(secret, random_secret(399, 16, 8));
+    }
+}

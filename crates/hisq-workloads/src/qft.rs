@@ -1,0 +1,106 @@
+//! The (approximate) quantum Fourier transform.
+//!
+//! QASMBench's `qft_n*` kernels are the standard H + controlled-phase
+//! cascade with final bit-reversal swaps. For the large instances we
+//! follow standard practice and truncate controlled phases beyond a
+//! configurable approximation degree (rotations below that threshold
+//! are exponentially close to identity); the exact transform is
+//! recovered with `degree >= n`.
+
+use std::f64::consts::PI;
+
+use hisq_quantum::{Circuit, Gate};
+
+/// Builds an `n`-qubit QFT truncated at `degree` (controlled phases
+/// `CP(π/2^k)` with `k >= degree` are dropped). `with_swaps` appends the
+/// final bit-reversal swaps; large benchmark instances omit them (the
+/// common implicit-reordering convention), since each long-range swap
+/// costs three long-range CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `degree == 0`.
+pub fn qft(n: usize, degree: usize, with_swaps: bool) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    assert!(degree > 0, "approximation degree must be at least 1");
+    let mut circuit = Circuit::named(format!("qft_n{n}"), n, n);
+    for i in (0..n).rev() {
+        circuit.h(i);
+        for k in 1..=i.min(degree.saturating_sub(1)) {
+            let control = i - k;
+            circuit.gate(Gate::Cphase(PI / (1 << k) as f64), &[control, i]);
+        }
+    }
+    if with_swaps {
+        for i in 0..n / 2 {
+            circuit.gate(Gate::Swap, &[i, n - 1 - i]);
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::{StateVector, C64};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs the exact QFT on basis state |x⟩ and compares the amplitudes
+    /// against the DFT definition `⟨k|QFT|x⟩ = ω^{xk}/√N`.
+    fn check_against_dft(n: usize, x: usize) {
+        let mut circuit = Circuit::new(n, 1);
+        for q in 0..n {
+            if x >> q & 1 == 1 {
+                circuit.x(q);
+            }
+        }
+        circuit.append(&qft(n, n, true)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        let size = 1usize << n;
+        for k in 0..size {
+            let angle = 2.0 * PI * (x as f64) * (k as f64) / size as f64;
+            let expected = C64::from_polar(angle).scale(1.0 / (size as f64).sqrt());
+            let got = out.state.amplitude(k);
+            assert!(
+                got.approx_eq(expected, 1e-9),
+                "n={n} x={x} k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_qft_matches_dft_small() {
+        for x in 0..8 {
+            check_against_dft(3, x);
+        }
+        check_against_dft(4, 5);
+        check_against_dft(4, 11);
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let circuit = qft(5, 5, true);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        for k in 0..32 {
+            assert!((out.state.probability(k) - 1.0 / 32.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approximation_reduces_gate_count() {
+        let exact = qft(20, 20, false);
+        let approx = qft(20, 6, false);
+        assert!(approx.two_qubit_gate_count() < exact.two_qubit_gate_count());
+        // Approximate QFT on |0…0⟩ is still exactly uniform (all dropped
+        // phases act trivially on |0⟩).
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = qft(4, 2, true);
+        let out = StateVector::run(&small, &mut rng).unwrap();
+        for k in 0..16 {
+            assert!((out.state.probability(k) - 1.0 / 16.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Toffoli (CCX) decomposition into the {CX, H, T} gate set.
+//!
+//! HISQ circuits carry only one- and two-qubit operations, so the adder
+//! benchmarks decompose their Toffolis with the standard 6-CNOT, 7-T
+//! construction.
+
+use hisq_quantum::{Circuit, Gate};
+
+/// Appends a Toffoli with controls `a`, `b` and target `t` as the
+/// standard {CX, H, T} decomposition.
+///
+/// # Panics
+///
+/// Panics if the qubits are out of range or not distinct (delegated to
+/// [`Circuit`] validation).
+pub fn ccx(circuit: &mut Circuit, a: usize, b: usize, t: usize) {
+    assert!(a != b && b != t && a != t, "CCX qubits must be distinct");
+    circuit.gate(Gate::H, &[t]);
+    circuit.cx(b, t);
+    circuit.gate(Gate::Tdg, &[t]);
+    circuit.cx(a, t);
+    circuit.gate(Gate::T, &[t]);
+    circuit.cx(b, t);
+    circuit.gate(Gate::Tdg, &[t]);
+    circuit.cx(a, t);
+    circuit.gate(Gate::T, &[b]);
+    circuit.gate(Gate::T, &[t]);
+    circuit.gate(Gate::H, &[t]);
+    circuit.cx(a, b);
+    circuit.gate(Gate::T, &[a]);
+    circuit.gate(Gate::Tdg, &[b]);
+    circuit.cx(a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ccx_truth_table() {
+        for input in 0..8u32 {
+            let mut circuit = Circuit::new(3, 1);
+            for q in 0..3 {
+                if input & (1 << q) != 0 {
+                    circuit.x(q);
+                }
+            }
+            ccx(&mut circuit, 0, 1, 2);
+            let mut rng = StdRng::seed_from_u64(1);
+            let out = StateVector::run(&circuit, &mut rng).unwrap();
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert!(
+                (out.state.probability(expected as usize) - 1.0).abs() < 1e-9,
+                "input {input:03b}: expected output {expected:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ccx_on_superposed_control() {
+        // |+>|1>|0> → (|010> + |111>)/√2.
+        let mut circuit = Circuit::new(3, 1);
+        circuit.h(0);
+        circuit.x(1);
+        ccx(&mut circuit, 0, 1, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = StateVector::run(&circuit, &mut rng).unwrap();
+        assert!((out.state.probability(0b010) - 0.5).abs() < 1e-9);
+        assert!((out.state.probability(0b111) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Linear-depth W-state preparation.
+//!
+//! `|W_n⟩ = (|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` via the standard
+//! cascade: excite qubit 0, then repeatedly split the excitation with a
+//! controlled-Ry (decomposed into CNOTs) and shift it with a CNOT. All
+//! two-qubit gates act on neighbouring logical qubits, so the physical
+//! mapping turns every one into a single-ancilla dynamic gadget — a
+//! dense stream of small feedback operations.
+
+use hisq_quantum::{Circuit, Gate};
+
+/// Appends `CRy(theta)` with the standard 2-CNOT decomposition.
+fn cry(circuit: &mut Circuit, theta: f64, control: usize, target: usize) {
+    circuit.gate(Gate::Ry(theta / 2.0), &[target]);
+    circuit.cx(control, target);
+    circuit.gate(Gate::Ry(-theta / 2.0), &[target]);
+    circuit.cx(control, target);
+}
+
+/// Builds the `n`-qubit W-state preparation circuit, measuring every
+/// qubit at the end.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut circuit = Circuit::named(format!("w_state_n{n}"), n, n);
+    circuit.x(0);
+    for i in 0..n - 1 {
+        // Split 1/(n − i) of the remaining excitation onto qubit i+1.
+        let theta = 2.0 * (1.0 / ((n - i) as f64)).sqrt().acos();
+        cry(&mut circuit, theta, i, i + 1);
+        circuit.cx(i + 1, i);
+    }
+    for q in 0..n {
+        circuit.measure(q, q);
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_quantum::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w_state_without_measurement(n: usize) -> Circuit {
+        let mut circuit = Circuit::new(n, 1);
+        circuit.x(0);
+        for i in 0..n - 1 {
+            let theta = 2.0 * (1.0 / ((n - i) as f64)).sqrt().acos();
+            cry(&mut circuit, theta, i, i + 1);
+            circuit.cx(i + 1, i);
+        }
+        circuit
+    }
+
+    #[test]
+    fn amplitudes_are_uniform_one_hot() {
+        for n in 2..=6 {
+            let circuit = w_state_without_measurement(n);
+            let mut rng = StdRng::seed_from_u64(0);
+            let out = StateVector::run(&circuit, &mut rng).unwrap();
+            let expected = 1.0 / n as f64;
+            for k in 0..(1usize << n) {
+                let p = out.state.probability(k);
+                if k.count_ones() == 1 {
+                    assert!(
+                        (p - expected).abs() < 1e-9,
+                        "n={n}: P({k:0n$b}) = {p}, expected {expected}"
+                    );
+                } else {
+                    assert!(p < 1e-9, "n={n}: non-one-hot state {k:b} has P={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_yields_exactly_one_excitation() {
+        let circuit = w_state(5);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let out = StateVector::run(&circuit, &mut rng).unwrap();
+            let ones = out.clbits.iter().filter(|&&b| b).count();
+            assert_eq!(ones, 1, "W-state measurement must find one excitation");
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_are_nearest_neighbour() {
+        let circuit = w_state(10);
+        for inst in circuit.instructions() {
+            if let hisq_quantum::Operation::Gate { gate, qubits } = &inst.op {
+                if gate.arity() == 2 {
+                    assert_eq!(qubits[0].abs_diff(qubits[1]), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The Figure 11 calibration workflow: drive the simulated
+//! superconducting qubit through real HISQ programs and extract its
+//! parameters, exactly like bringing up a new device.
+//!
+//! Run with: `cargo run --release --example calibration`
+
+use distributed_hisq::analog::experiments::{
+    rabi_experiment, spectroscopy_experiment, t1_experiment, RabiConfig, SpectroscopyConfig,
+    T1Config,
+};
+
+fn main() {
+    println!("== Step 1: find the qubit (frequency sweep) ==");
+    let spec = spectroscopy_experiment(&SpectroscopyConfig {
+        shots: 150,
+        ..SpectroscopyConfig::default()
+    });
+    println!(
+        "   resonance at {:.4} GHz (device truth: 4.6200 GHz)",
+        spec.fitted_frequency_ghz
+    );
+
+    println!("== Step 2: calibrate the X gate (amplitude sweep) ==");
+    let rabi = rabi_experiment(&RabiConfig {
+        shots: 150,
+        ..RabiConfig::default()
+    });
+    println!(
+        "   pi-pulse amplitude {:.3} of DAC full scale (model optimum 0.500)",
+        rabi.pi_amplitude
+    );
+
+    println!("== Step 3: characterize coherence (delay sweep) ==");
+    let t1 = t1_experiment(&T1Config {
+        shots: 300,
+        ..T1Config::default()
+    });
+    println!(
+        "   T1 = {:.1} us (paper: 9.9 us; mature reference stack: {:.1} us)",
+        t1.fitted_t1_us, t1.reference_t1_us
+    );
+    for (delay, p) in t1.delay_us.iter().zip(&t1.p_excited).step_by(5) {
+        let bar: String = std::iter::repeat('#')
+            .take((p * 40.0).round() as usize)
+            .collect();
+        println!("   {delay:5.1} us | {bar:<40} {p:.3}");
+    }
+
+    println!("\nAll three parameters recovered through the HISQ ISA: the same");
+    println!("cw/wait instructions controlled phase, frequency, amplitude, and timing.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: assemble two HISQ programs by hand, run them on a
+//! two-controller Distributed-HISQ system, and watch BISP align their
+//! codeword commits at cycle level.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use distributed_hisq::core::NodeConfig;
+use distributed_hisq::isa::Assembler;
+use distributed_hisq::sim::System;
+
+fn main() {
+    // Two controllers with different-length deterministic prologues.
+    // Each books a synchronization (`sync <peer>`), pads the calibrated
+    // 6-cycle countdown, and fires a codeword — BISP guarantees both
+    // `cw` commits land on the same 4 ns cycle.
+    let controller_a = "
+        waiti 40            # deterministic work: 160 ns
+        sync 1              # book with controller 1
+        waiti 6             # cover the link countdown
+        cw.i.i 0, 1         # the synchronized trigger
+        stop
+    ";
+    let controller_b = "
+        waiti 90            # a much longer prologue
+        sync 0
+        waiti 6
+        cw.i.i 0, 1
+        stop
+    ";
+
+    let asm = Assembler::new();
+    let program_a = asm.assemble(controller_a).expect("valid assembly");
+    let program_b = asm.assemble(controller_b).expect("valid assembly");
+
+    println!("Controller 0 program:\n{program_a}");
+
+    let mut system = System::new();
+    system.add_controller(
+        NodeConfig::new(0).with_neighbor(1, 6),
+        program_a.insts().to_vec(),
+    );
+    system.add_controller(
+        NodeConfig::new(1).with_neighbor(0, 6),
+        program_b.insts().to_vec(),
+    );
+
+    let report = system.run().expect("simulation runs");
+    assert!(report.all_halted, "both controllers reach `stop`");
+
+    let telf = system.telf();
+    let a = telf.commits_of(0)[0];
+    let b = telf.commits_of(1)[0];
+    println!("controller 0 committed at cycle {} ({} ns)", a.cycle, a.time_ns());
+    println!("controller 1 committed at cycle {} ({} ns)", b.cycle, b.time_ns());
+    assert_eq!(a.cycle, b.cycle, "BISP aligns the commits");
+    println!("\nzero-cycle synchronization: both triggers at the same 4 ns slot,");
+    println!("with total timer stall {} cycles across the system.", report.total_stall_cycles);
+}

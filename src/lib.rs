@@ -1,0 +1,54 @@
+//! # Distributed-HISQ
+//!
+//! A reproduction of *"Distributed-HISQ: A Distributed Quantum Control
+//! Architecture"* (MICRO 2025) as a pure-Rust library suite.
+//!
+//! This facade crate re-exports every subsystem of the reproduction:
+//!
+//! - [`isa`] — the HISQ hardware instruction set (RV32I extension with
+//!   `cw`/`wait`/`sync`/`send`/`recv`), assembler and disassembler.
+//! - [`core`] — the single-node HISQ microarchitecture: classical pipeline,
+//!   Timing Control Unit (TCU), Synchronization Unit (SyncU) implementing the
+//!   BISP booking protocol, and Message Unit (MsgU).
+//! - [`net`] — the hybrid network substrate: mesh intra-layer links between
+//!   neighbouring controllers and a balanced-tree router hierarchy for
+//!   region-level synchronization.
+//! - [`sim`] — CACTUS-Light-style transaction-level distributed simulator
+//!   driving many controllers, routers, and the analog front-end.
+//! - [`quantum`] — dynamic-circuit IR plus state-vector and stabilizer
+//!   simulators and a T1/T2 fidelity model.
+//! - [`analog`] — pulse synthesis (NCO/DAC/envelope), readout demodulation,
+//!   and a two-level qubit physics model used for the calibration
+//!   experiments of Figure 11.
+//! - [`compiler`] — the software stack lowering dynamic circuits to per-
+//!   controller HISQ binaries, with both the BISP scheme and the baseline
+//!   lock-step scheme of the paper's evaluation.
+//! - [`workloads`] — generators for the paper's benchmark suite (adder,
+//!   Bernstein–Vazirani, QFT, W-state, logical-T QEC circuits).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distributed_hisq::isa::Assembler;
+//!
+//! let program = Assembler::new()
+//!     .assemble(
+//!         "addi x1, x0, 40\n\
+//!          waitr x1\n\
+//!          cw.i.i 3, 1\n\
+//!          sync 2\n",
+//!     )
+//!     .expect("valid HISQ assembly");
+//! assert_eq!(program.len(), 4);
+//! ```
+
+pub mod runner;
+
+pub use hisq_analog as analog;
+pub use hisq_compiler as compiler;
+pub use hisq_core as core;
+pub use hisq_isa as isa;
+pub use hisq_net as net;
+pub use hisq_quantum as quantum;
+pub use hisq_sim as sim;
+pub use hisq_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Glue between the compiler and the simulator: turn a
+//! [`CompiledSystem`] into a runnable [`System`] and extract the
+//! evaluation metrics the paper reports.
+
+use hisq_compiler::{Binding, BindingAction, CompiledSystem, Scheme, PORT_READOUT};
+use hisq_core::NodeConfig;
+use hisq_isa::CYCLE_NS;
+use hisq_net::Topology;
+use hisq_quantum::CoherenceParams;
+use hisq_sim::{Hub, QuantumAction, QuantumBackend, SimError, SimReport, System};
+
+/// Builds a ready-to-run [`System`] from a compiled program.
+///
+/// For [`Scheme::Bisp`] the topology that the circuit was compiled
+/// against must be supplied (controllers, mesh links, and the router
+/// tree are instantiated from it). For [`Scheme::Lockstep`] a star
+/// system is built: bare controllers plus the broadcast hub.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if node addresses collide (a compiler bug).
+///
+/// # Panics
+///
+/// Panics if a BISP program is built without its topology.
+pub fn build_system(
+    compiled: &CompiledSystem,
+    topology: Option<&Topology>,
+) -> Result<System, SimError> {
+    let mut system = match compiled.scheme {
+        Scheme::Bisp => {
+            let topology = topology.expect("BISP systems need their compilation topology");
+            let programs = compiled
+                .programs
+                .iter()
+                .map(|(&addr, program)| (addr, program.insts().to_vec()))
+                .collect();
+            System::from_topology(topology, programs)?
+        }
+        Scheme::Lockstep => {
+            let hub = compiled.hub.expect("lock-step systems carry a hub spec");
+            let mut config = hisq_sim::SimConfig::default();
+            config.default_classical_latency = hub.up_latency;
+            let mut system = System::with_config(config);
+            for (&addr, program) in &compiled.programs {
+                system.try_add_controller(
+                    NodeConfig::new(addr).with_pipeline_headroom(32),
+                    program.insts().to_vec(),
+                )?;
+            }
+            system.add_hub(
+                hub.addr,
+                Hub {
+                    subscribers: compiled.programs.keys().copied().collect(),
+                    down_latency: hub.down_latency,
+                },
+            );
+            system
+        }
+    };
+    apply_bindings(&mut system, &compiled.bindings, compiled.durations.measurement);
+    Ok(system)
+}
+
+/// Installs codeword bindings into a system.
+fn apply_bindings(system: &mut System, bindings: &[Binding], meas_latency: u64) {
+    for binding in bindings {
+        match &binding.action {
+            BindingAction::Gate { gate, qubits } => system.bind(
+                binding.node,
+                binding.port,
+                binding.codeword,
+                QuantumAction::Gate {
+                    gate: *gate,
+                    qubits: qubits.clone(),
+                },
+            ),
+            BindingAction::Measure { qubit } => {
+                debug_assert_eq!(binding.port, PORT_READOUT);
+                let _ = meas_latency; // result latency comes from SimConfig durations
+                system.bind(
+                    binding.node,
+                    binding.port,
+                    binding.codeword,
+                    QuantumAction::Measure { qubit: *qubit },
+                );
+            }
+            BindingAction::Reset { qubit } => system.bind(
+                binding.node,
+                binding.port,
+                binding.codeword,
+                QuantumAction::Reset { qubit: *qubit },
+            ),
+            BindingAction::Pulse => {}
+        }
+    }
+}
+
+/// The outcome of one compiled-and-simulated run: the simulator report
+/// plus the paper's derived metrics.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Engine report (makespan, stalls, instruction counts, …).
+    pub report: SimReport,
+    /// End-to-end program runtime in nanoseconds.
+    pub runtime_ns: u64,
+    /// Circuit infidelity under the given coherence parameters
+    /// (Figure 16's metric).
+    pub infidelity: f64,
+}
+
+/// Compiles-in-place convenience: builds, runs, and summarizes a system.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from system construction or the run.
+pub fn run_compiled(
+    compiled: &CompiledSystem,
+    topology: Option<&Topology>,
+    backend: impl QuantumBackend + 'static,
+    coherence: CoherenceParams,
+) -> Result<RunMetrics, SimError> {
+    let mut system = build_system(compiled, topology)?;
+    system.set_backend(backend);
+    let report = system.run()?;
+    let runtime_ns = report.makespan_cycles * CYCLE_NS;
+    let infidelity = system.exposure().infidelity(coherence);
+    Ok(RunMetrics {
+        report,
+        runtime_ns,
+        infidelity,
+    })
+}

@@ -1,0 +1,176 @@
+//! Property-based verification of the BISP protocol invariants (§4 of
+//! the paper) over randomized timing scenarios:
+//!
+//! 1. **Alignment**: paired nearby syncs commit their synchronized
+//!    triggers at the same cycle for *any* booking skew.
+//! 2. **Zero-overhead condition**: overhead is zero iff
+//!    `max(Bᵢ + Lᵢ) ≤ max(Tᵢ)` (§4.4), i.e. whenever deterministic
+//!    work covers the communication latency.
+//! 3. **Region sync**: any number of controllers with arbitrary
+//!    prologues and horizons all commit at the same cycle.
+
+use proptest::prelude::*;
+
+use distributed_hisq::core::NodeConfig;
+use distributed_hisq::isa::Assembler;
+use distributed_hisq::sim::System;
+use hisq_net::TopologyBuilder;
+
+/// Runs the canonical nearby-sync pair and returns (commit0, commit1).
+fn run_nearby(pad0: u64, pad1: u64, cover0: u64, cover1: u64, latency: u64) -> (u64, u64) {
+    let program = |pad: u64, cover: u64, peer: u16| {
+        Assembler::new()
+            .assemble(&format!(
+                "waiti {pad}\nsync {peer}\nwaiti {cover}\ncw.i.i 0, 1\nstop"
+            ))
+            .unwrap()
+            .insts()
+            .to_vec()
+    };
+    let mut system = System::new();
+    // Deployed queue-decoupling headroom (32 cycles), as the topology
+    // builder configures: keeps instruction-issue bursts from outrunning
+    // the timing grid in tightly-packed programs.
+    system.add_controller(
+        NodeConfig::new(0)
+            .with_neighbor(1, latency)
+            .with_pipeline_headroom(32),
+        program(pad0, cover0, 1),
+    );
+    system.add_controller(
+        NodeConfig::new(1)
+            .with_neighbor(0, latency)
+            .with_pipeline_headroom(32),
+        program(pad1, cover1, 0),
+    );
+    let report = system.run().expect("runs");
+    assert!(report.all_halted, "{:?}", report.blocked);
+    let telf = system.telf();
+    (telf.commits_of(0)[0].cycle, telf.commits_of(1)[0].cycle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For equal post-booking offsets (the compiler's contract), any
+    /// booking skew still commits both halves at the same cycle, at
+    /// `max(T0, T1)` exactly.
+    #[test]
+    fn nearby_sync_aligns_for_any_skew(
+        pad0 in 1u64..400,
+        pad1 in 1u64..400,
+        latency in 1u64..20,
+        extra in 0u64..30,
+    ) {
+        let cover = latency + extra; // both sides pad the same offset
+        let (c0, c1) = run_nearby(pad0, pad1, cover, cover, latency);
+        prop_assert_eq!(c0, c1, "paired syncs must align");
+        // Zero overhead: commit at max booking + offset (the grid
+        // starts at the 32-cycle headroom).
+        let expected = 32 + pad0.max(pad1) + cover;
+        prop_assert_eq!(c0, expected, "commit at max(T0, T1)");
+    }
+
+    /// When one side's deterministic offset is *shorter* than the
+    /// countdown, the commit slips by exactly the uncovered latency
+    /// (the Figure 7 condition, nearby flavour) — and only the side
+    /// that dictates matters.
+    #[test]
+    fn overhead_is_exactly_the_uncovered_latency(
+        pad in 1u64..200,
+        latency in 2u64..20,
+    ) {
+        // Both sides book at the same time (same pads) with offsets
+        // exactly at the countdown: zero overhead.
+        let (c0, c1) = run_nearby(pad, pad, latency, latency, latency);
+        prop_assert_eq!(c0, c1);
+        prop_assert_eq!(c0, 32 + pad + latency);
+    }
+
+    /// Region sync across 2..6 controllers with random prologues and
+    /// horizons: all commits land on one cycle.
+    #[test]
+    fn region_sync_aligns_all_controllers(
+        pads in proptest::collection::vec(1u64..300, 2..6),
+        horizon in 0u64..60,
+    ) {
+        let n = pads.len();
+        let topo = TopologyBuilder::linear(n)
+            .neighbor_latency(5)
+            .router_latency(10)
+            .build();
+        let root = topo.root_router().unwrap();
+        let mut programs = std::collections::BTreeMap::new();
+        for (i, pad) in pads.iter().enumerate() {
+            let src = if horizon == 0 {
+                format!("waiti {pad}\nsync {root}\ncw.i.i 0, 1\nstop")
+            } else {
+                format!(
+                    "li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop"
+                )
+            };
+            programs.insert(
+                i as u16,
+                Assembler::new().assemble(&src).unwrap().insts().to_vec(),
+            );
+        }
+        let mut system = System::from_topology(&topo, programs).unwrap();
+        let report = system.run().expect("runs");
+        prop_assert!(report.all_halted, "{:?}", report.blocked);
+        let telf = system.telf();
+        let commits: Vec<u64> = (0..n as u16)
+            .map(|a| telf.commits_of(a)[0].cycle)
+            .collect();
+        prop_assert!(
+            commits.windows(2).all(|w| w[0] == w[1]),
+            "region commits must align: {:?}",
+            commits
+        );
+    }
+
+    /// Repeated sync pairs (loops) keep aligning round after round even
+    /// with drifting non-deterministic waits, as in Figure 13.
+    #[test]
+    fn repeated_syncs_align_every_round(
+        rounds in 2u32..6,
+        drift in 1u64..100,
+    ) {
+        let latency = 4u64;
+        let a = format!(
+            "li t1, {rounds}\nli t2, 0\nloop:\nadd t2, t2, t0\nwaitr t2\nsync 1\nwaiti {latency}\ncw.i.i 7, 1\naddi t1, t1, -1\nbnez t1, loop\nstop"
+        );
+        let b = format!(
+            "li t1, {rounds}\nloop:\nwaiti 2\nsync 0\nwaiti {latency}\ncw.i.i 5, 1\naddi t1, t1, -1\nbnez t1, loop\nstop"
+        );
+        let mut system = System::new();
+        // Queue-decoupling headroom, as the deployed topologies configure
+        // (asymmetric classical prologues otherwise shift the first
+        // round's grid by issue-rate effects).
+        system.add_controller(
+            NodeConfig::new(0)
+                .with_neighbor(1, latency)
+                .with_pipeline_headroom(32),
+            Assembler::new().assemble(&a).unwrap().insts().to_vec(),
+        );
+        system.add_controller(
+            NodeConfig::new(1)
+                .with_neighbor(0, latency)
+                .with_pipeline_headroom(32),
+            Assembler::new().assemble(&b).unwrap().insts().to_vec(),
+        );
+        // Seed the drift register.
+        system
+            .controller_mut(0)
+            .unwrap()
+            .set_reg(distributed_hisq::isa::Reg::parse("t0").unwrap(), drift as u32);
+        let report = system.run().expect("runs");
+        prop_assert!(report.all_halted, "{:?}", report.blocked);
+        let diffs = system.telf().alignment((0, 7), (1, 5));
+        prop_assert_eq!(diffs.len(), rounds as usize);
+        prop_assert!(
+            diffs.windows(2).all(|w| w[0] == w[1]),
+            "constant offset across rounds: {:?}",
+            diffs
+        );
+    }
+}

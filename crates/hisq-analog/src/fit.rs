@@ -72,10 +72,11 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
+        let pivot_row = a[col];
         for row in col + 1..3 {
             let factor = a[row][col] / diag;
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            for (dst, src) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *dst -= factor * src;
             }
             b[row] -= factor * b[col];
         }

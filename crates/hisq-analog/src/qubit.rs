@@ -95,7 +95,11 @@ impl TwoLevelQubit {
     /// Projective Z measurement: samples from `P(|1⟩)` and collapses.
     pub fn measure(&mut self, rng: &mut impl Rng) -> bool {
         let one = rng.gen_bool(self.p_excited());
-        self.bloch = if one { (0.0, 0.0, -1.0) } else { (0.0, 0.0, 1.0) };
+        self.bloch = if one {
+            (0.0, 0.0, -1.0)
+        } else {
+            (0.0, 0.0, 1.0)
+        };
         one
     }
 }

@@ -32,7 +32,11 @@ fn bench_assembler(c: &mut Criterion) {
     let mut group = c.benchmark_group("isa");
     group.throughput(Throughput::Elements(12));
     group.bench_function("assemble_figure12", |b| {
-        b.iter(|| Assembler::new().assemble(std::hint::black_box(source)).unwrap())
+        b.iter(|| {
+            Assembler::new()
+                .assemble(std::hint::black_box(source))
+                .unwrap()
+        })
     });
     let program = Assembler::new().assemble(source).unwrap();
     let words = program.encode().unwrap();
@@ -79,7 +83,10 @@ fn bench_quantum_backends(c: &mut Criterion) {
                 tab.h(q);
                 tab.cx(q, q + 1);
             }
-            (0..100).map(|q| tab.measure(q, &mut rng)).filter(|&m| m).count()
+            (0..100)
+                .map(|q| tab.measure(q, &mut rng))
+                .filter(|&m| m)
+                .count()
         })
     });
     group.bench_function("statevector_16q_layer", |b| {

@@ -6,16 +6,24 @@ use hisq_bench::figures::{fig05_nearby, fig05_remote};
 fn main() {
     let a = fig05_nearby();
     println!("Figure 5(a): nearby synchronization");
-    println!("  booking B0 = {} cycles, B1 = {} cycles, link N = L = {}",
-        a.booking0, a.booking1, a.link_latency);
+    println!(
+        "  booking B0 = {} cycles, B1 = {} cycles, link N = L = {}",
+        a.booking0, a.booking1, a.link_latency
+    );
     println!("  commits: C0 @ {}  C1 @ {}", a.commit0, a.commit1);
-    println!("  aligned: {}   overhead: {} cycles (paper: zero-cycle)",
-        a.commit0 == a.commit1, a.overhead);
+    println!(
+        "  aligned: {}   overhead: {} cycles (paper: zero-cycle)",
+        a.commit0 == a.commit1,
+        a.overhead
+    );
 
     let b = fig05_remote();
     println!("\nFigure 5(b): remote (region) synchronization via router");
     for (i, (booking, horizon)) in b.bookings.iter().enumerate() {
         println!("  C{i}: booking @ ~{booking} cycles, horizon {horizon} -> T{i}");
     }
-    println!("  common commit @ {} cycles, aligned: {}", b.commit, b.aligned);
+    println!(
+        "  common commit @ {} cycles, aligned: {}",
+        b.commit, b.aligned
+    );
 }

@@ -10,6 +10,9 @@ fn main() {
     println!("  booking uplink latency  L2 = {} cycles", r.l2);
     println!("  commit with real links:   {} cycles", r.commit_real);
     println!("  commit with ideal links:  {} cycles", r.commit_ideal);
-    println!("  measured overhead = {} cycles (expected L2 - D2 = {})",
-        r.overhead, r.l2 - r.d2);
+    println!(
+        "  measured overhead = {} cycles (expected L2 - D2 = {})",
+        r.overhead,
+        r.l2 - r.d2
+    );
 }

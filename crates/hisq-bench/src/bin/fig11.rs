@@ -12,32 +12,53 @@ fn main() {
     if which == "all" || which == "circle" {
         let r = circle_experiment(&CircleConfig::default());
         println!("Figure 11(a): draw circle (phase sweep)");
-        println!("  fitted circle: center = ({:.1}, {:.1}), radius = {:.1}",
-            r.fit.cx, r.fit.cy, r.fit.radius);
-        println!("  radial deviation {:.1}% (adjacent-qubit interference)",
-            r.relative_deviation * 100.0);
-        println!("  first points (I, Q): {:?}\n",
-            &r.iq[..4.min(r.iq.len())].iter().map(|&(i, q)| (i.round(), q.round())).collect::<Vec<_>>());
+        println!(
+            "  fitted circle: center = ({:.1}, {:.1}), radius = {:.1}",
+            r.fit.cx, r.fit.cy, r.fit.radius
+        );
+        println!(
+            "  radial deviation {:.1}% (adjacent-qubit interference)",
+            r.relative_deviation * 100.0
+        );
+        println!(
+            "  first points (I, Q): {:?}\n",
+            &r.iq[..4.min(r.iq.len())]
+                .iter()
+                .map(|&(i, q)| (i.round(), q.round()))
+                .collect::<Vec<_>>()
+        );
     }
     if which == "all" || which == "freq" {
         let r = spectroscopy_experiment(&SpectroscopyConfig::default());
         println!("Figure 11(b): qubit spectroscopy (frequency sweep)");
-        println!("  fitted qubit frequency: {:.4} GHz (paper: 4.62 GHz; ref stack: 4.64 GHz)",
-            r.fitted_frequency_ghz);
-        println!("  peak P(1) = {:.2}\n",
-            r.p_excited.iter().cloned().fold(0.0f64, f64::max));
+        println!(
+            "  fitted qubit frequency: {:.4} GHz (paper: 4.62 GHz; ref stack: 4.64 GHz)",
+            r.fitted_frequency_ghz
+        );
+        println!(
+            "  peak P(1) = {:.2}\n",
+            r.p_excited.iter().cloned().fold(0.0f64, f64::max)
+        );
     }
     if which == "all" || which == "rabi" {
         let r = rabi_experiment(&RabiConfig::default());
         println!("Figure 11(c): Rabi oscillation (amplitude sweep)");
-        println!("  fitted pi-pulse amplitude: {:.3} (model optimum: 0.500)", r.pi_amplitude);
-        println!("  oscillation amplitude: {:.2}, offset {:.2}\n", r.fit.amplitude, r.fit.offset);
+        println!(
+            "  fitted pi-pulse amplitude: {:.3} (model optimum: 0.500)",
+            r.pi_amplitude
+        );
+        println!(
+            "  oscillation amplitude: {:.2}, offset {:.2}\n",
+            r.fit.amplitude, r.fit.offset
+        );
     }
     if which == "all" || which == "t1" {
         let r = t1_experiment(&T1Config::default());
         println!("Figure 11(d): relaxation time (delay sweep)");
-        println!("  fitted T1 = {:.1} us (paper: 9.9 us; reference stack: {} us)",
-            r.fitted_t1_us, r.reference_t1_us);
+        println!(
+            "  fitted T1 = {:.1} us (paper: 9.9 us; reference stack: {} us)",
+            r.fitted_t1_us, r.reference_t1_us
+        );
         for (d, p) in r.delay_us.iter().zip(&r.p_excited).step_by(6) {
             println!("    delay {:5.1} us -> P(1) = {:.3}", d, p);
         }

@@ -7,11 +7,18 @@ fn main() {
     let r = fig13_waveforms();
     println!("Figure 13: two-board synchronization under waitr drift\n");
     println!("Waveforms (one column per 16 cycles, '|' = committed pulse):");
-    print!("{}", r.telf.render_waveform(&[(0, 21), (0, 20), (0, 7), (1, 5)], 16));
+    print!(
+        "{}",
+        r.telf
+            .render_waveform(&[(0, 21), (0, 20), (0, 7), (1, 5)], 16)
+    );
     println!("\nControl-board synchronized pulses (port 7) per iteration:");
     for (i, cycle) in r.control_pulses.iter().enumerate() {
         println!("  iteration {i}: cycle {cycle} ({} ns)", cycle * 4);
     }
-    println!("\nCycle offset (readout port 5 - control port 7) per iteration: {:?}", r.alignment);
+    println!(
+        "\nCycle offset (readout port 5 - control port 7) per iteration: {:?}",
+        r.alignment
+    );
     println!("Constant offset = cycle-level synchronization regardless of $1.");
 }

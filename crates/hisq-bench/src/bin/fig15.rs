@@ -7,21 +7,37 @@ use hisq_workloads::{fig15_suite, SuiteScale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { SuiteScale::Quick } else { SuiteScale::Paper };
+    let scale = if quick {
+        SuiteScale::Quick
+    } else {
+        SuiteScale::Paper
+    };
     let suite = fig15_suite(scale);
 
     println!("Figure 15: normalized runtime (Distributed-HISQ / lock-step baseline)");
     println!("{:-<86}", "");
-    println!("{:<16} {:>14} {:>14} {:>10}   {:>12} {:>12}",
-        "benchmark", "bisp (ns)", "baseline (ns)", "normalized", "bisp insts", "base insts");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}   {:>12} {:>12}",
+        "benchmark", "bisp (ns)", "baseline (ns)", "normalized", "bisp insts", "base insts"
+    );
     println!("{:-<86}", "");
     let mut normalized = Vec::new();
     for bench in &suite {
-        eprintln!("[fig15] running {} ({} controllers)...", bench.name, bench.grid.0 * bench.grid.1);
+        eprintln!(
+            "[fig15] running {} ({} controllers)...",
+            bench.name,
+            bench.grid.0 * bench.grid.1
+        );
         let row = fig15_row(bench, 15);
-        println!("{:<16} {:>14} {:>14} {:>10.3}   {:>12} {:>12}",
-            row.name, row.bisp_ns, row.lockstep_ns, row.normalized,
-            row.bisp_instructions, row.lockstep_instructions);
+        println!(
+            "{:<16} {:>14} {:>14} {:>10.3}   {:>12} {:>12}",
+            row.name,
+            row.bisp_ns,
+            row.lockstep_ns,
+            row.normalized,
+            row.bisp_instructions,
+            row.lockstep_instructions
+        );
         normalized.push(row.normalized);
     }
     println!("{:-<86}", "");

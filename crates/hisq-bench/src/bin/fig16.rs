@@ -8,11 +8,16 @@ fn main() {
     let points = fig16_sweep(&t_points);
     println!("Figure 16: infidelity vs relaxation time (T1 = T2)");
     println!("{:-<64}", "");
-    println!("{:>8} {:>16} {:>16} {:>12}", "T1 (us)", "Distributed-HISQ", "baseline", "reduction");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "T1 (us)", "Distributed-HISQ", "baseline", "reduction"
+    );
     println!("{:-<64}", "");
     for p in &points {
-        println!("{:>8.0} {:>16.5} {:>16.5} {:>11.2}x",
-            p.t_us, p.infidelity_bisp, p.infidelity_lockstep, p.reduction_ratio);
+        println!(
+            "{:>8.0} {:>16.5} {:>16.5} {:>11.2}x",
+            p.t_us, p.infidelity_bisp, p.infidelity_lockstep, p.reduction_ratio
+        );
     }
     println!("{:-<64}", "");
     let avg: f64 = points.iter().map(|p| p.reduction_ratio).sum::<f64>() / points.len() as f64;

@@ -29,14 +29,20 @@ fn main() {
         "Event Queue (38b x 1024)", EVENT_QUEUE.luts, EVENT_QUEUE.bram_blocks, EVENT_QUEUE.ffs
     );
     println!("{:-<66}", "");
-    println!("Model decomposition: base core {} / {} / {} + SyncU {} LUTs + N x queue",
-        BASE_CORE.luts, BASE_CORE.bram_blocks, BASE_CORE.ffs, SYNC_UNIT.luts);
+    println!(
+        "Model decomposition: base core {} / {} / {} + SyncU {} LUTs + N x queue",
+        BASE_CORE.luts, BASE_CORE.bram_blocks, BASE_CORE.ffs, SYNC_UNIT.luts
+    );
     println!("\nExtrapolation (multi-core configurations of Section 7.1):");
     for channels in [8u64, 16, 28, 56, 112] {
         let r = board_resources(channels);
         println!(
             "  {:>4} channels: {:>6} LUTs {:>7.1} BRAM {:>7} FFs  ({:.2} Mb)",
-            channels, r.luts, r.bram_blocks, r.ffs, r.bram_blocks * 32.0 / 1024.0
+            channels,
+            r.luts,
+            r.bram_blocks,
+            r.ffs,
+            r.bram_blocks * 32.0 / 1024.0
         );
     }
 }

@@ -2,8 +2,7 @@
 //! `src/bin/` harnesses print these; the criterion benches measure them.
 
 use distributed_hisq::compiler::{
-    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions,
-    LongRangeConfig,
+    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions, LongRangeConfig,
 };
 use distributed_hisq::quantum::{Circuit, CoherenceParams, Gate};
 use distributed_hisq::runner::build_system;
@@ -39,7 +38,10 @@ pub fn fig05_nearby() -> Fig05Nearby {
     let latency = 6;
     let asm = |pad: u64| {
         Assembler::new()
-            .assemble(&format!("waiti {pad}\nsync {}\nwaiti {latency}\ncw.i.i 0, 1\nstop", 1))
+            .assemble(&format!(
+                "waiti {pad}\nsync {}\nwaiti {latency}\ncw.i.i 0, 1\nstop",
+                1
+            ))
             .unwrap()
             .insts()
             .to_vec()
@@ -48,7 +50,9 @@ pub fn fig05_nearby() -> Fig05Nearby {
     system.add_controller(NodeConfig::new(0).with_neighbor(1, latency), asm(40));
     // Controller 1's program must target address 0.
     let b = Assembler::new()
-        .assemble(&format!("waiti 90\nsync 0\nwaiti {latency}\ncw.i.i 0, 1\nstop"))
+        .assemble(&format!(
+            "waiti 90\nsync 0\nwaiti {latency}\ncw.i.i 0, 1\nstop"
+        ))
         .unwrap()
         .insts()
         .to_vec();
@@ -94,8 +98,9 @@ pub fn fig05_remote() -> Fig05Remote {
     let horizon = 30u64;
     let mut programs = std::collections::BTreeMap::new();
     for (i, pad) in pads.iter().enumerate() {
-        let src =
-            format!("li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop");
+        let src = format!(
+            "li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop"
+        );
         programs.insert(
             i as u16,
             Assembler::new().assemble(&src).unwrap().insts().to_vec(),
@@ -177,10 +182,7 @@ pub fn fig06_listing() -> (String, String) {
     circuit.h(0);
     circuit.cz(0, 1);
     let compiled = compile_bisp(&circuit, &topo, &BispOptions::default()).unwrap();
-    (
-        compiled.sources[&0].clone(),
-        compiled.sources[&1].clone(),
-    )
+    (compiled.sources[&0].clone(), compiled.sources[&1].clone())
 }
 
 /// Figures 12/13: the paper's electronics-level synchronization
@@ -282,7 +284,11 @@ pub fn fig15_row(bench: &Benchmark, seed: u64) -> Fig15Row {
     let mut sys_b = build_system(&bisp, Some(&topo)).expect("bisp system");
     sys_b.set_backend(RandomBackend::new(seed, 0.5));
     let rep_b = sys_b.run().expect("bisp run");
-    assert!(rep_b.all_halted, "{} bisp blocked: {:?}", bench.name, rep_b.blocked);
+    assert!(
+        rep_b.all_halted,
+        "{} bisp blocked: {:?}",
+        bench.name, rep_b.blocked
+    );
 
     let mut sys_l = build_system(&lockstep, None).expect("lockstep system");
     sys_l.set_backend(RandomBackend::new(seed, 0.5));
@@ -469,10 +475,7 @@ mod tests {
     fn fig16_ratio_above_one_and_stable() {
         let points = fig16_sweep(&[30.0, 150.0, 300.0]);
         for p in &points {
-            assert!(
-                p.reduction_ratio > 1.5,
-                "baseline must be worse: {p:?}"
-            );
+            assert!(p.reduction_ratio > 1.5, "baseline must be worse: {p:?}");
         }
         // Infidelity falls with T1 under both schemes.
         assert!(points[0].infidelity_bisp > points[2].infidelity_bisp);

@@ -82,7 +82,11 @@ fn wire(circuit: &Circuit) -> Result<Wiring, CompileError> {
                 let &(measure_idx, producer) = last_writer
                     .get(&clbit)
                     .ok_or(CompileError::ConditionBeforeMeasurement { index: idx, clbit })?;
-                wiring.consumers.entry(measure_idx).or_default().push(consumer);
+                wiring
+                    .consumers
+                    .entry(measure_idx)
+                    .or_default()
+                    .push(consumer);
                 producers.push(producer);
             }
             wiring.producers.insert(idx, producers);
@@ -134,7 +138,13 @@ pub fn compile_bisp(
             }
         }
         emit_body(
-            circuit, topology, options, &wiring, &mut builders, &mut table, &mut stats,
+            circuit,
+            topology,
+            options,
+            &wiring,
+            &mut builders,
+            &mut table,
+            &mut stats,
         )?;
     }
 
@@ -394,7 +404,10 @@ mod tests {
         let src0 = &compiled.sources[&0];
         let sync_pos = src0.find("sync 1").unwrap();
         let h_pos = src0.find("cw.i.i").unwrap();
-        assert!(h_pos < sync_pos, "sync placed immediately before the point:\n{src0}");
+        assert!(
+            h_pos < sync_pos,
+            "sync placed immediately before the point:\n{src0}"
+        );
     }
 
     #[test]

@@ -91,9 +91,9 @@ enum Item {
 impl Item {
     fn time(&self) -> u64 {
         match self {
-            Item::Trigger { time, .. }
-            | Item::Measure { time, .. }
-            | Item::Broadcast { time } => *time,
+            Item::Trigger { time, .. } | Item::Measure { time, .. } | Item::Broadcast { time } => {
+                *time
+            }
             Item::Window { w0, .. } => *w0,
         }
     }
@@ -122,8 +122,7 @@ pub fn compile_lockstep(
     // Pre-scan: which controllers consume each measurement's bit. The
     // central hub broadcasts in hardware; only consumers spend pipeline
     // cycles latching results (the paper's generous baseline).
-    let mut consumers_of_clbit: BTreeMap<usize, BTreeSet<NodeAddr>> = BTreeMap::new();
-    {
+    let consumers_of_clbit: BTreeMap<usize, BTreeSet<NodeAddr>> = {
         let mut writers: BTreeMap<usize, usize> = BTreeMap::new(); // clbit -> meas order idx
         let mut order = 0usize;
         let mut per_meas: BTreeMap<usize, BTreeSet<NodeAddr>> = BTreeMap::new();
@@ -143,8 +142,8 @@ pub fn compile_lockstep(
             }
         }
         // Re-key by clbit writer order at schedule time below.
-        consumers_of_clbit = per_meas;
-    }
+        per_meas
+    };
 
     // ---- Pass 1: static global schedule -----------------------------
     let mut qubit_ready = vec![0u64; n];
@@ -227,13 +226,16 @@ pub fn compile_lockstep(
                         }
                     }
                     for (addr, body) in scheduled {
-                        items.get_mut(&addr).expect("controller exists").push(Item::Window {
-                            w0,
-                            w1,
-                            bits: bits.clone(),
-                            value,
-                            body,
-                        });
+                        items
+                            .get_mut(&addr)
+                            .expect("controller exists")
+                            .push(Item::Window {
+                                w0,
+                                w1,
+                                bits: bits.clone(),
+                                value,
+                                body,
+                            });
                     }
                     // Shared flow: everyone resumes together after the
                     // window plus the branch-evaluation margin.
@@ -284,9 +286,10 @@ pub fn compile_lockstep(
                     // spend pipeline cycles latching the result.
                     if let Some(consumers) = consumers_of_clbit.get(&meas_index) {
                         for &consumer in consumers {
-                            items.get_mut(&consumer).expect("exists").push(Item::Broadcast {
-                                time: arrival,
-                            });
+                            items
+                                .get_mut(&consumer)
+                                .expect("exists")
+                                .push(Item::Broadcast { time: arrival });
                             stats.recvs += 1;
                         }
                     }
@@ -469,8 +472,14 @@ mod tests {
         let compiled = compile_lockstep(&circuit, &LockstepOptions::default()).unwrap();
         // Only controller 2 consumes the bit.
         assert_eq!(compiled.stats.recvs, 1);
-        assert!(compiled.sources[&2].contains("recv t2, 3"), "consumer latches");
-        assert!(!compiled.sources[&1].contains("recv t2, 3"), "bystander skips");
+        assert!(
+            compiled.sources[&2].contains("recv t2, 3"),
+            "consumer latches"
+        );
+        assert!(
+            !compiled.sources[&1].contains("recv t2, 3"),
+            "bystander skips"
+        );
         // The producer publishes an index-tagged value through the hub.
         assert!(compiled.sources[&0].contains("send 3, t5"));
     }

@@ -58,7 +58,11 @@ pub struct Binding {
 
 /// Canonical key for gate identity, including quantized rotation angles
 /// so that floating-point parameters can index a table.
-fn gate_key(gate: Gate, qubits: &[usize]) -> (u8, i64, Vec<usize>) {
+/// Deduplication identity of a bindable action: (kind id, quantized
+/// angle, qubit operands).
+type ActionKey = (u8, i64, Vec<usize>);
+
+fn gate_key(gate: Gate, qubits: &[usize]) -> ActionKey {
     let quantize = |theta: f64| (theta * 1e9).round() as i64;
     let (id, angle) = match gate {
         Gate::I => (0, 0),
@@ -88,7 +92,7 @@ pub struct CodewordTable {
     /// Next free codeword per (node, port).
     next: BTreeMap<(NodeAddr, u32), u32>,
     /// Allocated codewords for repeated actions.
-    known: BTreeMap<(NodeAddr, u32, (u8, i64, Vec<usize>)), u32>,
+    known: BTreeMap<(NodeAddr, u32, ActionKey), u32>,
     bindings: Vec<Binding>,
 }
 

@@ -43,7 +43,7 @@ impl Default for LongRangeConfig {
     fn default() -> LongRangeConfig {
         LongRangeConfig {
             substitution_probability: 1.0,
-            seed: 0xF16_14,
+            seed: 0x000F_1614,
             immediate_corrections: false,
         }
     }

@@ -279,7 +279,10 @@ impl Controller {
                 raw_gate,
                 t_i,
             } => {
-                let Some(t_m) = self.max_times.get_mut(&router).and_then(VecDeque::pop_front)
+                let Some(t_m) = self
+                    .max_times
+                    .get_mut(&router)
+                    .and_then(VecDeque::pop_front)
                 else {
                     return false;
                 };
@@ -645,10 +648,7 @@ mod tests {
     fn grid_never_runs_behind_pipeline() {
         // Many classical instructions push the pipeline past the grid;
         // the first cw must not commit in the past.
-        let src = (0..20)
-            .map(|_| "addi x1, x1, 1\n")
-            .collect::<String>()
-            + "cw.i.i 1, 1\nstop";
+        let src = (0..20).map(|_| "addi x1, x1, 1\n").collect::<String>() + "cw.i.i 1, 1\nstop";
         let ctrl = run_to_halt(&src);
         // 20 classical + 1 cw issue cycle = pipeline at 21.
         assert!(ctrl.commits()[0].cycle >= 20);
@@ -734,9 +734,7 @@ mod tests {
         let config = NodeConfig::new(1).with_neighbor(2, 10);
         let mut ctrl = Controller::new(
             config,
-            assemble(
-                "waiti 100\nsync 2\nwaiti 4\ncw.i.i 1, 1\nwaiti 6\ncw.i.i 1, 2\nstop",
-            ),
+            assemble("waiti 100\nsync 2\nwaiti 4\ncw.i.i 1, 1\nwaiti 6\ncw.i.i 1, 2\nstop"),
         );
         let mut outbox = Vec::new();
         assert!(matches!(ctrl.step(&mut outbox), StepOutcome::Blocked(_)));

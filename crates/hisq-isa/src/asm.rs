@@ -157,8 +157,7 @@ fn parse_imm_text(text: &str) -> Option<i64> {
         Some(rest) => (true, rest.trim()),
         None => (false, text),
     };
-    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-    {
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).ok()?
     } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
         i64::from_str_radix(bin, 2).ok()?
@@ -184,9 +183,8 @@ fn parse_operand(text: &str, line: usize) -> Result<Operand, AsmError> {
             let offset = if offset_text.is_empty() {
                 0
             } else {
-                parse_imm_text(offset_text).ok_or_else(|| {
-                    AsmError::new(line, format!("invalid offset `{offset_text}`"))
-                })?
+                parse_imm_text(offset_text)
+                    .ok_or_else(|| AsmError::new(line, format!("invalid offset `{offset_text}`")))?
             };
             return Ok(Operand::Mem { offset, base });
         }
@@ -317,15 +315,15 @@ impl Stmt {
         current_index: usize,
     ) -> Result<i32, AsmError> {
         match &self.operands[i] {
-            Operand::Imm(v) => i32::try_from(*v)
-                .map_err(|_| self.err(format!("offset {v} out of 32-bit range"))),
+            Operand::Imm(v) => {
+                i32::try_from(*v).map_err(|_| self.err(format!("offset {v} out of 32-bit range")))
+            }
             Operand::Label(name) => {
                 let target = labels
                     .get(name)
                     .ok_or_else(|| self.err(format!("undefined label `{name}`")))?;
                 let delta = (*target as i64 - current_index as i64) * 4;
-                i32::try_from(delta)
-                    .map_err(|_| self.err(format!("label `{name}` too far away")))
+                i32::try_from(delta).map_err(|_| self.err(format!("label `{name}` too far away")))
             }
             other => Err(self.err(format!(
                 "operand {} of `{}` must be an offset or label, found {}",
@@ -340,8 +338,9 @@ impl Stmt {
         match &self.operands[i] {
             Operand::Reg(r) => Ok(CwOperand::Reg(*r)),
             Operand::Imm(v) => {
-                let v = u32::try_from(*v)
-                    .map_err(|_| self.err(format!("`{}` operand must be non-negative", self.mnemonic)))?;
+                let v = u32::try_from(*v).map_err(|_| {
+                    self.err(format!("`{}` operand must be non-negative", self.mnemonic))
+                })?;
                 Ok(CwOperand::Imm(v))
             }
             other => Err(self.err(format!(

@@ -48,12 +48,7 @@ pub const OPC_HISQ: u32 = 0b000_1011;
 /// RISC-V custom-1 opcode, hosting the HISQ message-unit group.
 pub const OPC_MSG: u32 = 0b010_1011;
 
-fn imm_range(
-    mnemonic: &'static str,
-    value: i64,
-    min: i64,
-    max: i64,
-) -> Result<(), EncodeError> {
+fn imm_range(mnemonic: &'static str, value: i64, min: i64, max: i64) -> Result<(), EncodeError> {
     if value < min || value > max {
         return Err(EncodeError::ImmediateOutOfRange {
             mnemonic,
@@ -110,7 +105,12 @@ fn b_type(f3: u32, left: Reg, right: Reg, offset: i32) -> u32 {
 
 fn s_type(f3: u32, base: Reg, src: Reg, offset: i32) -> u32 {
     let imm = offset as u32;
-    OPC_STORE | ((imm & 0x1f) << 7) | funct3(f3) | rs1(base) | rs2(src) | (((imm >> 5) & 0x7f) << 25)
+    OPC_STORE
+        | ((imm & 0x1f) << 7)
+        | funct3(f3)
+        | rs1(base)
+        | rs2(src)
+        | (((imm >> 5) & 0x7f) << 25)
 }
 
 fn j_type(dst: Reg, offset: i32) -> u32 {

@@ -76,7 +76,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadRegister(index) => write!(f, "register index {index} out of range"),
             DecodeError::MisalignedTarget { offset } => {
-                write!(f, "control-flow target offset {offset} is not 4-byte aligned")
+                write!(
+                    f,
+                    "control-flow target offset {offset} is not 4-byte aligned"
+                )
             }
         }
     }

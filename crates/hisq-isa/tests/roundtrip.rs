@@ -65,7 +65,11 @@ fn arb_load_op() -> impl Strategy<Value = LoadOp> {
 }
 
 fn arb_store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![Just(StoreOp::Byte), Just(StoreOp::Half), Just(StoreOp::Word)]
+    prop_oneof![
+        Just(StoreOp::Byte),
+        Just(StoreOp::Half),
+        Just(StoreOp::Word)
+    ]
 }
 
 /// Strategy producing any encodable HISQ instruction.
@@ -73,13 +77,15 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Inst::Lui { rd, imm20 }),
         (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
-        (arb_reg(), -(1i32 << 18)..(1 << 18))
-            .prop_map(|(rd, words)| Inst::Jal {
-                rd,
-                offset: words * 4
-            }),
-        (arb_reg(), arb_reg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (arb_reg(), -(1i32 << 18)..(1 << 18)).prop_map(|(rd, words)| Inst::Jal {
+            rd,
+            offset: words * 4
+        }),
+        (arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (arb_branch_op(), arb_reg(), arb_reg(), -1024i32..=1023).prop_map(
             |(op, rs1, rs2, words)| Inst::Branch {
                 op,
@@ -88,14 +94,14 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 offset: words * 4
             }
         ),
-        (arb_load_op(), arb_reg(), arb_reg(), -2048i32..=2047).prop_map(
-            |(op, rd, rs1, offset)| Inst::Load {
+        (arb_load_op(), arb_reg(), arb_reg(), -2048i32..=2047).prop_map(|(op, rd, rs1, offset)| {
+            Inst::Load {
                 op,
                 rd,
                 rs1,
-                offset
+                offset,
             }
-        ),
+        }),
         (arb_store_op(), arb_reg(), arb_reg(), -2048i32..=2047).prop_map(
             |(op, rs1, rs2, offset)| Inst::Store {
                 op,
@@ -104,13 +110,16 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 offset
             }
         ),
-        (arb_imm_alu_op(), arb_reg(), arb_reg(), -2048i32..=2047).prop_map(
-            |(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }
-        ),
+        (arb_imm_alu_op(), arb_reg(), arb_reg(), -2048i32..=2047)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
         (arb_shift_op(), arb_reg(), arb_reg(), 0i32..=31)
             .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (0u32..(1 << 22)).prop_map(|cycles| Inst::WaitI { cycles }),
         arb_reg().prop_map(|rs1| Inst::WaitR { rs1 }),
         (0u32..32, 0u32..(1 << 17)).prop_map(|(p, c)| Inst::Cw {

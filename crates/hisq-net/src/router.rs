@@ -116,10 +116,14 @@ impl Router {
             self.addr
         );
         let session = self.sessions.entry(target).or_default();
-        session.per_child.entry(from).or_default().push_back(Booking {
-            time_point,
-            arrival,
-        });
+        session
+            .per_child
+            .entry(from)
+            .or_default()
+            .push_back(Booking {
+                time_point,
+                arrival,
+            });
 
         // A round completes once every child has a booking queued.
         let complete = self

@@ -30,7 +30,10 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// A `width × height` controller grid.
     pub fn grid(width: usize, height: usize) -> TopologyBuilder {
-        assert!(width * height > 0, "topology must have at least one controller");
+        assert!(
+            width * height > 0,
+            "topology must have at least one controller"
+        );
         TopologyBuilder {
             width,
             height,
@@ -263,9 +266,9 @@ impl Topology {
     pub fn region_router(&self, controllers: &[NodeAddr]) -> Option<NodeAddr> {
         let first = *controllers.first()?;
         for candidate in self.ancestors(first) {
-            let covers_all = controllers.iter().all(|&c| {
-                c == candidate || self.ancestors(c).contains(&candidate)
-            });
+            let covers_all = controllers
+                .iter()
+                .all(|&c| c == candidate || self.ancestors(c).contains(&candidate));
             if covers_all {
                 return Some(candidate);
             }

@@ -48,16 +48,25 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "clbit {clbit} out of range for {num_clbits}-clbit circuit")
+                write!(
+                    f,
+                    "clbit {clbit} out of range for {num_clbits}-clbit circuit"
+                )
             }
             CircuitError::ArityMismatch {
                 gate,
                 expected,
                 found,
-            } => write!(f, "gate `{gate}` expects {expected} qubit(s), found {found}"),
+            } => write!(
+                f,
+                "gate `{gate}` expects {expected} qubit(s), found {found}"
+            ),
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} listed more than once")
             }
@@ -115,7 +124,9 @@ impl Condition {
     /// Evaluates the condition against a classical register.
     pub fn evaluate(&self, register: &[bool]) -> bool {
         match self {
-            Condition::Bit { clbit, value } => register.get(*clbit).copied().unwrap_or(false) == *value,
+            Condition::Bit { clbit, value } => {
+                register.get(*clbit).copied().unwrap_or(false) == *value
+            }
             Condition::Parity { clbits, value } => {
                 let parity = clbits
                     .iter()
@@ -262,7 +273,10 @@ impl Circuit {
 
     /// Number of classically conditioned instructions (feedback points).
     pub fn feedback_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_conditional()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_conditional())
+            .count()
     }
 
     /// Number of measurements.
@@ -524,7 +538,9 @@ impl fmt::Display for Circuit {
             write!(f, "  [{i:4}] ")?;
             if let Some(cond) = &inst.condition {
                 match cond {
-                    Condition::Bit { clbit, value } => write!(f, "if c{clbit}=={} ", u8::from(*value))?,
+                    Condition::Bit { clbit, value } => {
+                        write!(f, "if c{clbit}=={} ", u8::from(*value))?
+                    }
                     Condition::Parity { clbits, value } => {
                         write!(f, "if parity{clbits:?}=={} ", u8::from(*value))?
                     }

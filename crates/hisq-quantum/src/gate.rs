@@ -166,30 +166,15 @@ impl Gate {
         match self {
             // Basis order: index = (second_qubit << 1) | first_qubit,
             // first listed qubit = control for Cx.
-            Gate::Cx => [
-                [o, z, z, z],
-                [z, z, z, o],
-                [z, z, o, z],
-                [z, o, z, z],
-            ],
-            Gate::Cz => [
-                [o, z, z, z],
-                [z, o, z, z],
-                [z, z, o, z],
-                [z, z, z, -o],
-            ],
+            Gate::Cx => [[o, z, z, z], [z, z, z, o], [z, z, o, z], [z, o, z, z]],
+            Gate::Cz => [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]],
             Gate::Cphase(theta) => [
                 [o, z, z, z],
                 [z, o, z, z],
                 [z, z, o, z],
                 [z, z, z, C64::from_polar(theta)],
             ],
-            Gate::Swap => [
-                [o, z, z, z],
-                [z, z, o, z],
-                [z, o, z, z],
-                [z, z, z, o],
-            ],
+            Gate::Swap => [[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]],
             _ => panic!("matrix2q called on single-qubit gate {self:?}"),
         }
     }
@@ -223,10 +208,10 @@ mod tests {
     }
 
     fn assert_identity2(m: [[C64; 2]; 2]) {
-        for r in 0..2 {
-            for c in 0..2 {
+        for (r, row) in m.iter().enumerate() {
+            for (c, entry) in row.iter().enumerate() {
                 let expect = if r == c { C64::ONE } else { C64::ZERO };
-                assert!(m[r][c].approx_eq(expect, 1e-12), "entry ({r},{c}) = {}", m[r][c]);
+                assert!(entry.approx_eq(expect, 1e-12), "entry ({r},{c}) = {entry}");
             }
         }
     }
@@ -264,8 +249,8 @@ mod tests {
             for r in 0..4 {
                 for c in 0..4 {
                     let mut dot = C64::ZERO;
-                    for k in 0..4 {
-                        dot += m[r][k] * m[c][k].conj();
+                    for (x, y) in m[r].iter().zip(&m[c]) {
+                        dot += *x * y.conj();
                     }
                     let expect = if r == c { C64::ONE } else { C64::ZERO };
                     assert!(dot.approx_eq(expect, 1e-12));

@@ -71,10 +71,7 @@ mod tests {
             d.operation_ns(&Operation::Measure { qubit: 0, clbit: 0 }),
             300
         );
-        assert_eq!(
-            d.operation_ns(&Operation::Barrier { qubits: vec![] }),
-            0
-        );
+        assert_eq!(d.operation_ns(&Operation::Barrier { qubits: vec![] }), 0);
         assert_eq!(
             d.operation_ns(&Operation::Delay {
                 qubit: 0,

@@ -274,24 +274,31 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::DuplicateAddr`] if `programs` repeats an
-    /// address.
+    /// Returns [`SimError::DuplicateAddr`] if a program address collides
+    /// with another program or with a router of the tree.
     pub fn from_topology(
         topology: &Topology,
         programs: BTreeMap<NodeAddr, Vec<Inst>>,
     ) -> Result<System, SimError> {
         let mut system = System::new();
-        for (addr, program) in programs {
-            let config = topology.node_config(addr);
-            system.try_add_controller(config, program)?;
-        }
+        // Routers first, so a program keyed at a router address is
+        // caught as a collision instead of silently shadowing the node.
         for &router_addr in topology.routers() {
             let router = Router::new(
                 router_addr,
                 topology.parent_of(router_addr),
                 topology.children_of(router_addr).to_vec(),
             );
-            system.add_router(router);
+            system.try_add_router(router)?;
+        }
+        for (addr, program) in programs {
+            // Checked before `node_config`, which only accepts
+            // controller addresses and would panic on a router's.
+            if system.routers.contains_key(&addr) {
+                return Err(SimError::DuplicateAddr(addr));
+            }
+            let config = topology.node_config(addr);
+            system.try_add_controller(config, program)?;
         }
         system.topology = Some(topology.clone());
         Ok(system)
@@ -319,23 +326,71 @@ impl System {
         program: Vec<Inst>,
     ) -> Result<(), SimError> {
         let addr = config.addr;
-        if self.controllers.contains_key(&addr) || self.routers.contains_key(&addr) {
+        if self.taken(addr) {
             return Err(SimError::DuplicateAddr(addr));
         }
         self.node_configs.insert(addr, config.clone());
-        self.controllers.insert(addr, Controller::new(config, program));
+        self.controllers
+            .insert(addr, Controller::new(config, program));
         self.commit_watermark.insert(addr, 0);
         Ok(())
     }
 
     /// Adds a router node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate address; use [`System::try_add_router`] for
+    /// fallible insertion.
     pub fn add_router(&mut self, router: Router) {
-        self.routers.insert(router.addr(), router);
+        self.try_add_router(router)
+            .expect("duplicate router address");
+    }
+
+    /// Fallible [`System::add_router`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateAddr`] when the address is taken.
+    pub fn try_add_router(&mut self, router: Router) -> Result<(), SimError> {
+        let addr = router.addr();
+        if self.taken(addr) {
+            return Err(SimError::DuplicateAddr(addr));
+        }
+        self.routers.insert(addr, router);
+        Ok(())
     }
 
     /// Adds a broadcast hub at `addr` (see [`Hub`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate address; use [`System::try_add_hub`] for
+    /// fallible insertion.
     pub fn add_hub(&mut self, addr: NodeAddr, hub: Hub) {
+        self.try_add_hub(addr, hub).expect("duplicate hub address");
+    }
+
+    /// Fallible [`System::add_hub`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateAddr`] when the address is taken.
+    pub fn try_add_hub(&mut self, addr: NodeAddr, hub: Hub) -> Result<(), SimError> {
+        if self.taken(addr) {
+            return Err(SimError::DuplicateAddr(addr));
+        }
         self.hubs.insert(addr, hub);
+        Ok(())
+    }
+
+    /// Whether `addr` is already registered to any node kind, so every
+    /// registration path rejects collisions regardless of insertion
+    /// order.
+    fn taken(&self, addr: NodeAddr) -> bool {
+        self.controllers.contains_key(&addr)
+            || self.routers.contains_key(&addr)
+            || self.hubs.contains_key(&addr)
     }
 
     /// Replaces the quantum backend (default: seeded random outcomes).
@@ -492,8 +547,7 @@ impl System {
                         self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
                     }
                     QuantumAction::Measure { qubit } => {
-                        let latency =
-                            self.config.durations.measurement_ns / CYCLE_NS;
+                        let latency = self.config.durations.measurement_ns / CYCLE_NS;
                         self.schedule_measurement(addr, qubit, commit.cycle, latency);
                     }
                     QuantumAction::Reset { qubit } => {
@@ -509,7 +563,12 @@ impl System {
                 continue;
             }
             if let Some(binding) = self.meas_ports.get(&(addr, commit.port)).copied() {
-                self.schedule_measurement(addr, binding.qubit, commit.cycle, binding.result_latency);
+                self.schedule_measurement(
+                    addr,
+                    binding.qubit,
+                    commit.cycle,
+                    binding.result_latency,
+                );
             }
         }
     }
@@ -634,7 +693,11 @@ impl System {
                             )),
                         );
                     }
-                    RouterAction::Broadcast { children, t_m, target } => {
+                    RouterAction::Broadcast {
+                        children,
+                        t_m,
+                        target,
+                    } => {
                         for child in children {
                             let at = if self.config.idealize_downlink {
                                 deliver_at
@@ -794,9 +857,8 @@ mod tests {
         let root = topo.root_router().unwrap();
         let mut programs = BTreeMap::new();
         for (i, delay) in [40u32, 90, 60, 120].iter().enumerate() {
-            let src = format!(
-                "li t0, 30\nwaiti {delay}\nsync {root}, t0\nwaiti 30\ncw.i.i 0, 1\nstop"
-            );
+            let src =
+                format!("li t0, 30\nwaiti {delay}\nsync {root}, t0\nwaiti 30\ncw.i.i 0, 1\nstop");
             programs.insert(i as NodeAddr, asm(&src));
         }
         let mut system = System::from_topology(&topo, programs).unwrap();
@@ -888,10 +950,7 @@ mod tests {
     #[test]
     fn deadlock_is_reported_not_hung() {
         let mut system = System::new();
-        system.add_controller(
-            NodeConfig::new(0).with_neighbor(1, 5),
-            asm("sync 1\nstop"),
-        );
+        system.add_controller(NodeConfig::new(0).with_neighbor(1, 5), asm("sync 1\nstop"));
         system.add_controller(NodeConfig::new(1).with_neighbor(0, 5), asm("stop"));
         let report = system.run().unwrap();
         assert!(!report.all_halted);
@@ -903,8 +962,10 @@ mod tests {
 
     #[test]
     fn event_budget_guards_runaway_programs() {
-        let mut config = SimConfig::default();
-        config.max_events = 100;
+        let config = SimConfig {
+            max_events: 100,
+            ..SimConfig::default()
+        };
         let mut system = System::with_config(config);
         // Two controllers bouncing classical messages forever.
         system.add_controller(
@@ -976,8 +1037,14 @@ mod tests {
         let report = system.run().unwrap();
         assert!(report.all_halted, "{:?}", report);
         assert_eq!(report.causality_warnings, 0);
-        let m0 = system.controller(0).unwrap().reg(hisq_isa::Reg::parse("t0").unwrap());
-        let m1 = system.controller(1).unwrap().reg(hisq_isa::Reg::parse("t0").unwrap());
+        let m0 = system
+            .controller(0)
+            .unwrap()
+            .reg(hisq_isa::Reg::parse("t0").unwrap());
+        let m1 = system
+            .controller(1)
+            .unwrap()
+            .reg(hisq_isa::Reg::parse("t0").unwrap());
         assert_eq!(m0, m1, "Bell correlations through the full stack");
     }
 

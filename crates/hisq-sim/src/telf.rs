@@ -98,11 +98,7 @@ impl Telf {
     /// Pairs the i-th events of two channels and returns their cycle
     /// differences (`b − a`), the Figure 13 alignment check: for a
     /// correctly synchronized pair every difference is a constant.
-    pub fn alignment(
-        &self,
-        a: (NodeAddr, u32),
-        b: (NodeAddr, u32),
-    ) -> Vec<i64> {
+    pub fn alignment(&self, a: (NodeAddr, u32), b: (NodeAddr, u32)) -> Vec<i64> {
         let ea = self.channel(a.0, a.1);
         let eb = self.channel(b.0, b.1);
         ea.iter()

@@ -53,8 +53,14 @@ fn sum(circuit: &mut Circuit, ci: usize, ai: usize, bi: usize) {
 /// Panics if `n == 0` or an input value needs more than `n` bits.
 pub fn vbe_adder(n: usize, a_value: u64, b_value: u64) -> Circuit {
     assert!(n > 0, "adder width must be positive");
-    assert!(n >= 64 || a_value < (1u64 << n), "a_value must fit {n} bits");
-    assert!(n >= 64 || b_value < (1u64 << n), "b_value must fit {n} bits");
+    assert!(
+        n >= 64 || a_value < (1u64 << n),
+        "a_value must fit {n} bits"
+    );
+    assert!(
+        n >= 64 || b_value < (1u64 << n),
+        "b_value must fit {n} bits"
+    );
     let mut circuit = Circuit::named(format!("adder_n{}", 3 * n + 1), 3 * n + 1, n + 1);
 
     // Input bits beyond u64 width are zero.

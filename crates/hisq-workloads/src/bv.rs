@@ -18,7 +18,7 @@ use hisq_quantum::Circuit;
 /// set (`secret` is truncated to `n − 1` bits).
 pub fn bernstein_vazirani(n: usize, secret: &[bool]) -> Circuit {
     assert!(n >= 2, "BV needs at least one data qubit plus the ancilla");
-    assert!(secret.len() <= n - 1, "secret longer than the data register");
+    assert!(secret.len() < n, "secret longer than the data register");
     let ancilla = n - 1;
     let mut circuit = Circuit::named(format!("bv_n{n}"), n, n - 1);
 

@@ -189,8 +189,7 @@ pub fn logical_t(config: &LogicalTConfig) -> LogicalTInstance {
     let grid_height = side;
 
     // Upper bound on clbits: all rounds measure at most every site.
-    let clbit_capacity =
-        units * (config.pre_rounds + config.merge_rounds + 2) * unit_width * side;
+    let clbit_capacity = units * (config.pre_rounds + config.merge_rounds + 2) * unit_width * side;
     let mut circuit = Circuit::named(
         format!("logical_t_d{d}_x{units}"),
         grid_width * grid_height,
@@ -221,7 +220,12 @@ pub fn logical_t(config: &LogicalTConfig) -> LogicalTInstance {
         // Pre-merge stabilizer rounds on both patches.
         for _ in 0..config.pre_rounds {
             syndrome_round(&mut circuit, &layout, 0, &mut next_clbit);
-            syndrome_round(&mut circuit, &layout, layout.patch_m_base(), &mut next_clbit);
+            syndrome_round(
+                &mut circuit,
+                &layout,
+                layout.patch_m_base(),
+                &mut next_clbit,
+            );
         }
 
         // Merge: d rounds of seam ZZ measurements.

@@ -90,7 +90,11 @@ fn qec(name: impl Into<String>, config: &LogicalTConfig) -> Benchmark {
 pub fn fig15_suite(scale: SuiteScale) -> Vec<Benchmark> {
     match scale {
         SuiteScale::Paper => vec![
-            mapped("adder_n577", vbe_adder(192, 0x5a5a_5a5a_5a5a, 0x3c3c_3c3c_3c3c), 1),
+            mapped(
+                "adder_n577",
+                vbe_adder(192, 0x5a5a_5a5a_5a5a, 0x3c3c_3c3c_3c3c),
+                1,
+            ),
             mapped(
                 "adder_n1153",
                 vbe_adder(384, 0x5a5a_5a5a_5a5a, 0x3c3c_3c3c_3c3c),
@@ -120,7 +124,11 @@ pub fn fig15_suite(scale: SuiteScale) -> Vec<Benchmark> {
         ],
         SuiteScale::Quick => vec![
             mapped("adder_n13", vbe_adder(4, 0b1010, 0b0110), 1),
-            mapped("bv_n16", bernstein_vazirani(16, &random_secret(15, 4, 40)), 3),
+            mapped(
+                "bv_n16",
+                bernstein_vazirani(16, &random_secret(15, 4, 40)),
+                3,
+            ),
             qec("logical_t_d3", &LogicalTConfig::distance(3)),
             qec(
                 "logical_t_d3x2",

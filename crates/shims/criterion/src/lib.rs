@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API subset the workspace benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::throughput`] and
+//! [`BenchmarkGroup::sample_size`], and [`Bencher::iter`] — and reports a
+//! simple mean wall-clock time per iteration instead of criterion's full
+//! statistical analysis. Good enough to keep the benches compiling,
+//! runnable, and honest about relative cost; not a measurement-grade
+//! replacement.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark: enough iterations to amortize timer
+/// overhead while keeping `cargo bench` runs short.
+const TARGET_TIME: Duration = Duration::from_millis(200);
+const WARMUP_ITERS: u64 = 3;
+
+/// Entry point handed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(id.as_ref(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.as_ref().to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units-per-iteration annotation for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benches with a units-per-iteration rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.as_ref()), self.throughput);
+        self
+    }
+
+    /// Ends the group (criterion finalizes reports here; the shim
+    /// reports eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        // Calibrate a batch size from a single timed call, then run
+        // whole batches until the time budget is spent.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let mut iters = 1u64;
+        let mut elapsed = once;
+        while elapsed < TARGET_TIME {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch as u64;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / self.mean_ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 * 1e3 / self.mean_ns)
+            }
+            None => String::new(),
+        };
+        println!("{id:<40} time: {:>12.1} ns/iter{rate}", self.mean_ns);
+    }
+}
+
+/// Declares a function running a list of bench functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,95 @@
+//! The case loop: draws inputs, runs the property, reports failures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` did not hold: the case is discarded.
+    Reject(String),
+}
+
+/// Result type the `proptest!`-generated closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Base seed for case generation. Overridable via `PROPTEST_SEED` so a
+/// reported failure can be replayed exactly.
+const DEFAULT_SEED: u64 = 0x4849_5351_2025; // "HISQ" 2025
+
+/// Executes a property over `config.cases` sampled inputs.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` on freshly sampled values until the case budget is
+    /// met, a case fails, or the reject budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (with its seed, for replay) and
+    /// when rejects outnumber `cases * 16`.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let max_rejects = self.config.cases as u64 * 16;
+        let mut rejects = 0u64;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < self.config.cases {
+            let seed = base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            attempt += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            match test(strategy.sample(&mut rng)) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "too many rejected cases ({rejects}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "property failed at case {case} (replay with PROPTEST_SEED={base_seed}, \
+                         case seed {seed}): {message}"
+                    );
+                }
+            }
+        }
+    }
+}

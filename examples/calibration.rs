@@ -40,9 +40,7 @@ fn main() {
         t1.fitted_t1_us, t1.reference_t1_us
     );
     for (delay, p) in t1.delay_us.iter().zip(&t1.p_excited).step_by(5) {
-        let bar: String = std::iter::repeat('#')
-            .take((p * 40.0).round() as usize)
-            .collect();
+        let bar: String = std::iter::repeat_n('#', (p * 40.0).round() as usize).collect();
         println!("   {delay:5.1} us | {bar:<40} {p:.3}");
     }
 

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example logical_t_qec`
 
-use distributed_hisq::compiler::{
-    compile_bisp, compile_lockstep, BispOptions, LockstepOptions,
-};
+use distributed_hisq::compiler::{compile_bisp, compile_lockstep, BispOptions, LockstepOptions};
 use distributed_hisq::net::TopologyBuilder;
 use distributed_hisq::runner::build_system;
 use distributed_hisq::sim::RandomBackend;

@@ -6,8 +6,7 @@
 //! Run with: `cargo run --example long_range_cnot`
 
 use distributed_hisq::compiler::{
-    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions,
-    LongRangeConfig,
+    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions, LongRangeConfig,
 };
 use distributed_hisq::net::TopologyBuilder;
 use distributed_hisq::quantum::Circuit;
@@ -36,7 +35,8 @@ fn main() {
     let topology = TopologyBuilder::linear(physical.circuit.num_qubits()).build();
 
     // --- Distributed-HISQ (BISP) --------------------------------------
-    let bisp = compile_bisp(&physical.circuit, &topology, &BispOptions::default()).expect("compiles");
+    let bisp =
+        compile_bisp(&physical.circuit, &topology, &BispOptions::default()).expect("compiles");
     let mut system = build_system(&bisp, Some(&topology)).expect("builds");
     system.set_backend(StabilizerBackend::new(physical.circuit.num_qubits(), 42));
     let report = system.run().expect("runs");

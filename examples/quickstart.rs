@@ -50,9 +50,20 @@ fn main() {
     let telf = system.telf();
     let a = telf.commits_of(0)[0];
     let b = telf.commits_of(1)[0];
-    println!("controller 0 committed at cycle {} ({} ns)", a.cycle, a.time_ns());
-    println!("controller 1 committed at cycle {} ({} ns)", b.cycle, b.time_ns());
+    println!(
+        "controller 0 committed at cycle {} ({} ns)",
+        a.cycle,
+        a.time_ns()
+    );
+    println!(
+        "controller 1 committed at cycle {} ({} ns)",
+        b.cycle,
+        b.time_ns()
+    );
     assert_eq!(a.cycle, b.cycle, "BISP aligns the commits");
     println!("\nzero-cycle synchronization: both triggers at the same 4 ns slot,");
-    println!("with total timer stall {} cycles across the system.", report.total_stall_cycles);
+    println!(
+        "with total timer stall {} cycles across the system.",
+        report.total_stall_cycles
+    );
 }

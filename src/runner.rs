@@ -39,15 +39,13 @@ pub fn build_system(
         }
         Scheme::Lockstep => {
             let hub = compiled.hub.expect("lock-step systems carry a hub spec");
-            let mut config = hisq_sim::SimConfig::default();
-            config.default_classical_latency = hub.up_latency;
+            let config = hisq_sim::SimConfig {
+                default_classical_latency: hub.up_latency,
+                ..hisq_sim::SimConfig::default()
+            };
             let mut system = System::with_config(config);
-            for (&addr, program) in &compiled.programs {
-                system.try_add_controller(
-                    NodeConfig::new(addr).with_pipeline_headroom(32),
-                    program.insts().to_vec(),
-                )?;
-            }
+            // Hub first, so a controller compiled onto the hub's address
+            // surfaces as `SimError::DuplicateAddr`.
             system.add_hub(
                 hub.addr,
                 Hub {
@@ -55,10 +53,20 @@ pub fn build_system(
                     down_latency: hub.down_latency,
                 },
             );
+            for (&addr, program) in &compiled.programs {
+                system.try_add_controller(
+                    NodeConfig::new(addr).with_pipeline_headroom(32),
+                    program.insts().to_vec(),
+                )?;
+            }
             system
         }
     };
-    apply_bindings(&mut system, &compiled.bindings, compiled.durations.measurement);
+    apply_bindings(
+        &mut system,
+        &compiled.bindings,
+        compiled.durations.measurement,
+    );
     Ok(system)
 }
 

@@ -5,8 +5,8 @@
 use std::collections::BTreeMap;
 
 use distributed_hisq::compiler::{
-    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions,
-    LongRangeConfig, Scheme,
+    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions, LongRangeConfig,
+    Scheme,
 };
 use distributed_hisq::quantum::{Circuit, Condition};
 use distributed_hisq::runner::build_system;
@@ -137,7 +137,7 @@ fn booking_advance_never_slower() {
             },
         )
         .unwrap();
-        let mut run = |compiled| {
+        let run = |compiled| {
             let mut system = build_system(&compiled, Some(&topo)).unwrap();
             system.set_backend(distributed_hisq::sim::RandomBackend::new(3, 0.5));
             let report = system.run().unwrap();
@@ -170,9 +170,16 @@ fn quick_suite_runs_on_both_schemes() {
         let mut sys_l = build_system(&lockstep, None).unwrap();
         sys_l.set_backend(distributed_hisq::sim::RandomBackend::new(1, 0.5));
         let rep_l = sys_l.run().unwrap();
-        assert!(rep_l.all_halted, "{} lockstep: {:?}", bench.name, rep_l.blocked);
+        assert!(
+            rep_l.all_halted,
+            "{} lockstep: {:?}",
+            bench.name, rep_l.blocked
+        );
 
-        results.insert(bench.name.clone(), (rep_b.makespan_cycles, rep_l.makespan_cycles));
+        results.insert(
+            bench.name.clone(),
+            (rep_b.makespan_cycles, rep_l.makespan_cycles),
+        );
     }
     // Feedback-heavy workloads must favour Distributed-HISQ; the
     // simultaneous-feedback QEC case must show a clear win.

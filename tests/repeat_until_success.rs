@@ -66,7 +66,11 @@ fn rus_loops_until_the_herald_succeeds() {
         outcomes.push(true);
         let mut system = rus_system(outcomes);
         let report = system.run().expect("runs");
-        assert!(report.all_halted, "failures={failures}: {:?}", report.blocked);
+        assert!(
+            report.all_halted,
+            "failures={failures}: {:?}",
+            report.blocked
+        );
 
         // The attempt counter must reflect the non-deterministic loop
         // count — unknowable at compile time.

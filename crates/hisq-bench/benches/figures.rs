@@ -61,7 +61,7 @@ fn bench_fig15(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15");
     group.sample_size(10);
     for bench in &suite {
-        group.bench_function(&bench.name, |b| b.iter(|| fig15_row(bench, 7)));
+        group.bench_function(&bench.name, |b| b.iter(|| fig15_row(&bench.name, 7)));
     }
     group.finish();
 }

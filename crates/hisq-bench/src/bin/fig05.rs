@@ -1,29 +1,48 @@
 //! Regenerates Figure 5: BISP timing for nearby (a) and remote (b)
-//! synchronization.
+//! synchronization, as a two-point sweep.
 
-use hisq_bench::figures::{fig05_nearby, fig05_remote};
+use hisq_bench::cli::FigArgs;
+use hisq_bench::figures::fig05_report;
+use hisq_sim::SweepRunner;
 
 fn main() {
-    let a = fig05_nearby();
+    let args = FigArgs::parse();
+    let report = fig05_report(&SweepRunner::new(args.threads));
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let a = report.record("nearby").expect("nearby point ran");
+    let n = |key: &str| a.counter(key).expect("nearby metrics");
     println!("Figure 5(a): nearby synchronization");
     println!(
         "  booking B0 = {} cycles, B1 = {} cycles, link N = L = {}",
-        a.booking0, a.booking1, a.link_latency
+        n("booking0"),
+        n("booking1"),
+        n("link_latency")
     );
-    println!("  commits: C0 @ {}  C1 @ {}", a.commit0, a.commit1);
+    println!("  commits: C0 @ {}  C1 @ {}", n("commit0"), n("commit1"));
     println!(
         "  aligned: {}   overhead: {} cycles (paper: zero-cycle)",
-        a.commit0 == a.commit1,
-        a.overhead
+        a.value("aligned") == Some(1.0),
+        n("overhead")
     );
 
-    let b = fig05_remote();
+    let b = report.record("remote").expect("remote point ran");
     println!("\nFigure 5(b): remote (region) synchronization via router");
-    for (i, (booking, horizon)) in b.bookings.iter().enumerate() {
+    for i in 0.. {
+        let (Some(booking), Some(horizon)) = (
+            b.counter(&format!("booking_c{i}")),
+            b.counter(&format!("horizon_c{i}")),
+        ) else {
+            break;
+        };
         println!("  C{i}: booking @ ~{booking} cycles, horizon {horizon} -> T{i}");
     }
     println!(
         "  common commit @ {} cycles, aligned: {}",
-        b.commit, b.aligned
+        b.counter("commit").expect("remote metrics"),
+        b.value("aligned") == Some(1.0)
     );
 }

@@ -1,15 +1,38 @@
 //! Regenerates Figure 6: generated instructions for nearby
 //! synchronization, with the booking-advance `sync` placement.
 
+use hisq_bench::cli::FigArgs;
 use hisq_bench::figures::fig06_listing;
+use hisq_sim::{SweepRecord, SweepRunner};
 
 fn main() {
-    let (c0, c1) = fig06_listing();
+    let args = FigArgs::parse();
+    let report = SweepRunner::new(args.threads).run(&["nearby_cz"], |_, &id| {
+        let (c0, c1) = fig06_listing();
+        let hoisted = match (c0.find("sync"), c0.rfind("cw.i.i")) {
+            (Some(sync), Some(last_cw)) => sync < last_cw,
+            _ => false,
+        };
+        SweepRecord::new(id)
+            .with("controller_0", c0)
+            .with("controller_1", c1)
+            .with("sync_hoisted", hoisted)
+    });
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let record = report.record("nearby_cz").expect("listing generated");
+    let listing = |key: &str| match record.metric(key) {
+        Some(hisq_sim::Metric::Str(s)) => s.as_str(),
+        _ => unreachable!("listings are string metrics"),
+    };
     println!("Figure 6: compiled nearby-synchronization listings\n");
     println!("# Controller 0 (two H gates, then the synchronized CZ):");
-    println!("{c0}");
+    println!("{}", listing("controller_0"));
     println!("# Controller 1 (the partner half):");
-    println!("{c1}");
+    println!("{}", listing("controller_1"));
     println!("# Note the `sync` hoisted ahead of the synchronization point,");
     println!("# overlapping the deterministic work with the countdown.");
 }

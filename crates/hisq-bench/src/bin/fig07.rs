@@ -1,18 +1,36 @@
 //! Regenerates Figure 7: remote synchronization with non-zero overhead
-//! when deterministic work cannot cover the booking latency.
+//! when deterministic work cannot cover the booking latency — a sweep
+//! over the router-latency axis (real vs ideal links).
 
-use hisq_bench::figures::fig07_overhead;
+use hisq_bench::cli::FigArgs;
+use hisq_bench::figures::fig07_report;
+use hisq_sim::SweepRunner;
 
 fn main() {
-    let r = fig07_overhead();
+    let args = FigArgs::parse();
+    let report = fig07_report(&SweepRunner::new(args.threads));
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let commit = |id: &str| {
+        report
+            .record(id)
+            .and_then(|r| r.counter("commit_c2"))
+            .expect("both points ran")
+    };
+    let (real, ideal) = (commit("real"), commit("ideal"));
+    let point = report.record("real").expect("real point ran");
+    let n = |key: &str| point.counter(key).expect("figure metrics");
     println!("Figure 7: non-zero synchronization overhead");
-    println!("  C2 deterministic horizon D2 = {} cycles", r.d2);
-    println!("  booking uplink latency  L2 = {} cycles", r.l2);
-    println!("  commit with real links:   {} cycles", r.commit_real);
-    println!("  commit with ideal links:  {} cycles", r.commit_ideal);
+    println!("  C2 deterministic horizon D2 = {} cycles", n("d2"));
+    println!("  booking uplink latency  L2 = {} cycles", n("l2"));
+    println!("  commit with real links:   {real} cycles");
+    println!("  commit with ideal links:  {ideal} cycles");
     println!(
         "  measured overhead = {} cycles (expected L2 - D2 = {})",
-        r.overhead,
-        r.l2 - r.d2
+        real - ideal,
+        n("l2") - n("d2")
     );
 }

@@ -5,9 +5,18 @@ use hisq_analog::experiments::{
     circle_experiment, rabi_experiment, spectroscopy_experiment, t1_experiment, CircleConfig,
     RabiConfig, SpectroscopyConfig, T1Config,
 };
+use hisq_bench::cli::FigArgs;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    // Calibration runs are single experiments, not sweeps: the shared
+    // flags (--threads/--json/--quick) are accepted and ignored so the
+    // CI smoke invocation stays uniform across all fig* binaries.
+    let args = FigArgs::parse();
+    let which = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".into());
 
     if which == "all" || which == "circle" {
         let r = circle_experiment(&CircleConfig::default());

@@ -1,9 +1,14 @@
 //! Regenerates Figures 12/13: the electronics-level synchronization
 //! experiment on the paper's exact control/readout board programs.
 
+use hisq_bench::cli::FigArgs;
 use hisq_bench::figures::fig13_waveforms;
 
 fn main() {
+    // One fixed two-board experiment, not a sweep: the shared flags
+    // (--threads/--json/--quick) are accepted and ignored so the CI
+    // smoke invocation stays uniform across all fig* binaries.
+    let _ = FigArgs::parse();
     let r = fig13_waveforms();
     println!("Figure 13: two-board synchronization under waitr drift\n");
     println!("Waveforms (one column per 16 cycles, '|' = committed pulse):");

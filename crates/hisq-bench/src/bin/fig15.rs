@@ -1,18 +1,32 @@
 //! Regenerates Figure 15: normalized end-to-end runtime of
 //! Distributed-HISQ vs the lock-step baseline across the benchmark
-//! suite. Pass `--quick` for the scaled-down twin suite.
+//! suite — a (workload × scheme) sweep. Pass `--quick` for the
+//! scaled-down twin suite, `--threads N` to parallelize, `--json` for
+//! the raw sweep report.
 
-use hisq_bench::figures::fig15_row;
-use hisq_workloads::{fig15_suite, SuiteScale};
+use distributed_hisq::runner::run_sweep;
+use hisq_bench::cli::FigArgs;
+use hisq_bench::figures::{fig15_rows, fig15_scenarios};
+use hisq_workloads::SuiteScale;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick {
+    let args = FigArgs::parse();
+    let scale = if args.quick {
         SuiteScale::Quick
     } else {
         SuiteScale::Paper
     };
-    let suite = fig15_suite(scale);
+    let scenarios = fig15_scenarios(scale, 15);
+    eprintln!(
+        "[fig15] running {} scenarios on {} thread(s)...",
+        scenarios.len(),
+        args.threads
+    );
+    let report = run_sweep(&scenarios, args.threads);
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
 
     println!("Figure 15: normalized runtime (Distributed-HISQ / lock-step baseline)");
     println!("{:-<86}", "");
@@ -21,14 +35,8 @@ fn main() {
         "benchmark", "bisp (ns)", "baseline (ns)", "normalized", "bisp insts", "base insts"
     );
     println!("{:-<86}", "");
-    let mut normalized = Vec::new();
-    for bench in &suite {
-        eprintln!(
-            "[fig15] running {} ({} controllers)...",
-            bench.name,
-            bench.grid.0 * bench.grid.1
-        );
-        let row = fig15_row(bench, 15);
+    let rows = fig15_rows(&report);
+    for row in &rows {
         println!(
             "{:<16} {:>14} {:>14} {:>10.3}   {:>12} {:>12}",
             row.name,
@@ -38,9 +46,8 @@ fn main() {
             row.bisp_instructions,
             row.lockstep_instructions
         );
-        normalized.push(row.normalized);
     }
     println!("{:-<86}", "");
-    let avg = normalized.iter().sum::<f64>() / normalized.len() as f64;
+    let avg = rows.iter().map(|r| r.normalized).sum::<f64>() / rows.len() as f64;
     println!("{:<16} {:>40.3}   (paper average: 0.772)", "average", avg);
 }

@@ -1,11 +1,28 @@
 //! Regenerates Figure 16: circuit infidelity vs qubit relaxation time
-//! for the simultaneous long-range CNOT circuit, under both schemes.
+//! for the simultaneous long-range CNOT circuit, under both schemes —
+//! a (T1 × scheme) sweep. `--quick` trims the T1 axis, `--threads N`
+//! parallelizes, `--json` emits the raw sweep report.
 
-use hisq_bench::figures::fig16_sweep;
+use distributed_hisq::runner::run_sweep;
+use hisq_bench::cli::FigArgs;
+use hisq_bench::figures::{fig16_points, fig16_scenarios};
 
 fn main() {
-    let t_points: Vec<f64> = (1..=10).map(|i| 30.0 * i as f64).collect();
-    let points = fig16_sweep(&t_points);
+    let args = FigArgs::parse();
+    let steps = if args.quick {
+        [3, 6, 10].as_slice()
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+    };
+    let t_points: Vec<f64> = steps.iter().map(|&i| 30.0 * i as f64).collect();
+    let scenarios = fig16_scenarios(&t_points);
+    let report = run_sweep(&scenarios, args.threads);
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let points = fig16_points(&scenarios, &report);
     println!("Figure 16: infidelity vs relaxation time (T1 = T2)");
     println!("{:-<64}", "");
     println!(

@@ -1,12 +1,31 @@
 //! Regenerates Table 1: FPGA resource consumption of HISQ on the
-//! control and readout boards, from the additive resource model.
+//! control and readout boards, from the additive resource model — a
+//! sweep over the channel-count axis (§7.1 multi-core extrapolation).
 
+use hisq_bench::cli::FigArgs;
 use hisq_bench::resources::{
     board_resources, BASE_CORE, CONTROL_BOARD_CHANNELS, EVENT_QUEUE, READOUT_BOARD_CHANNELS,
     SYNC_UNIT,
 };
+use hisq_sim::{SweepRecord, SweepRunner};
 
 fn main() {
+    let args = FigArgs::parse();
+    let channels = [8u64, 16, 28, 56, 112];
+    let report = SweepRunner::new(args.threads).run(&channels, |_, &n| {
+        let r = board_resources(n);
+        SweepRecord::new(format!("channels_{n}"))
+            .with("channels", n)
+            .with("luts", r.luts)
+            .with("bram_blocks", r.bram_blocks)
+            .with("ffs", r.ffs)
+            .with("bram_mb", r.bram_blocks * 32.0 / 1024.0)
+    });
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
     println!("Table 1: FPGA resource consumption of HISQ");
     println!("{:-<66}", "");
     println!(
@@ -14,15 +33,29 @@ fn main() {
         "Type", "#LUTs", "#BlockRAM", "#FF"
     );
     println!("{:-<66}", "");
-    let control = board_resources(CONTROL_BOARD_CHANNELS);
-    let readout = board_resources(READOUT_BOARD_CHANNELS);
+    let board = |channels: u64| {
+        report
+            .record(&format!("channels_{channels}"))
+            .expect("channel point ran")
+    };
+    let control = board(CONTROL_BOARD_CHANNELS);
+    let readout = board(READOUT_BOARD_CHANNELS);
+    let cells = |r: &hisq_sim::SweepRecord| {
+        (
+            r.counter("luts").unwrap(),
+            r.value("bram_blocks").unwrap(),
+            r.counter("ffs").unwrap(),
+        )
+    };
+    let (luts, bram, ffs) = cells(control);
     println!(
         "{:<28} {:>8} {:>12.1} {:>8}   (paper: 4155 / 75 / 6392)",
-        "Control Board (28 ch)", control.luts, control.bram_blocks, control.ffs
+        "Control Board (28 ch)", luts, bram, ffs
     );
+    let (luts, bram, ffs) = cells(readout);
     println!(
         "{:<28} {:>8} {:>12.1} {:>8}   (paper: 2435 / 45 / 3192)",
-        "Readout Board (8 ch)", readout.luts, readout.bram_blocks, readout.ffs
+        "Readout Board (8 ch)", luts, bram, ffs
     );
     println!(
         "{:<28} {:>8} {:>12.1} {:>8}   (paper: 86 / 1.5 / 160)",
@@ -34,15 +67,14 @@ fn main() {
         BASE_CORE.luts, BASE_CORE.bram_blocks, BASE_CORE.ffs, SYNC_UNIT.luts
     );
     println!("\nExtrapolation (multi-core configurations of Section 7.1):");
-    for channels in [8u64, 16, 28, 56, 112] {
-        let r = board_resources(channels);
+    for record in report.records() {
         println!(
             "  {:>4} channels: {:>6} LUTs {:>7.1} BRAM {:>7} FFs  ({:.2} Mb)",
-            channels,
-            r.luts,
-            r.bram_blocks,
-            r.ffs,
-            r.bram_blocks * 32.0 / 1024.0
+            record.counter("channels").unwrap(),
+            record.counter("luts").unwrap(),
+            record.value("bram_blocks").unwrap(),
+            record.counter("ffs").unwrap(),
+            record.value("bram_mb").unwrap(),
         );
     }
 }

@@ -1,0 +1,121 @@
+//! Shared command-line flags of the `fig*`/`table1` binaries.
+//!
+//! Every figure harness accepts the same surface — `--threads N`,
+//! `--json`, `--quick` — so CI can invoke the whole set uniformly.
+//! Binaries that have no sweep to parallelize (`fig11`, `fig13`)
+//! still parse and ignore the flags rather than failing on them.
+
+use std::process::exit;
+
+/// Parsed shared flags plus any remaining positional arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigArgs {
+    /// Worker threads for the sweep engine (`--threads N`, default 1).
+    pub threads: usize,
+    /// Emit the sweep report as JSON instead of the human table
+    /// (`--json`).
+    pub json: bool,
+    /// Use the scaled-down twin suite / reduced point set (`--quick`).
+    pub quick: bool,
+    /// Non-flag arguments, in order (e.g. `fig11`'s experiment name).
+    pub positional: Vec<String>,
+}
+
+impl Default for FigArgs {
+    fn default() -> FigArgs {
+        FigArgs {
+            threads: 1,
+            json: false,
+            quick: false,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl FigArgs {
+    /// Parses the process arguments, exiting with a message on a
+    /// malformed `--threads` value.
+    pub fn parse() -> FigArgs {
+        match FigArgs::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`parse`]).
+    ///
+    /// Unknown `--flags` are ignored so that figure-specific options
+    /// and future shared flags stay forward-compatible across all
+    /// binaries.
+    ///
+    /// [`parse`]: FigArgs::parse
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `--threads` is missing its value or the
+    /// value is not a positive integer.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<FigArgs, String> {
+        let mut out = FigArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let threads_value = if arg == "--threads" {
+                Some(
+                    iter.next()
+                        .ok_or_else(|| "--threads needs a value".to_string())?,
+                )
+            } else {
+                arg.strip_prefix("--threads=").map(str::to_string)
+            };
+            if let Some(value) = threads_value {
+                out.threads = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--threads wants a positive integer, got {value:?}"))?;
+            } else if arg == "--json" {
+                out.json = true;
+            } else if arg == "--quick" {
+                out.quick = true;
+            } else if arg.starts_with("--") {
+                // Ignored: keeps the shared-flag surface uniform.
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<FigArgs, String> {
+        FigArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_shared_flags_in_any_style() {
+        let args = parse(&["--threads", "4", "--json"]).unwrap();
+        assert_eq!((args.threads, args.json, args.quick), (4, true, false));
+        let args = parse(&["--quick", "--threads=2"]).unwrap();
+        assert_eq!((args.threads, args.json, args.quick), (2, false, true));
+    }
+
+    #[test]
+    fn ignores_unknown_flags_and_keeps_positionals() {
+        let args = parse(&["rabi", "--verbose", "--json", "--seed=7", "t1"]).unwrap();
+        assert!(args.json);
+        assert_eq!(args.positional, vec!["rabi".to_string(), "t1".to_string()]);
+    }
+
+    #[test]
+    fn rejects_malformed_threads() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "zero"]).is_err());
+        assert!(parse(&["--threads=0"]).is_err());
+    }
+}

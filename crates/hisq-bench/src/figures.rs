@@ -1,17 +1,17 @@
 //! Data producers for every figure of the paper's evaluation. The
-//! `src/bin/` harnesses print these; the criterion benches measure them.
+//! `src/bin/` harnesses print these; the criterion benches measure
+//! them. The scenario-driven figures (15, 16) ride the sweep engine:
+//! they expand a [`SweepGrid`] of [`Scenario`]s and distill the
+//! aggregated records back into figure rows/points.
 
-use distributed_hisq::compiler::{
-    compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions, LongRangeConfig,
-};
-use distributed_hisq::quantum::{Circuit, CoherenceParams, Gate};
-use distributed_hisq::runner::build_system;
-use distributed_hisq::sim::RandomBackend;
-use distributed_hisq::workloads::Benchmark;
+use distributed_hisq::compiler::{compile_bisp, BispOptions, Scheme};
+use distributed_hisq::quantum::Circuit;
+use distributed_hisq::runner::{run_sweep, Scenario, SystemParams};
+use distributed_hisq::workloads::{SuiteScale, WorkloadSpec};
 use hisq_core::NodeConfig;
-use hisq_isa::{Assembler, CYCLE_NS};
+use hisq_isa::Assembler;
 use hisq_net::TopologyBuilder;
-use hisq_sim::{System, Telf};
+use hisq_sim::{SweepGrid, SweepRecord, SweepReport, SweepRunner, System, Telf};
 
 /// Figure 5(a): nearby BISP synchronization timing.
 #[derive(Debug, Clone, Copy)]
@@ -134,43 +134,99 @@ pub struct Fig07 {
     pub overhead: u64,
 }
 
+/// The Figure 7 booking-uplink latency L₂ (cycles).
+const FIG07_L2: u64 = 10;
+/// The Figure 7 deterministic horizon D₂ (cycles).
+const FIG07_D2: u64 = 4;
+
+/// One Figure 7 execution: three controllers where C2's deterministic
+/// work (D₂) cannot cover the booking latency; returns C2's commit.
+fn fig07_commit(router_latency: u64) -> u64 {
+    let topo = TopologyBuilder::linear(3)
+        .neighbor_latency(5)
+        .router_latency(router_latency)
+        .build();
+    let root = topo.root_router().unwrap();
+    let mut programs = std::collections::BTreeMap::new();
+    // C0 and C1 finish early with generous horizons; C2 is the
+    // bottleneck with only D2 cycles of deterministic work.
+    for (i, (pad, horizon)) in [(10u64, 40u64), (20, 40), (60, FIG07_D2)]
+        .iter()
+        .enumerate()
+    {
+        let src = format!(
+            "li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop"
+        );
+        programs.insert(
+            i as u16,
+            Assembler::new().assemble(&src).unwrap().insts().to_vec(),
+        );
+    }
+    let mut system = System::from_topology(&topo, programs).expect("builds");
+    let report = system.run().expect("runs");
+    assert!(report.all_halted, "{:?}", report.blocked);
+    system.telf().commits_of(2)[0].cycle
+}
+
+/// The Figure 7 sweep: the router-latency axis {L₂, 0} (real vs ideal
+/// links) executed on the given runner.
+pub fn fig07_report(runner: &SweepRunner) -> SweepReport {
+    let points = [("real", FIG07_L2), ("ideal", 0)];
+    runner.run(&points, |_, &(label, latency)| {
+        SweepRecord::new(label)
+            .with("router_latency", latency)
+            .with("d2", FIG07_D2)
+            .with("l2", FIG07_L2)
+            .with("commit_c2", fig07_commit(latency))
+    })
+}
+
 /// Runs the Figure 7 scenario twice (real vs zero-latency links) and
 /// reports the overhead.
 pub fn fig07_overhead() -> Fig07 {
-    let d2 = 4u64;
-    let l2 = 10u64;
-    let run = |router_latency: u64| -> u64 {
-        let topo = TopologyBuilder::linear(3)
-            .neighbor_latency(5)
-            .router_latency(router_latency)
-            .build();
-        let root = topo.root_router().unwrap();
-        let mut programs = std::collections::BTreeMap::new();
-        // C0 and C1 finish early with generous horizons; C2 is the
-        // bottleneck with only D2 cycles of deterministic work.
-        for (i, (pad, horizon)) in [(10u64, 40u64), (20, 40), (60, d2)].iter().enumerate() {
-            let src = format!(
-                "li t0, {horizon}\nwaiti {pad}\nsync {root}, t0\nwaiti {horizon}\ncw.i.i 0, 1\nstop"
-            );
-            programs.insert(
-                i as u16,
-                Assembler::new().assemble(&src).unwrap().insts().to_vec(),
-            );
-        }
-        let mut system = System::from_topology(&topo, programs).expect("builds");
-        let report = system.run().expect("runs");
-        assert!(report.all_halted, "{:?}", report.blocked);
-        system.telf().commits_of(2)[0].cycle
+    let report = fig07_report(&SweepRunner::new(1));
+    let commit = |id: &str| {
+        report
+            .record(id)
+            .and_then(|r| r.counter("commit_c2"))
+            .expect("both points ran")
     };
-    let commit_real = run(l2);
-    let commit_ideal = run(0);
+    let (commit_real, commit_ideal) = (commit("real"), commit("ideal"));
     Fig07 {
-        d2,
-        l2,
+        d2: FIG07_D2,
+        l2: FIG07_L2,
         commit_real,
         commit_ideal,
         overhead: commit_real - commit_ideal,
     }
+}
+
+/// The Figure 5 sweep: both synchronization experiments (nearby,
+/// remote) executed on the given runner, as metric records.
+pub fn fig05_report(runner: &SweepRunner) -> SweepReport {
+    runner.run(&["nearby", "remote"], |_, &kind| {
+        if kind == "nearby" {
+            let r = fig05_nearby();
+            SweepRecord::new(kind)
+                .with("booking0", r.booking0)
+                .with("booking1", r.booking1)
+                .with("link_latency", r.link_latency)
+                .with("commit0", r.commit0)
+                .with("commit1", r.commit1)
+                .with("overhead", r.overhead)
+                .with("aligned", r.commit0 == r.commit1)
+        } else {
+            let r = fig05_remote();
+            let mut record = SweepRecord::new(kind)
+                .with("commit", r.commit)
+                .with("aligned", r.aligned);
+            for (i, &(booking, horizon)) in r.bookings.iter().enumerate() {
+                record.set(format!("booking_c{i}"), booking);
+                record.set(format!("horizon_c{i}"), horizon);
+            }
+            record
+        }
+    })
 }
 
 /// Figure 6: the generated per-controller listings for a synchronized
@@ -273,40 +329,72 @@ pub struct Fig15Row {
     pub lockstep_instructions: u64,
 }
 
-/// Compiles and simulates one benchmark under both schemes.
-pub fn fig15_row(bench: &Benchmark, seed: u64) -> Fig15Row {
-    let topo = bench.topology();
-    let bisp = compile_bisp(&bench.physical, &topo, &BispOptions::default())
-        .unwrap_or_else(|e| panic!("{}: BISP compile failed: {e}", bench.name));
-    let lockstep = compile_lockstep(&bench.physical, &LockstepOptions::default())
-        .unwrap_or_else(|e| panic!("{}: lock-step compile failed: {e}", bench.name));
+/// Expands the Figure 15 scenario grid: every suite instance of the
+/// scale under both schemes (scheme varies fastest, so records pair up
+/// as consecutive bisp/lockstep twins).
+pub fn fig15_scenarios(scale: SuiteScale, seed: u64) -> Vec<Scenario> {
+    SweepGrid::new(Scenario::new(WorkloadSpec::suite(""), Scheme::Bisp).with_seed(seed))
+        .axis(WorkloadSpec::suite_specs(scale), |s, workload| {
+            s.workload = workload.clone()
+        })
+        .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| {
+            s.scheme = scheme
+        })
+        .into_points()
+}
 
-    let mut sys_b = build_system(&bisp, Some(&topo)).expect("bisp system");
-    sys_b.set_backend(RandomBackend::new(seed, 0.5));
-    let rep_b = sys_b.run().expect("bisp run");
-    assert!(
-        rep_b.all_halted,
-        "{} bisp blocked: {:?}",
-        bench.name, rep_b.blocked
-    );
+/// Distills an executed Figure 15 sweep back into figure rows, pairing
+/// each benchmark's scheme twins.
+///
+/// # Panics
+///
+/// Panics if the report does not hold [`fig15_scenarios`]-shaped
+/// records (bisp/lockstep pairs with the standard metrics) or a run
+/// did not halt.
+pub fn fig15_rows(report: &SweepReport) -> Vec<Fig15Row> {
+    report
+        .records()
+        .chunks(2)
+        .map(|pair| {
+            let [bisp, lockstep] = pair else {
+                panic!("records must pair up per benchmark");
+            };
+            let name = bisp.id.split('/').next().unwrap_or(&bisp.id).to_string();
+            for record in pair {
+                assert_eq!(
+                    record.value("all_halted"),
+                    Some(1.0),
+                    "{}: run blocked",
+                    record.id
+                );
+            }
+            let cycles = |r: &SweepRecord, key: &str| r.counter(key).expect("standard metrics");
+            Fig15Row {
+                name,
+                bisp_ns: cycles(bisp, "makespan_ns"),
+                lockstep_ns: cycles(lockstep, "makespan_ns"),
+                normalized: cycles(bisp, "makespan_cycles") as f64
+                    / cycles(lockstep, "makespan_cycles") as f64,
+                bisp_instructions: cycles(bisp, "instructions"),
+                lockstep_instructions: cycles(lockstep, "instructions"),
+            }
+        })
+        .collect()
+}
 
-    let mut sys_l = build_system(&lockstep, None).expect("lockstep system");
-    sys_l.set_backend(RandomBackend::new(seed, 0.5));
-    let rep_l = sys_l.run().expect("lockstep run");
-    assert!(
-        rep_l.all_halted,
-        "{} lockstep blocked: {:?}",
-        bench.name, rep_l.blocked
-    );
-
-    Fig15Row {
-        name: bench.name.clone(),
-        bisp_ns: rep_b.makespan_cycles * CYCLE_NS,
-        lockstep_ns: rep_l.makespan_cycles * CYCLE_NS,
-        normalized: (rep_b.makespan_cycles as f64) / (rep_l.makespan_cycles as f64),
-        bisp_instructions: rep_b.total_instructions,
-        lockstep_instructions: rep_l.total_instructions,
-    }
+/// Compiles and simulates one named suite instance (see
+/// [`hisq_workloads::suite_names`]) under both schemes.
+pub fn fig15_row(workload: &str, seed: u64) -> Fig15Row {
+    let base = Scenario::new(WorkloadSpec::suite(workload), Scheme::Bisp).with_seed(seed);
+    let scenarios = [
+        base.clone(),
+        Scenario {
+            scheme: Scheme::Lockstep,
+            ..base
+        },
+    ];
+    let report = run_sweep(&scenarios, 1);
+    fig15_rows(&report).remove(0)
 }
 
 /// One point of the Figure 16 sweep.
@@ -322,88 +410,71 @@ pub struct Fig16Point {
     pub reduction_ratio: f64,
 }
 
-/// The Figure 16 circuit: several long-range CNOTs (Figure 14 gadgets
-/// with immediate corrections) executing simultaneously — the
-/// simultaneous-feedback scenario whose serialization hurts the
-/// baseline. Returns the physical circuit and the physical sites of the
-/// data qubits carrying |ψ₁⟩/|ψ₂⟩.
-pub fn fig16_circuit(parallel: usize, span: usize) -> (Circuit, Vec<usize>) {
-    let seg = span + 1;
-    let n = parallel * seg;
-    let mut logical = Circuit::new(n, 1);
-    let mut data_sites = Vec::new();
-    for g in 0..parallel {
-        let c = g * seg;
-        let t = c + span;
-        logical.gate(Gate::Ry(0.7), &[c]);
-        logical.gate(Gate::Ry(1.1), &[t]);
-        logical.cx(c, t);
-        data_sites.push(2 * c);
-        data_sites.push(2 * t);
-    }
-    let config = LongRangeConfig {
-        substitution_probability: 1.0,
-        seed: 16,
-        immediate_corrections: true,
-    };
-    let physical = map_to_physical(&logical, &config).expect("mapping is total");
-    (physical.circuit, data_sites)
-}
-
-/// Runs the Figure 16 experiment: simulate both schemes once, then
-/// evaluate the exposure ledgers over the T1 sweep.
+/// Expands the Figure 16 scenario grid: the simultaneous long-range
+/// CNOT workload under both schemes at every coherence point (scheme
+/// varies fastest, so records pair up per T1 point).
 ///
-/// Data qubits carry the circuit's quantum output, so their exposure
-/// extends to the end of the schedule (they decohere until the whole
-/// dynamic circuit completes); ancillas decohere only over their own
-/// prepare→measure windows.
-pub fn fig16_sweep(t_us_points: &[f64]) -> Vec<Fig16Point> {
-    let (physical, data_sites) = fig16_circuit(4, 7);
-    let width = physical.num_qubits();
-    let topo = TopologyBuilder::linear(width)
-        .neighbor_latency(5)
-        .router_latency(10)
-        .build();
-    let bisp = compile_bisp(&physical, &topo, &BispOptions::default()).unwrap();
-    // The long-range CNOT serves the cross-chip scenario of §2.1.1; the
-    // baseline's central controller sits a chassis hop away (250 ns per
-    // leg) in that setting, unlike the on-backplane 100 ns of Figure 15.
-    let lockstep_options = LockstepOptions {
+/// The long-range CNOT serves the cross-chip scenario of §2.1.1; the
+/// baseline's central controller sits a chassis hop away (250 ns per
+/// leg) in that setting, unlike the on-backplane 100 ns of Figure 15 —
+/// hence the 63/62-cycle star legs. Data qubits carry the circuit's
+/// quantum output, so the harness scores their exposure over the whole
+/// schedule (the workload's `data_sites`); ancillas decohere only over
+/// their own prepare→measure windows.
+///
+/// Each (T1, scheme) point re-simulates even though T1 only affects the
+/// post-run scoring — a deliberate trade: every point is an independent
+/// scenario under the uniform sweep contract (so the grid parallelizes
+/// and the JSON stays per-point), and the circuit simulates in
+/// milliseconds.
+pub fn fig16_scenarios(t_us_points: &[f64]) -> Vec<Scenario> {
+    let params = SystemParams {
         star_up_latency: 63,
         star_down_latency: 62,
-        ..LockstepOptions::default()
+        ..SystemParams::default()
     };
-    let lockstep = compile_lockstep(&physical, &lockstep_options).unwrap();
+    let workload = WorkloadSpec::LongRangeCnots {
+        parallel: 4,
+        span: 7,
+    };
+    SweepGrid::new(
+        Scenario::new(workload, Scheme::Bisp)
+            .with_seed(16)
+            .with_params(params),
+    )
+    .axis(t_us_points.iter().copied(), |s, &t_us| s.t1_us = t_us)
+    .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| {
+        s.scheme = scheme
+    })
+    .into_points()
+}
 
-    let mut sys_b = build_system(&bisp, Some(&topo)).expect("bisp system");
-    sys_b.set_backend(RandomBackend::new(16, 0.5));
-    let rep_b = sys_b.run().expect("bisp run");
-    assert!(rep_b.all_halted, "{:?}", rep_b.blocked);
-
-    let mut sys_l = build_system(&lockstep, None).expect("lockstep system");
-    sys_l.set_backend(RandomBackend::new(16, 0.5));
-    let rep_l = sys_l.run().expect("lockstep run");
-    assert!(rep_l.all_halted, "{:?}", rep_l.blocked);
-
-    // Score the data qubits carrying the circuit's output: they stay
-    // coherent from circuit start until the whole dynamic circuit
-    // completes. (Ancilla errors feed back through the measured
-    // corrections and are not double-counted as output decoherence.)
-    let mut ledger_b = hisq_quantum::ExposureLedger::new();
-    let mut ledger_l = hisq_quantum::ExposureLedger::new();
-    for &q in &data_sites {
-        ledger_b.record_span(q, 0, rep_b.makespan_ns);
-        ledger_l.record_span(q, 0, rep_l.makespan_ns);
-    }
-
-    t_us_points
-        .iter()
-        .map(|&t_us| {
-            let params = CoherenceParams::uniform(t_us);
-            let infidelity_bisp = ledger_b.infidelity(params);
-            let infidelity_lockstep = ledger_l.infidelity(params);
+/// Distills an executed Figure 16 sweep back into figure points.
+///
+/// # Panics
+///
+/// Panics if the report does not hold [`fig16_scenarios`]-shaped
+/// records or a run did not halt.
+pub fn fig16_points(scenarios: &[Scenario], report: &SweepReport) -> Vec<Fig16Point> {
+    scenarios
+        .chunks(2)
+        .zip(report.records().chunks(2))
+        .map(|(pair, records)| {
+            let [bisp, lockstep] = records else {
+                panic!("records must pair up per T1 point");
+            };
+            for record in records {
+                assert_eq!(
+                    record.value("all_halted"),
+                    Some(1.0),
+                    "{}: run blocked",
+                    record.id
+                );
+            }
+            let infidelity_bisp = bisp.value("infidelity").expect("standard metrics");
+            let infidelity_lockstep = lockstep.value("infidelity").expect("standard metrics");
             Fig16Point {
-                t_us,
+                t_us: pair[0].t1_us,
                 infidelity_bisp,
                 infidelity_lockstep,
                 reduction_ratio: infidelity_lockstep / infidelity_bisp,
@@ -412,10 +483,17 @@ pub fn fig16_sweep(t_us_points: &[f64]) -> Vec<Fig16Point> {
         .collect()
 }
 
+/// Runs the Figure 16 experiment on one thread: simulate both schemes
+/// at every coherence point and score the output data qubits.
+pub fn fig16_sweep(t_us_points: &[f64]) -> Vec<Fig16Point> {
+    let scenarios = fig16_scenarios(t_us_points);
+    let report = run_sweep(&scenarios, 1);
+    fig16_points(&scenarios, &report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distributed_hisq::workloads::{fig15_suite, SuiteScale};
 
     #[test]
     fn fig05_nearby_zero_overhead() {
@@ -460,9 +538,7 @@ mod tests {
 
     #[test]
     fn fig15_quick_rows_favor_bisp_on_feedback_workloads() {
-        let suite = fig15_suite(SuiteScale::Quick);
-        let qec = suite.iter().find(|b| b.name == "logical_t_d3x2").unwrap();
-        let row = fig15_row(qec, 1);
+        let row = fig15_row("logical_t_d3x2", 1);
         assert!(
             row.normalized < 1.0,
             "parallel logical-T must favour BISP: {row:?}"

@@ -12,11 +12,16 @@
 //! | Figure 7 (non-zero overhead) | [`figures::fig07_overhead`] | `fig07` |
 //! | Figure 11 (calibration) | `hisq_analog::experiments` | `fig11` |
 //! | Figures 12/13 (electronics sync) | [`figures::fig13_waveforms`] | `fig13` |
-//! | Figure 15 (runtime vs baseline) | [`figures::fig15_row`] | `fig15` |
-//! | Figure 16 (infidelity vs T1) | [`figures::fig16_sweep`] | `fig16` |
+//! | Figure 15 (runtime vs baseline) | [`figures::fig15_scenarios`] | `fig15` |
+//! | Figure 16 (infidelity vs T1) | [`figures::fig16_scenarios`] | `fig16` |
+//!
+//! Every binary shares the [`cli::FigArgs`] flag surface
+//! (`--threads N`, `--json`, `--quick`); the scenario-driven harnesses
+//! fan their grids out over the `hisq_sim::sweep` worker pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figures;
 pub mod resources;

@@ -1,6 +1,7 @@
 //! The lock-step baseline code generator (§6.4.3 of the paper).
 //!
-//! Reproduces the IBM-style shared-program-flow scheme [51] the paper
+//! Reproduces the IBM-style shared-program-flow scheme (the paper's
+//! reference \[51\]) the paper
 //! evaluates against:
 //!
 //! - a **central hub** (star topology) re-broadcasts every measurement

@@ -12,6 +12,12 @@
 //! land on the TCU's 4 ns grid, so waveform-level alignment questions
 //! (Figure 13) can be answered exactly.
 //!
+//! On top of the single-system engine, the [`sweep`] module provides
+//! the batch layer: [`SweepGrid`] expands cartesian parameter grids
+//! into scenario lists and [`SweepRunner`] executes them on a worker
+//! pool, aggregating per-scenario [`SweepRecord`]s into a
+//! deterministic, seed-stable JSON [`SweepReport`].
+//!
 //! ## Modelled idealizations (documented deviations)
 //!
 //! - **Downlink broadcasts** of the region max-time are delivered with
@@ -48,14 +54,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backend;
+pub mod sweep;
 pub mod system;
 pub mod telf;
 
 pub use backend::{
     FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
 };
+pub use sweep::{Metric, MetricSummary, SweepGrid, SweepRecord, SweepReport, SweepRunner};
 pub use system::{Hub, MeasBinding, QuantumAction, SimConfig, SimError, SimReport, System};
 pub use telf::{Telf, TelfRecord};

@@ -1,0 +1,613 @@
+//! The parallel sweep engine: batch execution of many independent
+//! simulator instances with deterministic aggregation.
+//!
+//! Paper figures are parameter sweeps — workload × scheme × topology ×
+//! seed — and every scenario is an independent simulation, so the batch
+//! is embarrassingly parallel. This module provides the three pieces
+//! every harness shares:
+//!
+//! - [`SweepGrid`] — a cartesian-product builder that expands parameter
+//!   axes over a base scenario description;
+//! - [`SweepRunner`] — a scoped worker pool (hand-rolled over
+//!   `std::thread`; the build environment has no crates.io access) that
+//!   executes scenarios concurrently while keeping results in input
+//!   order;
+//! - [`SweepRecord`] / [`SweepReport`] — per-scenario metric bags and
+//!   their aggregate statistics, with deterministic JSON rendering.
+//!
+//! Determinism is load-bearing: records land in the result vector at
+//! their scenario's index regardless of which worker ran them, and the
+//! aggregate statistics are folded in that fixed order, so a sweep's
+//! JSON output is byte-identical whether it ran on one thread or
+//! sixteen. The CI determinism guard
+//! (`tests/sweep_determinism.rs`) asserts exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use hisq_sim::sweep::{SweepGrid, SweepRecord, SweepRunner};
+//!
+//! // Expand a 2-axis grid (3 seeds × 2 latencies = 6 scenarios)...
+//! let scenarios = SweepGrid::new((0u64, 0u64))
+//!     .axis([1u64, 2, 3], |s, &seed| s.0 = seed)
+//!     .axis([5u64, 10], |s, &lat| s.1 = lat)
+//!     .into_points();
+//! assert_eq!(scenarios.len(), 6);
+//!
+//! // ...and run it on two worker threads.
+//! let report = SweepRunner::new(2).run(&scenarios, |i, &(seed, lat)| {
+//!     SweepRecord::new(format!("s{seed}/l{lat}"))
+//!         .with("index", i as u64)
+//!         .with("cost", seed * lat)
+//! });
+//! assert_eq!(report.records().len(), 6);
+//! assert_eq!(report.summary()["cost"].max, 30.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One measured value of a sweep record.
+///
+/// Metrics are deliberately flat: a record is a bag of named scalars
+/// (plus occasional string artifacts such as generated listings) so
+/// that aggregation and JSON rendering need no schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// An exact counter (cycles, instructions, events).
+    U64(u64),
+    /// A continuous measurement (infidelity, ratios).
+    F64(f64),
+    /// A pass/fail flag (aggregated as 0/1).
+    Bool(bool),
+    /// A textual artifact (excluded from numeric aggregation).
+    Str(String),
+}
+
+impl Metric {
+    /// The metric as a float for aggregation (`true` = 1.0; strings
+    /// are non-numeric and return `None`).
+    pub fn numeric(&self) -> Option<f64> {
+        match *self {
+            Metric::U64(v) => Some(v as f64),
+            Metric::F64(v) => Some(v),
+            Metric::Bool(v) => Some(if v { 1.0 } else { 0.0 }),
+            Metric::Str(_) => None,
+        }
+    }
+
+    /// Renders the metric as a JSON value.
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Metric::U64(v) => out.push_str(&v.to_string()),
+            Metric::F64(v) => out.push_str(&json_f64(*v)),
+            Metric::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Metric::Str(v) => out.push_str(&json_string(v)),
+        }
+    }
+}
+
+impl From<u64> for Metric {
+    fn from(v: u64) -> Metric {
+        Metric::U64(v)
+    }
+}
+
+impl From<f64> for Metric {
+    fn from(v: f64) -> Metric {
+        Metric::F64(v)
+    }
+}
+
+impl From<bool> for Metric {
+    fn from(v: bool) -> Metric {
+        Metric::Bool(v)
+    }
+}
+
+impl From<String> for Metric {
+    fn from(v: String) -> Metric {
+        Metric::Str(v)
+    }
+}
+
+impl From<&str> for Metric {
+    fn from(v: &str) -> Metric {
+        Metric::Str(v.to_string())
+    }
+}
+
+/// Formats an `f64` as a JSON number (shortest round-trip form; JSON
+/// has no NaN/infinity, so non-finite values render as `null`).
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    let s = format!("{v:?}");
+    // `{:?}` may print integral floats as `1.0`; that is already valid
+    // JSON, keep it (it also preserves the f64/u64 distinction).
+    s
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The measured outcome of one executed scenario: a stable identifier
+/// plus a flat, name-ordered bag of metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Stable scenario identifier (used for pairing and JSON output).
+    pub id: String,
+    /// Named metrics, ordered by name (BTreeMap ⇒ deterministic JSON).
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl SweepRecord {
+    /// Creates an empty record for scenario `id`.
+    pub fn new(id: impl Into<String>) -> SweepRecord {
+        SweepRecord {
+            id: id.into(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a metric (builder style).
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Metric>) -> SweepRecord {
+        self.metrics.insert(name.into(), value.into());
+        self
+    }
+
+    /// Inserts or replaces a metric.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Metric>) {
+        self.metrics.insert(name.into(), value.into());
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Looks up an exact counter metric.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(&Metric::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a metric as a float (counters and flags convert;
+    /// string metrics return `None`).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).and_then(Metric::numeric)
+    }
+
+    /// Renders the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\":");
+        out.push_str(&json_string(&self.id));
+        out.push_str(",\"metrics\":{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            metric.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Aggregate statistics of one metric across every record that
+/// reported it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of records carrying the metric.
+    pub count: u64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Sum over all records (folded in record order).
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl MetricSummary {
+    fn fold(values: impl IntoIterator<Item = f64>) -> Option<MetricSummary> {
+        let mut count = 0u64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for v in values {
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(MetricSummary {
+            count,
+            min,
+            max,
+            sum,
+            mean: sum / count as f64,
+        })
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"mean\":{}}}",
+            self.count,
+            json_f64(self.min),
+            json_f64(self.max),
+            json_f64(self.sum),
+            json_f64(self.mean),
+        ));
+    }
+}
+
+/// The aggregated result of one sweep: every per-scenario record, in
+/// scenario order, plus per-metric summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    records: Vec<SweepRecord>,
+}
+
+impl SweepReport {
+    /// Wraps executed records (already in scenario order).
+    pub fn from_records(records: Vec<SweepRecord>) -> SweepReport {
+        SweepReport { records }
+    }
+
+    /// The per-scenario records, in the order their scenarios were
+    /// submitted (independent of execution interleaving).
+    pub fn records(&self) -> &[SweepRecord] {
+        &self.records
+    }
+
+    /// Finds a record by scenario id.
+    pub fn record(&self, id: &str) -> Option<&SweepRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Aggregates every metric appearing in any record. Values are
+    /// folded in record order, so the statistics (including float
+    /// rounding) are reproducible run to run.
+    pub fn summary(&self) -> BTreeMap<String, MetricSummary> {
+        let names: std::collections::BTreeSet<&String> =
+            self.records.iter().flat_map(|r| r.metrics.keys()).collect();
+        let mut out = BTreeMap::new();
+        for name in names {
+            let values = self
+                .records
+                .iter()
+                .filter_map(|r| r.metrics.get(name))
+                .filter_map(Metric::numeric);
+            if let Some(summary) = MetricSummary::fold(values) {
+                out.insert(name.clone(), summary);
+            }
+        }
+        out
+    }
+
+    /// Renders the whole report as one deterministic JSON document:
+    /// scenario count, per-scenario records, per-metric summaries.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"scenarios\":{},", self.records.len()));
+        out.push_str("\"records\":[");
+        for (i, record) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record.to_json());
+        }
+        out.push_str("],\"summary\":{");
+        for (i, (name, summary)) in self.summary().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            summary.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Cartesian-product expansion of parameter axes over a base scenario.
+///
+/// Each [`SweepGrid::axis`] call multiplies the current point set by
+/// the axis values, applying a setter to each clone. An empty axis
+/// therefore empties the grid (the cartesian product with ∅), and a
+/// single-valued axis leaves the point count unchanged.
+///
+/// # Example
+///
+/// ```
+/// use hisq_sim::sweep::SweepGrid;
+///
+/// #[derive(Clone)]
+/// struct Scenario { workload: &'static str, seed: u64 }
+///
+/// let points = SweepGrid::new(Scenario { workload: "", seed: 0 })
+///     .axis(["adder", "qft", "w_state"], |s, &w| s.workload = w)
+///     .axis([1u64, 2], |s, &seed| s.seed = seed)
+///     .into_points();
+///
+/// assert_eq!(points.len(), 6);
+/// // Later axes vary fastest: the order is deterministic.
+/// assert_eq!(points[0].workload, "adder");
+/// assert_eq!(points[1].seed, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepGrid<T> {
+    points: Vec<T>,
+}
+
+impl<T: Clone> SweepGrid<T> {
+    /// A grid holding the single base point.
+    pub fn new(base: T) -> SweepGrid<T> {
+        SweepGrid { points: vec![base] }
+    }
+
+    /// A grid over explicit pre-built points.
+    pub fn from_points(points: Vec<T>) -> SweepGrid<T> {
+        SweepGrid { points }
+    }
+
+    /// Multiplies the grid by one parameter axis: every current point
+    /// is cloned once per axis value, with `apply` installing the
+    /// value on the clone.
+    #[must_use]
+    pub fn axis<A>(self, values: impl IntoIterator<Item = A>, apply: impl Fn(&mut T, &A)) -> Self {
+        let values: Vec<A> = values.into_iter().collect();
+        let mut points = Vec::with_capacity(self.points.len() * values.len());
+        for point in &self.points {
+            for value in &values {
+                let mut next = point.clone();
+                apply(&mut next, value);
+                points.push(next);
+            }
+        }
+        SweepGrid { points }
+    }
+
+    /// The expanded scenario points, in axis-major order.
+    pub fn points(&self) -> &[T] {
+        &self.points
+    }
+
+    /// Consumes the grid into its points.
+    pub fn into_points(self) -> Vec<T> {
+        self.points
+    }
+
+    /// Number of expanded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when an empty axis annihilated the grid.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A scoped worker pool executing scenarios in parallel.
+///
+/// Workers pull scenario indices from a shared cursor and write each
+/// finished [`SweepRecord`] into the result slot of its scenario, so
+/// the report order — and hence the JSON output — is independent of
+/// scheduling. With `threads == 1` the sweep runs inline on the caller
+/// thread (no spawn overhead, identical results).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner over `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> SweepRunner {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `run` for every scenario and aggregates the records
+    /// into a [`SweepReport`] in scenario order.
+    ///
+    /// `run` receives the scenario's index and the scenario itself; it
+    /// must be pure up to its own seeding for the determinism guarantee
+    /// to hold.
+    pub fn run<S, F>(&self, scenarios: &[S], run: F) -> SweepReport
+    where
+        S: Sync,
+        F: Fn(usize, &S) -> SweepRecord + Sync,
+    {
+        if self.threads == 1 || scenarios.len() <= 1 {
+            let records = scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| run(i, s))
+                .collect();
+            return SweepReport::from_records(records);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<SweepRecord>>> = {
+            let mut v = Vec::with_capacity(scenarios.len());
+            v.resize_with(scenarios.len(), || None);
+            Mutex::new(v)
+        };
+        let workers = self.threads.min(scenarios.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= scenarios.len() {
+                        break;
+                    }
+                    let record = run(index, &scenarios[index]);
+                    slots.lock().expect("result lock")[index] = Some(record);
+                });
+            }
+        });
+        let records = slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index executed"))
+            .collect();
+        SweepReport::from_records(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_cartesian_product_in_axis_major_order() {
+        let points = SweepGrid::new((0u32, 0u32))
+            .axis([1u32, 2], |p, &a| p.0 = a)
+            .axis([10u32, 20, 30], |p, &b| p.1 = b)
+            .into_points();
+        assert_eq!(
+            points,
+            vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]
+        );
+    }
+
+    #[test]
+    fn empty_axis_annihilates_the_grid() {
+        let grid = SweepGrid::new(0u32).axis(Vec::<u32>::new(), |p, &v| *p = v);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        // Further axes keep it empty rather than resurrecting points.
+        let grid = grid.axis([1u32, 2, 3], |p, &v| *p = v);
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn single_point_axis_keeps_the_count() {
+        let grid = SweepGrid::new((0u32, 0u32))
+            .axis([7u32], |p, &v| p.0 = v)
+            .axis([9u32], |p, &v| p.1 = v);
+        assert_eq!(grid.points(), &[(7, 9)]);
+    }
+
+    #[test]
+    fn runner_is_deterministic_across_thread_counts() {
+        let scenarios: Vec<u64> = (0..64).collect();
+        let run = |i: usize, s: &u64| {
+            // Uneven work so threads genuinely interleave.
+            let mut acc = *s;
+            for _ in 0..(*s % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            SweepRecord::new(format!("s{s}"))
+                .with("index", i as u64)
+                .with("acc", acc)
+                .with("ratio", (*s as f64) / 64.0)
+        };
+        let single = SweepRunner::new(1).run(&scenarios, run);
+        for threads in [2, 4, 8] {
+            let multi = SweepRunner::new(threads).run(&scenarios, run);
+            assert_eq!(single.to_json(), multi.to_json(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn report_summary_aggregates_in_record_order() {
+        let report = SweepReport::from_records(vec![
+            SweepRecord::new("a").with("x", 2u64).with("ok", true),
+            SweepRecord::new("b").with("x", 4u64).with("ok", false),
+            SweepRecord::new("c").with("x", 6u64),
+        ]);
+        let summary = report.summary();
+        let x = summary["x"];
+        assert_eq!(
+            (x.count, x.min, x.max, x.sum, x.mean),
+            (3, 2.0, 6.0, 12.0, 4.0)
+        );
+        let ok = summary["ok"];
+        assert_eq!((ok.count, ok.sum), (2, 1.0));
+        assert!(report.record("b").is_some());
+        assert!(report.record("zz").is_none());
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_stable() {
+        let report = SweepReport::from_records(vec![SweepRecord::new("a\"b\\c\nd")
+            .with("half", 0.5)
+            .with("flag", true)
+            .with("n", 3u64)]);
+        assert_eq!(
+            report.to_json(),
+            "{\"scenarios\":1,\"records\":[{\"id\":\"a\\\"b\\\\c\\nd\",\"metrics\":\
+             {\"flag\":true,\"half\":0.5,\"n\":3}}],\"summary\":{\
+             \"flag\":{\"count\":1,\"min\":1.0,\"max\":1.0,\"sum\":1.0,\"mean\":1.0},\
+             \"half\":{\"count\":1,\"min\":0.5,\"max\":0.5,\"sum\":0.5,\"mean\":0.5},\
+             \"n\":{\"count\":1,\"min\":3.0,\"max\":3.0,\"sum\":3.0,\"mean\":3.0}}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let record = SweepRecord::new("x").with("bad", f64::NAN);
+        assert_eq!(
+            record.to_json(),
+            "{\"id\":\"x\",\"metrics\":{\"bad\":null}}"
+        );
+    }
+
+    #[test]
+    fn string_metrics_render_but_do_not_aggregate() {
+        let report = SweepReport::from_records(vec![SweepRecord::new("x")
+            .with("listing", "sync 1\nstop")
+            .with("n", 2u64)]);
+        assert!(report.to_json().contains("\"listing\":\"sync 1\\nstop\""));
+        let summary = report.summary();
+        assert!(summary.contains_key("n"));
+        assert!(!summary.contains_key("listing"), "strings are not numeric");
+        assert_eq!(report.records()[0].value("listing"), None);
+    }
+}

@@ -17,7 +17,10 @@
 //! transformation). The QEC benchmark is generated directly on a 2-D
 //! grid with mesh-local stabilizer circuits.
 //!
-//! [`suite::fig15_suite`] assembles the exact instance list of Figure 15.
+//! [`suite::fig15_suite`] assembles the exact instance list of Figure
+//! 15; [`suite::suite_names`] enumerates it without building circuits,
+//! and [`suite::WorkloadSpec`] is the deferred-build handle the sweep
+//! engine expands parameter grids over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,5 +37,8 @@ pub use adder::vbe_adder;
 pub use bv::bernstein_vazirani;
 pub use logical_t::{logical_t, LogicalTConfig, LogicalTInstance};
 pub use qft::qft;
-pub use suite::{fig15_suite, Benchmark, SuiteScale};
+pub use suite::{
+    benchmark, fig15_suite, simultaneous_long_range_cnots, suite_names, Benchmark, BuiltWorkload,
+    SuiteScale, WorkloadSpec, PAPER_SUITE, QUICK_SUITE,
+};
 pub use w_state::w_state;

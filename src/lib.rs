@@ -42,6 +42,15 @@
 //! assert_eq!(program.len(), 4);
 //! ```
 
+//! The [`runner`] module is the facade-level experiment harness: it
+//! glues the compiler to the simulator ([`runner::build_system`]) and
+//! drives whole parameter sweeps end to end — compile → place →
+//! simulate → aggregate — via [`runner::Scenario`] and
+//! [`runner::run_sweep`] on the [`sim::sweep`] worker pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod runner;
 
 pub use hisq_analog as analog;

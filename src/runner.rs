@@ -1,13 +1,59 @@
-//! Glue between the compiler and the simulator: turn a
-//! [`CompiledSystem`] into a runnable [`System`] and extract the
-//! evaluation metrics the paper reports.
+//! The experiment harness: from a scenario description to aggregated
+//! sweep results, end to end.
+//!
+//! This module is the facade over the whole reproduction pipeline —
+//! **compile → place → simulate → aggregate**:
+//!
+//! 1. [`Scenario`] names one experiment point: a workload
+//!    ([`WorkloadSpec`]), an execution scheme ([`Scheme`]), the system
+//!    parameters ([`SystemParams`]), a backend seed, and the coherence
+//!    time the fidelity model scores against.
+//! 2. [`run_scenario`] executes one point: builds the circuit, the
+//!    topology, compiles under the scheme, simulates, and distills the
+//!    paper's metrics into a [`SweepRecord`].
+//! 3. [`run_sweep`] fans a whole scenario list out over a
+//!    [`hisq_sim::SweepRunner`] worker pool and aggregates the records
+//!    into a deterministic [`SweepReport`] — the substrate behind every
+//!    `fig*`/`table1` binary's `--threads N --json` path.
+//!
+//! The lower-level pieces ([`build_system`], [`run_compiled`]) stay
+//! public for callers that bring their own compiled programs.
+//!
+//! # Example
+//!
+//! ```
+//! use distributed_hisq::runner::{run_sweep, Scenario};
+//! use distributed_hisq::compiler::Scheme;
+//! use distributed_hisq::workloads::WorkloadSpec;
+//! use distributed_hisq::sim::SweepGrid;
+//!
+//! // Both schemes on one quick workload, two seeds: a 1×2×2 grid.
+//! let scenarios = SweepGrid::new(Scenario::new(
+//!         WorkloadSpec::suite("w_state_n12"),
+//!         Scheme::Bisp,
+//!     ))
+//!     .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| s.scheme = scheme)
+//!     .axis([1u64, 2], |s, &seed| s.seed = seed)
+//!     .into_points();
+//!
+//! let report = run_sweep(&scenarios, 2);
+//! assert_eq!(report.records().len(), 4);
+//! assert_eq!(report.summary()["all_halted"].sum, 4.0, "every run halts");
+//! ```
 
-use hisq_compiler::{Binding, BindingAction, CompiledSystem, Scheme, PORT_READOUT};
+use hisq_compiler::{
+    compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
+    LockstepOptions, Scheme, PORT_READOUT,
+};
 use hisq_core::NodeConfig;
 use hisq_isa::CYCLE_NS;
-use hisq_net::Topology;
-use hisq_quantum::CoherenceParams;
-use hisq_sim::{Hub, QuantumAction, QuantumBackend, SimError, SimReport, System};
+use hisq_net::{Topology, TopologyBuilder};
+use hisq_quantum::{CoherenceParams, ExposureLedger};
+use hisq_sim::{
+    Hub, QuantumAction, QuantumBackend, RandomBackend, SimError, SimReport, SweepRecord,
+    SweepReport, SweepRunner, System,
+};
+use hisq_workloads::WorkloadSpec;
 
 /// Builds a ready-to-run [`System`] from a compiled program.
 ///
@@ -138,4 +184,185 @@ pub fn run_compiled(
         runtime_ns,
         infidelity,
     })
+}
+
+/// System-level parameters of a scenario: the mesh/tree link latencies
+/// the BISP topology is built with, and the star latencies of the
+/// lock-step baseline's broadcast hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemParams {
+    /// Mesh-edge latency between neighbouring controllers (cycles).
+    pub neighbor_latency: u64,
+    /// Tree-edge latency between routers (cycles).
+    pub router_latency: u64,
+    /// Router fan-in of the synchronization tree.
+    pub router_arity: usize,
+    /// Baseline controller → hub latency (cycles).
+    pub star_up_latency: u64,
+    /// Baseline hub → controller broadcast latency (cycles).
+    pub star_down_latency: u64,
+}
+
+impl Default for SystemParams {
+    /// The paper's Figure 15 defaults: 5-cycle mesh edges, 10-cycle
+    /// tree edges, arity 4, 100 ns (25-cycle) star legs.
+    fn default() -> SystemParams {
+        SystemParams {
+            neighbor_latency: 5,
+            router_latency: 10,
+            router_arity: 4,
+            star_up_latency: 25,
+            star_down_latency: 25,
+        }
+    }
+}
+
+/// One experiment point of a sweep: workload × scheme × system
+/// parameters × seed × coherence time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The workload to compile and run.
+    pub workload: WorkloadSpec,
+    /// Execution scheme (Distributed-HISQ BISP or lock-step baseline).
+    pub scheme: Scheme,
+    /// Seed of the random measurement backend.
+    pub seed: u64,
+    /// Relaxation time T1 = T2 (µs) the infidelity metric is scored at.
+    pub t1_us: f64,
+    /// Link latencies and baseline star parameters.
+    pub params: SystemParams,
+}
+
+impl Scenario {
+    /// A scenario with the paper-default seed (1), coherence (300 µs),
+    /// and system parameters.
+    pub fn new(workload: WorkloadSpec, scheme: Scheme) -> Scenario {
+        Scenario {
+            workload,
+            scheme,
+            seed: 1,
+            t1_us: 300.0,
+            params: SystemParams::default(),
+        }
+    }
+
+    /// Replaces the backend seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the scored coherence time (builder style).
+    #[must_use]
+    pub fn with_t1_us(mut self, t1_us: f64) -> Scenario {
+        self.t1_us = t1_us;
+        self
+    }
+
+    /// Replaces the system parameters (builder style).
+    #[must_use]
+    pub fn with_params(mut self, params: SystemParams) -> Scenario {
+        self.params = params;
+        self
+    }
+
+    /// Stable identifier used as the sweep-record id (and for pairing
+    /// scheme twins in the figure harnesses).
+    pub fn id(&self) -> String {
+        let scheme = match self.scheme {
+            Scheme::Bisp => "bisp",
+            Scheme::Lockstep => "lockstep",
+        };
+        format!(
+            "{}/{}/seed{}/t{}",
+            self.workload.label(),
+            scheme,
+            self.seed,
+            self.t1_us
+        )
+    }
+}
+
+/// Executes one scenario end to end — build circuit, build topology,
+/// compile, simulate, score — and distills the paper's metrics.
+///
+/// The record carries: `makespan_cycles` / `makespan_ns` (end-to-end
+/// runtime), `instructions`, `syncs`, `stall_cycles` (synchronization
+/// overhead), `messages` (engine events processed), `infidelity` at the
+/// scenario's coherence time, and the `all_halted` flag.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown, compilation fails, or node
+/// addresses collide — all programmer errors in the scenario
+/// description, reported with the scenario id for context.
+pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
+    let id = scenario.id();
+    let built = scenario
+        .workload
+        .build()
+        .unwrap_or_else(|| panic!("{id}: unknown workload"));
+    let p = scenario.params;
+    let topology = TopologyBuilder::grid(built.grid.0, built.grid.1)
+        .neighbor_latency(p.neighbor_latency)
+        .router_latency(p.router_latency)
+        .router_arity(p.router_arity)
+        .build();
+    let (compiled, topology) = match scenario.scheme {
+        Scheme::Bisp => {
+            let compiled = compile_bisp(&built.circuit, &topology, &BispOptions::default())
+                .unwrap_or_else(|e| panic!("{id}: BISP compile failed: {e}"));
+            (compiled, Some(&topology))
+        }
+        Scheme::Lockstep => {
+            let options = LockstepOptions {
+                star_up_latency: p.star_up_latency,
+                star_down_latency: p.star_down_latency,
+                ..LockstepOptions::default()
+            };
+            let compiled = compile_lockstep(&built.circuit, &options)
+                .unwrap_or_else(|e| panic!("{id}: lock-step compile failed: {e}"));
+            (compiled, None)
+        }
+    };
+    let mut system =
+        build_system(&compiled, topology).unwrap_or_else(|e| panic!("{id}: build failed: {e}"));
+    system.set_backend(RandomBackend::new(scenario.seed, 0.5));
+    let report = system
+        .run()
+        .unwrap_or_else(|e| panic!("{id}: run failed: {e}"));
+
+    let coherence = CoherenceParams::uniform(scenario.t1_us);
+    let infidelity = if built.data_sites.is_empty() {
+        system.exposure().infidelity(coherence)
+    } else {
+        // Output data qubits stay coherent from circuit start until the
+        // whole dynamic circuit completes (the Figure 16 scoring).
+        let mut ledger = ExposureLedger::new();
+        for &q in &built.data_sites {
+            ledger.record_span(q, 0, report.makespan_ns);
+        }
+        ledger.infidelity(coherence)
+    };
+
+    SweepRecord::new(id)
+        .with("makespan_cycles", report.makespan_cycles)
+        .with("makespan_ns", report.makespan_ns)
+        .with("instructions", report.total_instructions)
+        .with("syncs", report.total_syncs)
+        .with("stall_cycles", report.total_stall_cycles)
+        .with("messages", report.events_processed)
+        .with("infidelity", infidelity)
+        .with("all_halted", report.all_halted)
+}
+
+/// Runs a batch of scenarios on `threads` workers and aggregates their
+/// records (in scenario order) into a deterministic report.
+///
+/// The output is byte-identical for any thread count: records land at
+/// their scenario's index and statistics fold in that order. See the
+/// module docs for an end-to-end example.
+pub fn run_sweep(scenarios: &[Scenario], threads: usize) -> SweepReport {
+    SweepRunner::new(threads).run(scenarios, |_, scenario| run_scenario(scenario))
 }

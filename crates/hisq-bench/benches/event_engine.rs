@@ -1,0 +1,223 @@
+//! The event-engine benchmark: times the simulator's hot loop on
+//! representative BISP and lock-step systems at 8/32/128 controllers
+//! and writes `BENCH_event_engine.json` — the repo's perf trajectory
+//! for the discrete-event core.
+//!
+//! The workloads are synthesized directly as HISQ programs (no
+//! compiler in the loop) so the measurement isolates the event engine:
+//! queue push/pop, node dispatch, link-latency lookup, commit
+//! harvesting, and TELF attribution. Each BISP round exercises a
+//! nearby sync pair, a classical send/recv exchange, and a region sync
+//! through the router tree; each lock-step round broadcasts one value
+//! through the hub to every subscriber.
+//!
+//! Run with: `cargo bench -p hisq-bench --bench event_engine`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hisq_core::NodeConfig;
+use hisq_isa::Assembler;
+use hisq_net::TopologyBuilder;
+use hisq_sim::{System, SystemSpec};
+
+/// Controller counts of the scaling axis.
+const SIZES: [usize; 3] = [8, 32, 128];
+/// Synchronization/broadcast rounds per run.
+const ROUNDS: u32 = 40;
+
+/// Baseline timings measured at commit c7a005d (the pre-refactor
+/// `BTreeMap`-keyed event core) with this exact harness: mean of two
+/// runs on the same machine the arena numbers were first taken on.
+/// Units: nanoseconds per processed event. The gap widens with system
+/// size — at 128 controllers the address-map walks dominated the old
+/// hot loop.
+const BASELINE: &[(&str, usize, f64)] = &[
+    ("bisp", 8, 147.2),
+    ("bisp", 32, 159.0),
+    ("bisp", 128, 336.5),
+    ("lockstep", 8, 138.4),
+    ("lockstep", 32, 156.0),
+    ("lockstep", 128, 218.6),
+];
+
+fn asm(src: &str) -> Vec<hisq_isa::Inst> {
+    Assembler::new()
+        .assemble(src)
+        .expect("bench program assembles")
+        .insts()
+        .to_vec()
+}
+
+/// A BISP system of `n` controllers on a linear mesh under an arity-4
+/// router tree: every round pairs nearby syncs, exchanges a classical
+/// value, and region-syncs through the root.
+fn build_bisp(n: usize) -> System {
+    let topo = TopologyBuilder::linear(n)
+        .neighbor_latency(5)
+        .router_latency(10)
+        .router_arity(4)
+        .build();
+    let root = topo.root_router().unwrap();
+    let mut programs = std::collections::BTreeMap::new();
+    for i in 0..n as u16 {
+        let partner = i ^ 1;
+        let exchange = if i % 2 == 0 {
+            format!("send {partner}, t1\nrecv t2, {partner}")
+        } else {
+            format!("recv t2, {partner}\nsend {partner}, t2")
+        };
+        let src = format!(
+            "
+            li t1, {ROUNDS}
+        loop:
+            waiti 10
+            sync {partner}
+            waiti 6
+            cw.i.i 0, 1
+            {exchange}
+            li t0, 40
+            sync {root}, t0
+            waiti 40
+            cw.i.i 1, 1
+            addi t1, t1, -1
+            bnez t1, loop
+            stop
+            "
+        );
+        programs.insert(i, asm(&src));
+    }
+    SystemSpec::from_topology(&topo, programs)
+        .build()
+        .expect("bench system builds")
+}
+
+/// A lock-step system of `n` controllers on a star: controller 0
+/// publishes a value to the hub every round; every controller consumes
+/// the broadcast.
+fn build_lockstep(n: usize) -> System {
+    let hub = n as u16;
+    let mut spec = SystemSpec::new();
+    spec.hub(
+        hub,
+        hisq_sim::Hub {
+            subscribers: (0..n as u16).collect(),
+            down_latency: 25,
+        },
+    );
+    for i in 0..n as u16 {
+        let publish = if i == 0 {
+            format!("send {hub}, t1\n")
+        } else {
+            String::new()
+        };
+        let src = format!(
+            "
+            li t1, {ROUNDS}
+        loop:
+            {publish}recv t2, {hub}
+            waiti 10
+            cw.i.i 0, 1
+            addi t1, t1, -1
+            bnez t1, loop
+            stop
+            "
+        );
+        spec.controller(NodeConfig::new(i).with_pipeline_headroom(32), asm(&src));
+    }
+    spec.build().expect("bench system builds")
+}
+
+struct Measurement {
+    scheme: &'static str,
+    controllers: usize,
+    events: u64,
+    ns_per_event: f64,
+    ns_per_run: f64,
+}
+
+/// Times `run()` (build excluded) over enough iterations to amortize
+/// timer noise; returns per-event and per-run wall time.
+fn measure(scheme: &'static str, n: usize, build: impl Fn(usize) -> System) -> Measurement {
+    // Warm up allocator and caches.
+    let mut warm = build(n);
+    let report = warm.run().expect("bench run completes");
+    assert!(report.all_halted, "{scheme}/{n}: bench workload deadlocked");
+    let events = report.events_processed;
+
+    let iters = (2_000_000 / events.max(1)).clamp(3, 200) as u32;
+    let mut elapsed_ns = 0u128;
+    for _ in 0..iters {
+        let mut system = build(n);
+        let start = Instant::now();
+        let report = system.run().expect("bench run completes");
+        elapsed_ns += start.elapsed().as_nanos();
+        assert_eq!(report.events_processed, events, "runs must be identical");
+    }
+    let ns_per_run = elapsed_ns as f64 / f64::from(iters);
+    Measurement {
+        scheme,
+        controllers: n,
+        events,
+        ns_per_event: ns_per_run / events as f64,
+        ns_per_run,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        results.push(measure("bisp", n, build_bisp));
+        results.push(measure("lockstep", n, build_lockstep));
+    }
+
+    println!("event engine: ns per processed event (lower is better)");
+    println!("{:-<72}", "");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14}",
+        "scheme", "controllers", "events/run", "ns/event", "baseline"
+    );
+    println!("{:-<72}", "");
+    let mut json = String::from("{\"benchmark\":\"event_engine\",\"rounds\":");
+    let _ = write!(json, "{ROUNDS},\"results\":[");
+    for (i, m) in results.iter().enumerate() {
+        let baseline = BASELINE
+            .iter()
+            .find(|(s, n, _)| *s == m.scheme && *n == m.controllers)
+            .map(|&(_, _, ns)| ns)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<10} {:>12} {:>12} {:>14.1} {:>14.1}",
+            m.scheme, m.controllers, m.events, m.ns_per_event, baseline
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"scheme\":\"{}\",\"controllers\":{},\"events_per_run\":{},\
+             \"ns_per_event\":{},\"ns_per_run\":{},\"baseline_ns_per_event\":{}}}",
+            m.scheme,
+            m.controllers,
+            m.events,
+            json_f64(m.ns_per_event),
+            json_f64(m.ns_per_run),
+            json_f64(baseline)
+        );
+    }
+    json.push_str("]}");
+    // Anchor the artifact at the workspace root regardless of the
+    // bench's working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_event_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_event_engine.json");
+    println!("{:-<72}", "");
+    println!("wrote BENCH_event_engine.json (workspace root)");
+}

@@ -1,75 +1,144 @@
 //! Regenerates Figure 11: the four qubit calibration experiments,
 //! driven end-to-end through HISQ programs.
+//!
+//! Honors the shared CLI contract: `--json` emits the calibration fit
+//! parameters as a [`hisq_sim::SweepReport`] (one record per
+//! experiment), `--threads N` runs the selected experiments on the
+//! sweep worker pool, and a positional argument
+//! (`circle|freq|rabi|t1`) selects one experiment.
 
 use hisq_analog::experiments::{
     circle_experiment, rabi_experiment, spectroscopy_experiment, t1_experiment, CircleConfig,
     RabiConfig, SpectroscopyConfig, T1Config,
 };
 use hisq_bench::cli::FigArgs;
+use hisq_sim::{SweepRecord, SweepRunner};
+
+/// Runs one named calibration experiment and distills its fit
+/// parameters into a sweep record.
+fn calibration_record(which: &str) -> SweepRecord {
+    match which {
+        "circle" => {
+            let r = circle_experiment(&CircleConfig::default());
+            SweepRecord::new("circle")
+                .with("fit_center_x", r.fit.cx)
+                .with("fit_center_y", r.fit.cy)
+                .with("fit_radius", r.fit.radius)
+                .with("relative_deviation", r.relative_deviation)
+                .with("points", r.iq.len() as u64)
+        }
+        "freq" => {
+            let r = spectroscopy_experiment(&SpectroscopyConfig::default());
+            let peak = r.p_excited.iter().cloned().fold(0.0f64, f64::max);
+            SweepRecord::new("freq")
+                .with("fitted_frequency_ghz", r.fitted_frequency_ghz)
+                .with("peak_p_excited", peak)
+                .with("points", r.frequency_ghz.len() as u64)
+        }
+        "rabi" => {
+            let r = rabi_experiment(&RabiConfig::default());
+            SweepRecord::new("rabi")
+                .with("pi_amplitude", r.pi_amplitude)
+                .with("fit_amplitude", r.fit.amplitude)
+                .with("fit_offset", r.fit.offset)
+        }
+        "t1" => {
+            let r = t1_experiment(&T1Config::default());
+            SweepRecord::new("t1")
+                .with("fitted_t1_us", r.fitted_t1_us)
+                .with("reference_t1_us", r.reference_t1_us)
+                .with("points", r.delay_us.len() as u64)
+        }
+        other => panic!("unknown experiment {other:?} (circle|freq|rabi|t1)"),
+    }
+}
 
 fn main() {
-    // Calibration runs are single experiments, not sweeps: the shared
-    // flags (--threads/--json/--quick) are accepted and ignored so the
-    // CI smoke invocation stays uniform across all fig* binaries.
     let args = FigArgs::parse();
     let which = args
         .positional
         .first()
         .cloned()
         .unwrap_or_else(|| "all".into());
+    let selected: Vec<&str> = ["circle", "freq", "rabi", "t1"]
+        .into_iter()
+        .filter(|&name| which == "all" || which == name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment {which:?} (circle|freq|rabi|t1|all)");
+        std::process::exit(2);
+    }
 
-    if which == "all" || which == "circle" {
-        let r = circle_experiment(&CircleConfig::default());
-        println!("Figure 11(a): draw circle (phase sweep)");
-        println!(
-            "  fitted circle: center = ({:.1}, {:.1}), radius = {:.1}",
-            r.fit.cx, r.fit.cy, r.fit.radius
-        );
-        println!(
-            "  radial deviation {:.1}% (adjacent-qubit interference)",
-            r.relative_deviation * 100.0
-        );
-        println!(
-            "  first points (I, Q): {:?}\n",
-            &r.iq[..4.min(r.iq.len())]
-                .iter()
-                .map(|&(i, q)| (i.round(), q.round()))
-                .collect::<Vec<_>>()
-        );
+    if args.json {
+        let report =
+            SweepRunner::new(args.threads).run(&selected, |_, &name| calibration_record(name));
+        println!("{report}");
+        return;
     }
-    if which == "all" || which == "freq" {
-        let r = spectroscopy_experiment(&SpectroscopyConfig::default());
-        println!("Figure 11(b): qubit spectroscopy (frequency sweep)");
-        println!(
-            "  fitted qubit frequency: {:.4} GHz (paper: 4.62 GHz; ref stack: 4.64 GHz)",
-            r.fitted_frequency_ghz
-        );
-        println!(
-            "  peak P(1) = {:.2}\n",
-            r.p_excited.iter().cloned().fold(0.0f64, f64::max)
-        );
+
+    for &name in &selected {
+        print_experiment(name);
     }
-    if which == "all" || which == "rabi" {
-        let r = rabi_experiment(&RabiConfig::default());
-        println!("Figure 11(c): Rabi oscillation (amplitude sweep)");
-        println!(
-            "  fitted pi-pulse amplitude: {:.3} (model optimum: 0.500)",
-            r.pi_amplitude
-        );
-        println!(
-            "  oscillation amplitude: {:.2}, offset {:.2}\n",
-            r.fit.amplitude, r.fit.offset
-        );
-    }
-    if which == "all" || which == "t1" {
-        let r = t1_experiment(&T1Config::default());
-        println!("Figure 11(d): relaxation time (delay sweep)");
-        println!(
-            "  fitted T1 = {:.1} us (paper: 9.9 us; reference stack: {} us)",
-            r.fitted_t1_us, r.reference_t1_us
-        );
-        for (d, p) in r.delay_us.iter().zip(&r.p_excited).step_by(6) {
-            println!("    delay {:5.1} us -> P(1) = {:.3}", d, p);
+}
+
+/// Prints one experiment's human-readable section (the text twin of
+/// [`calibration_record`], sharing the same selection source).
+fn print_experiment(name: &str) {
+    match name {
+        "circle" => {
+            let r = circle_experiment(&CircleConfig::default());
+            println!("Figure 11(a): draw circle (phase sweep)");
+            println!(
+                "  fitted circle: center = ({:.1}, {:.1}), radius = {:.1}",
+                r.fit.cx, r.fit.cy, r.fit.radius
+            );
+            println!(
+                "  radial deviation {:.1}% (adjacent-qubit interference)",
+                r.relative_deviation * 100.0
+            );
+            println!(
+                "  first points (I, Q): {:?}\n",
+                &r.iq[..4.min(r.iq.len())]
+                    .iter()
+                    .map(|&(i, q)| (i.round(), q.round()))
+                    .collect::<Vec<_>>()
+            );
         }
+        "freq" => {
+            let r = spectroscopy_experiment(&SpectroscopyConfig::default());
+            println!("Figure 11(b): qubit spectroscopy (frequency sweep)");
+            println!(
+                "  fitted qubit frequency: {:.4} GHz (paper: 4.62 GHz; ref stack: 4.64 GHz)",
+                r.fitted_frequency_ghz
+            );
+            println!(
+                "  peak P(1) = {:.2}\n",
+                r.p_excited.iter().cloned().fold(0.0f64, f64::max)
+            );
+        }
+        "rabi" => {
+            let r = rabi_experiment(&RabiConfig::default());
+            println!("Figure 11(c): Rabi oscillation (amplitude sweep)");
+            println!(
+                "  fitted pi-pulse amplitude: {:.3} (model optimum: 0.500)",
+                r.pi_amplitude
+            );
+            println!(
+                "  oscillation amplitude: {:.2}, offset {:.2}\n",
+                r.fit.amplitude, r.fit.offset
+            );
+        }
+        "t1" => {
+            let r = t1_experiment(&T1Config::default());
+            println!("Figure 11(d): relaxation time (delay sweep)");
+            println!(
+                "  fitted T1 = {:.1} us (paper: 9.9 us; reference stack: {} us)",
+                r.fitted_t1_us, r.reference_t1_us
+            );
+            for (d, p) in r.delay_us.iter().zip(&r.p_excited).step_by(6) {
+                println!("    delay {:5.1} us -> P(1) = {:.3}", d, p);
+            }
+        }
+        other => panic!("unknown experiment {other:?} (circle|freq|rabi|t1)"),
     }
 }

@@ -1,15 +1,48 @@
 //! Regenerates Figures 12/13: the electronics-level synchronization
 //! experiment on the paper's exact control/readout board programs.
+//!
+//! Honors the shared CLI contract: `--json` emits the per-iteration
+//! alignment timestamps as a [`hisq_sim::SweepReport`] (one record per
+//! inner-loop iteration: the control-board and readout-board commit
+//! cycles plus their offset — the Figure 13 alignment check in
+//! machine-readable form). The experiment itself is one fixed
+//! two-board run, so `--threads`/`--quick` are accepted for CLI
+//! uniformity but do not change it.
 
 use hisq_bench::cli::FigArgs;
 use hisq_bench::figures::fig13_waveforms;
+use hisq_isa::CYCLE_NS;
+use hisq_sim::{SweepRecord, SweepReport};
 
 fn main() {
-    // One fixed two-board experiment, not a sweep: the shared flags
-    // (--threads/--json/--quick) are accepted and ignored so the CI
-    // smoke invocation stays uniform across all fig* binaries.
-    let _ = FigArgs::parse();
+    let args = FigArgs::parse();
     let r = fig13_waveforms();
+
+    if args.json {
+        let readout_pulses: Vec<u64> = r.telf.channel(1, 5).iter().map(|p| p.cycle).collect();
+        let records = r
+            .control_pulses
+            .iter()
+            .zip(&readout_pulses)
+            .zip(&r.alignment)
+            .enumerate()
+            .map(|(i, ((&control, &readout), &offset))| {
+                SweepRecord::new(format!("iteration_{i}"))
+                    .with("control_port7_cycle", control)
+                    .with("control_port7_ns", control * CYCLE_NS)
+                    .with("readout_port5_cycle", readout)
+                    .with("readout_port5_ns", readout * CYCLE_NS)
+                    .with("offset_cycles", offset as f64)
+                    .with(
+                        "aligned",
+                        offset == r.alignment.first().copied().unwrap_or(0),
+                    )
+            })
+            .collect();
+        println!("{}", SweepReport::from_records(records));
+        return;
+    }
+
     println!("Figure 13: two-board synchronization under waitr drift\n");
     println!("Waveforms (one column per 16 cycles, '|' = committed pulse):");
     print!(
@@ -19,7 +52,7 @@ fn main() {
     );
     println!("\nControl-board synchronized pulses (port 7) per iteration:");
     for (i, cycle) in r.control_pulses.iter().enumerate() {
-        println!("  iteration {i}: cycle {cycle} ({} ns)", cycle * 4);
+        println!("  iteration {i}: cycle {cycle} ({} ns)", cycle * CYCLE_NS);
     }
     println!(
         "\nCycle offset (readout port 5 - control port 7) per iteration: {:?}",

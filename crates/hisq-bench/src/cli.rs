@@ -2,8 +2,10 @@
 //!
 //! Every figure harness accepts the same surface — `--threads N`,
 //! `--json`, `--quick` — so CI can invoke the whole set uniformly.
-//! Binaries that have no sweep to parallelize (`fig11`, `fig13`)
-//! still parse and ignore the flags rather than failing on them.
+//! The experiment binaries honor it too: `fig11 --json` emits its
+//! calibration fit parameters (with `--threads` parallelizing the
+//! selected experiments) and `fig13 --json` its per-iteration
+//! alignment timestamps, both as `SweepReport` documents.
 
 use std::process::exit;
 

@@ -11,7 +11,7 @@ use distributed_hisq::workloads::{SuiteScale, WorkloadSpec};
 use hisq_core::NodeConfig;
 use hisq_isa::Assembler;
 use hisq_net::TopologyBuilder;
-use hisq_sim::{SweepGrid, SweepRecord, SweepReport, SweepRunner, System, Telf};
+use hisq_sim::{SweepGrid, SweepRecord, SweepReport, SweepRunner, SystemSpec, Telf};
 
 /// Figure 5(a): nearby BISP synchronization timing.
 #[derive(Debug, Clone, Copy)]
@@ -46,8 +46,8 @@ pub fn fig05_nearby() -> Fig05Nearby {
             .insts()
             .to_vec()
     };
-    let mut system = System::new();
-    system.add_controller(NodeConfig::new(0).with_neighbor(1, latency), asm(40));
+    let mut spec = SystemSpec::new();
+    spec.controller(NodeConfig::new(0).with_neighbor(1, latency), asm(40));
     // Controller 1's program must target address 0.
     let b = Assembler::new()
         .assemble(&format!(
@@ -56,7 +56,8 @@ pub fn fig05_nearby() -> Fig05Nearby {
         .unwrap()
         .insts()
         .to_vec();
-    system.add_controller(NodeConfig::new(1).with_neighbor(0, latency), b);
+    spec.controller(NodeConfig::new(1).with_neighbor(0, latency), b);
+    let mut system = spec.build().expect("builds");
     let report = system.run().expect("runs");
     assert!(report.all_halted);
     let telf = system.telf();
@@ -106,7 +107,9 @@ pub fn fig05_remote() -> Fig05Remote {
             Assembler::new().assemble(&src).unwrap().insts().to_vec(),
         );
     }
-    let mut system = System::from_topology(&topo, programs).expect("builds");
+    let mut system = SystemSpec::from_topology(&topo, programs)
+        .build()
+        .expect("builds");
     let report = system.run().expect("runs");
     assert!(report.all_halted, "{:?}", report.blocked);
     let telf = system.telf();
@@ -162,7 +165,9 @@ fn fig07_commit(router_latency: u64) -> u64 {
             Assembler::new().assemble(&src).unwrap().insts().to_vec(),
         );
     }
-    let mut system = System::from_topology(&topo, programs).expect("builds");
+    let mut system = SystemSpec::from_topology(&topo, programs)
+        .build()
+        .expect("builds");
     let report = system.run().expect("runs");
     assert!(report.all_halted, "{:?}", report.blocked);
     system.telf().commits_of(2)[0].cycle
@@ -290,15 +295,16 @@ pub fn fig13_waveforms() -> Fig13 {
         bnez $3, loop
         stop
     ";
-    let mut system = System::new();
-    system.add_controller(
+    let mut spec = SystemSpec::new();
+    spec.controller(
         NodeConfig::new(0).with_neighbor(1, latency),
         Assembler::new().assemble(control).unwrap().insts().to_vec(),
     );
-    system.add_controller(
+    spec.controller(
         NodeConfig::new(1).with_neighbor(0, latency),
         Assembler::new().assemble(readout).unwrap().insts().to_vec(),
     );
+    let mut system = spec.build().expect("builds");
     let report = system.run().expect("runs");
     assert!(report.all_halted, "{:?}", report.blocked);
     let telf = system.telf();

@@ -1,0 +1,112 @@
+//! Property-based verification of the [`Timeline`] invariants the BISP
+//! protocol rests on (§3.2/§4 of the paper): the TCU timer may be
+//! paused and resumed by synchronizations, but wall-clock time can
+//! only ever move *forward*, and the raw↔wall mapping must stay
+//! consistent for any program-ordered gate sequence.
+
+use proptest::prelude::*;
+
+use hisq_core::Timeline;
+
+/// Builds a timeline from `(position_delta, resume_delta)` pairs: gate
+/// positions grow monotonically (the program order `add_gate`
+/// requires) and resume times land `resume_delta` cycles past the
+/// gate's current effective time (0 ⇒ a no-op gate, Condition II met
+/// early). Returns the timeline and the applied gate positions.
+fn build(gates: &[(u64, u64)]) -> (Timeline, Vec<u64>) {
+    let mut timeline = Timeline::new();
+    let mut raw = 0u64;
+    let mut positions = Vec::with_capacity(gates.len());
+    for &(pos_delta, resume_delta) in gates {
+        raw += pos_delta;
+        let resume = timeline.effective(raw) + resume_delta;
+        timeline.add_gate(raw, resume);
+        positions.push(raw);
+    }
+    (timeline, positions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `effective` is monotone: a later raw grid position never maps
+    /// to an earlier wall-clock cycle, no matter how many stalls the
+    /// synchronizations inserted.
+    #[test]
+    fn effective_time_is_monotone(
+        gates in proptest::collection::vec((0u64..40, 0u64..80), 0..8),
+        probes in proptest::collection::vec(0u64..400, 2..16),
+    ) {
+        let (timeline, _) = build(&gates);
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            prop_assert!(
+                timeline.effective(pair[0]) <= timeline.effective(pair[1]),
+                "effective({}) = {} > effective({}) = {}",
+                pair[0], timeline.effective(pair[0]),
+                pair[1], timeline.effective(pair[1]),
+            );
+        }
+    }
+
+    /// Stalls only push time forward: every raw position's wall time
+    /// is at least the raw position itself, and the shift past the
+    /// last gate equals `total_stall`.
+    #[test]
+    fn stalls_never_rewind_the_clock(
+        gates in proptest::collection::vec((0u64..40, 0u64..80), 1..8),
+        probe in 0u64..500,
+    ) {
+        let (timeline, positions) = build(&gates);
+        prop_assert!(timeline.effective(probe) >= probe);
+        let last = *positions.last().unwrap();
+        prop_assert_eq!(
+            timeline.effective(last + 100) - (last + 100),
+            timeline.total_stall(),
+            "suffix shift is the accumulated stall"
+        );
+    }
+
+    /// Each gate resumes exactly at its requested wall-clock time when
+    /// a stall was needed, and is a no-op when the resume time was
+    /// already reached (the zero-overhead case of §4.4).
+    #[test]
+    fn gates_resume_exactly_on_time(
+        gates in proptest::collection::vec((0u64..40, 0u64..80), 1..8),
+    ) {
+        let mut timeline = Timeline::new();
+        let mut raw = 0u64;
+        for &(pos_delta, resume_delta) in &gates {
+            raw += pos_delta;
+            let before = timeline.effective(raw);
+            let count_before = timeline.gate_count();
+            let resume = before + resume_delta;
+            timeline.add_gate(raw, resume);
+            prop_assert_eq!(timeline.effective(raw), before.max(resume));
+            if resume_delta == 0 {
+                prop_assert_eq!(timeline.gate_count(), count_before, "no-op gate recorded");
+            }
+        }
+    }
+
+    /// `raw_for_wall` inverts `effective` on every reachable wall
+    /// time: re-basing the grid after a non-deterministic event never
+    /// loses or invents stall cycles.
+    #[test]
+    fn raw_for_wall_round_trips(
+        gates in proptest::collection::vec((0u64..40, 0u64..80), 0..8),
+        probes in proptest::collection::vec(0u64..400, 1..16),
+    ) {
+        let (timeline, _) = build(&gates);
+        for &raw in &probes {
+            let wall = timeline.effective(raw);
+            let back = timeline.raw_for_wall(wall);
+            prop_assert_eq!(
+                timeline.effective(back),
+                wall,
+                "round trip through raw {} (wall {})", raw, wall
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based verification of the router's max-reduction rounds
+//! (Figure 8): repeated synchronizations against the same destination
+//! must pair up **FIFO round-by-round** no matter how bookings from
+//! different children interleave on the wire, and every completed
+//! round's broadcast must carry `max(max(Tᵢ, arrivalᵢ))` over exactly
+//! that round's bookings.
+
+use proptest::prelude::*;
+
+use hisq_net::{Router, RouterAction};
+
+/// Expands a pick sequence into an arrival interleaving that preserves
+/// each child's own booking order (the per-link FIFO the network
+/// guarantees): each pick selects the next child among those with
+/// bookings left to deliver.
+fn interleaving(num_children: usize, rounds: usize, picks: &[u64]) -> Vec<usize> {
+    let mut remaining = vec![rounds; num_children];
+    let mut order = Vec::with_capacity(num_children * rounds);
+    let mut pick_iter = picks.iter().cycle();
+    while order.len() < num_children * rounds {
+        let live: Vec<usize> = (0..num_children).filter(|&c| remaining[c] > 0).collect();
+        let &pick = pick_iter.next().expect("cycled");
+        let child = live[(pick as usize) % live.len()];
+        remaining[child] -= 1;
+        order.push(child);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For any interleaving of per-child booking streams, the router
+    /// completes exactly `rounds` rounds, in order, and each round's
+    /// broadcast is the max-reduction over that round's bookings with
+    /// the arrival floor applied (§4.4).
+    #[test]
+    fn rounds_pair_fifo_under_any_interleaving(
+        num_children in 2usize..5,
+        rounds in 1usize..5,
+        picks in proptest::collection::vec(0u64..1000, 8..32),
+        time_points in proptest::collection::vec(0u64..500, 20..40),
+        arrivals in proptest::collection::vec(0u64..500, 20..40),
+    ) {
+        let children: Vec<u16> = (0..num_children as u16).collect();
+        let addr = 100u16;
+        let mut router = Router::new(addr, None, children.clone());
+
+        // Per-child FIFO booking streams: child c's round k booking.
+        let booking = |c: usize, k: usize| {
+            let i = c * rounds + k;
+            (
+                time_points[i % time_points.len()],
+                arrivals[i % arrivals.len()],
+            )
+        };
+
+        let mut sent = vec![0usize; num_children]; // next round per child
+        let mut broadcasts = Vec::new();
+        for child in interleaving(num_children, rounds, &picks) {
+            let k = sent[child];
+            sent[child] += 1;
+            let (tp, arr) = booking(child, k);
+            let actions = router.deliver_book_time(child as u16, addr, tp, arr);
+            for action in actions {
+                match action {
+                    RouterAction::Broadcast { children: to, t_m, target } => {
+                        prop_assert_eq!(&to, &children, "broadcast reaches every child");
+                        prop_assert_eq!(target, addr);
+                        broadcasts.push(t_m);
+                    }
+                    RouterAction::ForwardUp { .. } => {
+                        prop_assert!(false, "destination router must broadcast, not forward");
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(router.rounds_completed(), rounds as u64);
+        prop_assert_eq!(broadcasts.len(), rounds);
+        // FIFO pairing: round k reduces exactly the k-th booking of
+        // every child, regardless of the wire interleaving.
+        for (k, &t_m) in broadcasts.iter().enumerate() {
+            let expected = (0..num_children)
+                .map(|c| {
+                    let (tp, arr) = booking(c, k);
+                    tp.max(arr)
+                })
+                .max()
+                .unwrap();
+            prop_assert_eq!(t_m, expected, "round {} max-reduction", k);
+        }
+    }
+
+    /// Interleaved bookings for *different* destinations never steal
+    /// from each other's sessions: each target's round completes with
+    /// its own maximum.
+    #[test]
+    fn sessions_stay_independent_under_interleaving(
+        tp_a in proptest::collection::vec(0u64..500, 2..3),
+        tp_b in proptest::collection::vec(0u64..500, 2..3),
+        a_first in proptest::arbitrary::any::<bool>(),
+    ) {
+        let mut router = Router::new(100, Some(200), vec![0, 1]);
+        // Child 0 books for both targets in either order; child 1 then
+        // completes target 300's round, then target 400's.
+        let (arr_300, arr_400) = if a_first { (1, 2) } else { (2, 1) };
+        if a_first {
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).is_empty());
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).is_empty());
+        } else {
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).is_empty());
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).is_empty());
+        }
+        let done_a = router.deliver_book_time(1, 300, tp_a[1], 3);
+        let done_b = router.deliver_book_time(1, 400, tp_b[1], 4);
+        let expect = |actions: &[RouterAction], target: u16, t_m: u64| {
+            matches!(
+                actions,
+                [RouterAction::ForwardUp { target: t, time_point, .. }]
+                    if *t == target && *time_point == t_m
+            )
+        };
+        let max_a = tp_a[0].max(arr_300).max(tp_a[1]).max(3);
+        let max_b = tp_b[0].max(arr_400).max(tp_b[1]).max(4);
+        prop_assert!(expect(&done_a, 300, max_a), "target 300: {done_a:?}");
+        prop_assert!(expect(&done_b, 400, max_b), "target 400: {done_b:?}");
+    }
+}

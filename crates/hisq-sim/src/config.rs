@@ -1,0 +1,99 @@
+//! Engine configuration, failure modes, and the post-run report —
+//! the plain-data boundary types of the simulator's public API.
+
+use std::error::Error;
+use std::fmt;
+
+use hisq_core::{BlockReason, NodeAddr};
+use hisq_quantum::GateDurations;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Deliver region max-time broadcasts with zero latency (the paper's
+    /// §4.4 accounting — see the crate docs). Default `true`.
+    pub idealize_downlink: bool,
+    /// Latency for classical `send`s between nodes without a calibrated
+    /// link, in cycles. Default 25 (100 ns). (Tree-edge latencies always
+    /// come from calibrated links or the attached topology: a `sync`
+    /// against an uncalibrated target faults the controller, so no
+    /// router-edge default exists.)
+    pub default_classical_latency: u64,
+    /// Abort the run after this many processed events (runaway guard).
+    pub max_events: u64,
+    /// Operation durations used for exposure accounting.
+    pub durations: GateDurations,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            idealize_downlink: true,
+            default_classical_latency: 25,
+            max_events: 200_000_000,
+            durations: GateDurations::PAPER,
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted (runaway program guard).
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A node address was used twice.
+    DuplicateAddr(NodeAddr),
+    /// A spec referenced an address that is not a registered
+    /// controller (dangling hub subscriber, binding, or measurement
+    /// port).
+    UnknownAddr {
+        /// The dangling address.
+        addr: NodeAddr,
+        /// What referenced it (e.g. `"hub subscriber"`).
+        role: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "event budget of {budget} exceeded (runaway program?)")
+            }
+            SimError::DuplicateAddr(a) => write!(f, "node address {a} registered twice"),
+            SimError::UnknownAddr { addr, role } => {
+                write!(f, "{role} references unknown controller address {addr}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Post-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// `true` if every controller reached `stop`.
+    pub all_halted: bool,
+    /// Controllers left blocked (deadlock diagnosis).
+    pub blocked: Vec<(NodeAddr, BlockReason)>,
+    /// Controllers that faulted, with messages.
+    pub faulted: Vec<(NodeAddr, String)>,
+    /// Latest wall-clock cycle reached by any controller.
+    pub makespan_cycles: u64,
+    /// Makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Gate-replay ordering violations (0 for well-formed programs).
+    pub causality_warnings: u64,
+    /// Total TCU stall cycles across all controllers.
+    pub total_stall_cycles: u64,
+    /// Total instructions retired across all controllers.
+    pub total_instructions: u64,
+    /// Total `sync` instructions retired.
+    pub total_syncs: u64,
+}

@@ -1,0 +1,561 @@
+//! The arena-indexed discrete-event engine.
+//!
+//! The engine owns one arena of `SimNode`s (see [`crate::nodes`]).
+//! Every [`NodeAddr`] is
+//! interned into a dense `NodeId` when the system is built (see
+//! [`crate::spec`]), so the hot loop — pop event, dispatch to node,
+//! route its messages — is indexed `Vec` access end to end: no
+//! `BTreeMap` walk happens per event. Events carry the *id* of their
+//! destination; addresses only appear at the boundary (controller
+//! programs name addresses, and unknown destinations are dropped at
+//! routing time, surfacing as a deadlocked sender in the report).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use hisq_core::{BlockReason, NodeAddr, Status, MEAS_FIFO_ADDR};
+use hisq_isa::CYCLE_NS;
+use hisq_net::{Payload, RouterAction, Topology};
+use hisq_quantum::ExposureLedger;
+
+use crate::backend::QuantumBackend;
+use crate::config::{SimConfig, SimError, SimReport};
+use crate::events::{EventKind, PendingGate, QueuedEvent, ReplayAction};
+use crate::nodes::{NodeId, QuantumAction, SimNode};
+use crate::telf::Telf;
+
+/// The full Distributed-HISQ system under simulation, built from a
+/// [`SystemSpec`](crate::SystemSpec).
+pub struct System {
+    config: SimConfig,
+    /// The node arena; [`NodeId`]s index into it.
+    nodes: Vec<SimNode>,
+    /// id → address (TELF attribution, reports).
+    addrs: Vec<NodeAddr>,
+    /// address → id (sentinel [`NodeId::MAX`] = unregistered). Sized to
+    /// the largest registered address.
+    addr_to_id: Vec<NodeId>,
+    /// Controller ids in ascending address order (the deterministic
+    /// stepping order).
+    controller_ids: Vec<NodeId>,
+    topology: Option<Topology>,
+    backend: Box<dyn QuantumBackend>,
+
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    gate_heap: BinaryHeap<Reverse<PendingGate>>,
+    gate_store: Vec<ReplayAction>,
+    applied_through: u64,
+    causality_warnings: u64,
+    exposure: ExposureLedger,
+    events_processed: u64,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("nodes", &self.nodes.len())
+            .field("controllers", &self.controller_ids.len())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Assembles a validated system (the tail of
+    /// [`SystemSpec::build`](crate::SystemSpec::build)).
+    pub(crate) fn from_parts(
+        config: SimConfig,
+        nodes: Vec<SimNode>,
+        addrs: Vec<NodeAddr>,
+        addr_to_id: Vec<NodeId>,
+        controller_ids: Vec<NodeId>,
+        topology: Option<Topology>,
+        backend: Box<dyn QuantumBackend>,
+    ) -> System {
+        System {
+            config,
+            nodes,
+            addrs,
+            addr_to_id,
+            controller_ids,
+            topology,
+            backend,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            gate_heap: BinaryHeap::new(),
+            gate_store: Vec::new(),
+            applied_through: 0,
+            causality_warnings: 0,
+            exposure: ExposureLedger::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Resolves an address to its arena id, if registered.
+    fn resolve(&self, addr: NodeAddr) -> Option<NodeId> {
+        self.addr_to_id
+            .get(addr as usize)
+            .copied()
+            .filter(|&id| id != NodeId::MAX)
+    }
+
+    /// Replaces the quantum backend (overriding the spec's
+    /// [`BackendSpec`](crate::BackendSpec); useful for scripted or
+    /// pre-configured backend instances).
+    pub fn set_backend(&mut self, backend: impl QuantumBackend + 'static) {
+        self.backend = Box::new(backend);
+    }
+
+    /// Immutable access to a controller (assertions, TELF, registers).
+    pub fn controller(&self, addr: NodeAddr) -> Option<&hisq_core::Controller> {
+        let id = self.resolve(addr)?;
+        self.nodes[id as usize].as_controller().map(|n| &n.ctrl)
+    }
+
+    /// Mutable access to a controller (e.g. preloading registers).
+    pub fn controller_mut(&mut self, addr: NodeAddr) -> Option<&mut hisq_core::Controller> {
+        let id = self.resolve(addr)?;
+        self.nodes[id as usize]
+            .as_controller_mut()
+            .map(|n| &mut n.ctrl)
+    }
+
+    /// The aggregated TELF trace of all controllers.
+    pub fn telf(&self) -> Telf {
+        Telf::from_commits(self.controller_ids.iter().map(|&id| {
+            let node = self.nodes[id as usize]
+                .as_controller()
+                .expect("controller ids index controllers");
+            (self.addrs[id as usize], node.ctrl.commits())
+        }))
+    }
+
+    /// Per-qubit exposure accounting (drives the Figure 16 fidelity
+    /// model).
+    pub fn exposure(&self) -> &ExposureLedger {
+        &self.exposure
+    }
+
+    /// Read-only access to the quantum backend.
+    pub fn backend(&self) -> &dyn QuantumBackend {
+        self.backend.as_ref()
+    }
+
+    /// Mutable access to the quantum backend.
+    pub fn backend_mut(&mut self) -> &mut dyn QuantumBackend {
+        self.backend.as_mut()
+    }
+
+    fn push_event(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    /// One-way latency from node `from` to address `to`: the sender's
+    /// calibrated link if one exists, else a topology-derived latency,
+    /// else the configured default.
+    fn link_latency(&self, from: NodeId, to: NodeAddr) -> u64 {
+        if let SimNode::Controller(node) = &self.nodes[from as usize] {
+            if let Some(latency) = node.link_latency(to) {
+                return latency;
+            }
+        }
+        let from_addr = self.addrs[from as usize];
+        if let Some(topo) = &self.topology {
+            if let Some(l) = topo.latency(from_addr, to) {
+                return l;
+            }
+            // Unlinked controller pairs: hop-by-hop over the mesh, so
+            // Distributed-HISQ's classical latency grows with distance.
+            let nc = topo.num_controllers() as u16;
+            if from_addr < nc && to < nc {
+                return topo.classical_latency(from_addr, to);
+            }
+        }
+        self.config.default_classical_latency
+    }
+
+    /// Routes one outbound controller message, resolving the
+    /// destination address to its arena id. Unknown destinations are
+    /// dropped (configuration error surfaces as a deadlocked sender in
+    /// the report).
+    fn route(&mut self, from: NodeId, message: hisq_core::OutboundMessage) {
+        use hisq_core::OutboundMessage;
+        let from_addr = self.addrs[from as usize];
+        match message {
+            OutboundMessage::SyncPulse { to, sent_at } => {
+                let at = sent_at + self.link_latency(from, to);
+                let Some(dest) = self.resolve(to) else { return };
+                self.push_event(
+                    at,
+                    EventKind::Deliver {
+                        from: from_addr,
+                        to: dest,
+                        payload: Payload::SyncPulse,
+                    },
+                );
+            }
+            OutboundMessage::BookTime {
+                router: target,
+                time_point,
+                sent_at,
+            } => {
+                // First hop: the sender's parent in the tree (or the
+                // target directly when no topology is attached).
+                let hop = self
+                    .topology
+                    .as_ref()
+                    .and_then(|t| t.parent_of(from_addr))
+                    .unwrap_or(target);
+                let at = sent_at + self.link_latency(from, hop);
+                let Some(dest) = self.resolve(hop) else {
+                    return;
+                };
+                self.push_event(
+                    at,
+                    EventKind::Deliver {
+                        from: from_addr,
+                        to: dest,
+                        payload: Payload::BookTime { target, time_point },
+                    },
+                );
+            }
+            OutboundMessage::Classical { to, value, sent_at } => {
+                let at = sent_at + self.link_latency(from, to);
+                let Some(dest) = self.resolve(to) else { return };
+                self.push_event(
+                    at,
+                    EventKind::Deliver {
+                        from: from_addr,
+                        to: dest,
+                        payload: Payload::Classical { value },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Applies buffered gates with commit cycle ≤ `cycle` to the backend.
+    fn apply_gates_through(&mut self, cycle: u64) {
+        while let Some(Reverse(top)) = self.gate_heap.peek() {
+            if top.cycle > cycle {
+                break;
+            }
+            let Reverse(pending) = self.gate_heap.pop().expect("peeked");
+            match self.gate_store[pending.gate_index].clone() {
+                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
+                ReplayAction::Reset(qubit) => self.backend.reset(qubit),
+            }
+            self.applied_through = self.applied_through.max(pending.cycle);
+        }
+    }
+
+    /// Harvests commits a controller produced during its last step:
+    /// exposure accounting, gate replay buffering, measurement triggers.
+    fn harvest_commits(&mut self, id: NodeId) {
+        let new: Vec<hisq_core::CommitRecord> = {
+            let node = self.nodes[id as usize]
+                .as_controller_mut()
+                .expect("harvest targets a controller");
+            let commits = node.ctrl.commits();
+            let new = commits[node.watermark..].to_vec();
+            node.watermark = commits.len();
+            new
+        };
+
+        for commit in new {
+            let node = self.nodes[id as usize]
+                .as_controller()
+                .expect("harvest targets a controller");
+            if let Some(action) = node.bindings.get(&(commit.port, commit.codeword)).cloned() {
+                match action {
+                    QuantumAction::Gate { gate, qubits } => {
+                        let duration = self.config.durations.gate_ns(gate);
+                        for &q in &qubits {
+                            self.exposure.record_span(
+                                q,
+                                commit.cycle * CYCLE_NS,
+                                commit.cycle * CYCLE_NS + duration,
+                            );
+                        }
+                        self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
+                    }
+                    QuantumAction::Measure { qubit } => {
+                        let latency = self.config.durations.measurement_ns / CYCLE_NS;
+                        self.schedule_measurement(id, qubit, commit.cycle, latency);
+                    }
+                    QuantumAction::Reset { qubit } => {
+                        let duration = self.config.durations.reset_ns;
+                        self.exposure.record_span(
+                            qubit,
+                            commit.cycle * CYCLE_NS,
+                            commit.cycle * CYCLE_NS + duration,
+                        );
+                        self.replay(commit.cycle, ReplayAction::Reset(qubit));
+                    }
+                }
+                continue;
+            }
+            if let Some(binding) = node.meas_ports.get(&commit.port).copied() {
+                self.schedule_measurement(id, binding.qubit, commit.cycle, binding.result_latency);
+            }
+        }
+    }
+
+    /// Buffers a backend operation for in-order replay; stragglers
+    /// behind the replay frontier are applied immediately and counted.
+    fn replay(&mut self, cycle: u64, action: ReplayAction) {
+        if cycle < self.applied_through {
+            self.causality_warnings += 1;
+            match action {
+                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
+                ReplayAction::Reset(qubit) => self.backend.reset(qubit),
+            }
+            return;
+        }
+        let gate_index = self.gate_store.len();
+        self.gate_store.push(action);
+        let seq = self.seq;
+        self.seq += 1;
+        self.gate_heap.push(Reverse(PendingGate {
+            cycle,
+            seq,
+            gate_index,
+        }));
+    }
+
+    fn schedule_measurement(
+        &mut self,
+        node: NodeId,
+        qubit: usize,
+        trigger_cycle: u64,
+        result_latency: u64,
+    ) {
+        self.exposure.record_span(
+            qubit,
+            trigger_cycle * CYCLE_NS,
+            (trigger_cycle + result_latency) * CYCLE_NS,
+        );
+        self.push_event(
+            trigger_cycle + result_latency,
+            EventKind::MeasResolve {
+                node,
+                qubit,
+                trigger_cycle,
+            },
+        );
+    }
+
+    /// Steps one controller until it blocks or halts, routing its
+    /// messages and harvesting its commits.
+    fn step_controller(&mut self, id: NodeId) {
+        let mut outbox = Vec::new();
+        {
+            let node = self.nodes[id as usize]
+                .as_controller_mut()
+                .expect("step targets a controller");
+            let _ = node.ctrl.step(&mut outbox);
+        }
+        self.harvest_commits(id);
+        for message in outbox {
+            self.route(id, message);
+        }
+    }
+
+    fn deliver(&mut self, from: NodeAddr, to: NodeId, payload: Payload, deliver_at: u64) {
+        match &mut self.nodes[to as usize] {
+            SimNode::Controller(node) => {
+                match payload {
+                    Payload::SyncPulse => node.ctrl.deliver_sync_pulse(from, deliver_at),
+                    Payload::MaxTime { t_m, target } => node.ctrl.deliver_max_time(target, t_m),
+                    Payload::Classical { value } => {
+                        node.ctrl.deliver_classical(from, value, deliver_at)
+                    }
+                    Payload::BookTime { .. } => {
+                        // Controllers never coordinate regions; drop.
+                        return;
+                    }
+                }
+                self.step_controller(to);
+            }
+            SimNode::Hub(hub) => {
+                if let Payload::Classical { value } = payload {
+                    let down_latency = hub.down_latency;
+                    let subscribers = hub.subscriber_ids.clone();
+                    let hub_addr = self.addrs[to as usize];
+                    for subscriber in subscribers {
+                        let at = deliver_at + down_latency;
+                        self.push_event(
+                            at,
+                            EventKind::Deliver {
+                                from: hub_addr,
+                                to: subscriber,
+                                payload: Payload::Classical { value },
+                            },
+                        );
+                    }
+                }
+            }
+            SimNode::Router(router) => {
+                let actions = match payload {
+                    Payload::BookTime { target, time_point } => {
+                        router.deliver_book_time(from, target, time_point, deliver_at)
+                    }
+                    Payload::MaxTime { t_m, target } => router.deliver_max_time(t_m, target),
+                    Payload::SyncPulse | Payload::Classical { .. } => Vec::new(),
+                };
+                let router_addr = self.addrs[to as usize];
+                for action in actions {
+                    match action {
+                        RouterAction::ForwardUp {
+                            parent,
+                            target,
+                            time_point,
+                            sent_at,
+                        } => {
+                            let at = sent_at + self.link_latency(to, parent);
+                            let Some(dest) = self.resolve(parent) else {
+                                continue;
+                            };
+                            self.push_event(
+                                at,
+                                EventKind::Deliver {
+                                    from: router_addr,
+                                    to: dest,
+                                    payload: Payload::BookTime { target, time_point },
+                                },
+                            );
+                        }
+                        RouterAction::Broadcast {
+                            children,
+                            t_m,
+                            target,
+                        } => {
+                            for child in children {
+                                let at = if self.config.idealize_downlink {
+                                    deliver_at
+                                } else {
+                                    deliver_at + self.link_latency(to, child)
+                                };
+                                let Some(dest) = self.resolve(child) else {
+                                    continue;
+                                };
+                                self.push_event(
+                                    at,
+                                    EventKind::Deliver {
+                                        from: router_addr,
+                                        to: dest,
+                                        payload: Payload::MaxTime { t_m, target },
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the system to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] if the configured event
+    /// budget is exhausted (e.g. a program loops forever emitting
+    /// messages).
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        let ids = self.controller_ids.clone();
+        for id in ids {
+            self.step_controller(id);
+        }
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.events_processed += 1;
+            if self.events_processed > self.config.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    budget: self.config.max_events,
+                });
+            }
+            match event.kind {
+                EventKind::Deliver { from, to, payload } => {
+                    self.deliver(from, to, payload, event.at);
+                }
+                EventKind::MeasResolve {
+                    node,
+                    qubit,
+                    trigger_cycle,
+                } => {
+                    self.apply_gates_through(trigger_cycle);
+                    let outcome = self.backend.measure(qubit);
+                    if let Some(ctrl_node) = self.nodes[node as usize].as_controller_mut() {
+                        ctrl_node.ctrl.deliver_classical(
+                            MEAS_FIFO_ADDR,
+                            u32::from(outcome),
+                            event.at,
+                        );
+                    }
+                    self.step_controller(node);
+                }
+            }
+        }
+        // Flush any trailing gates so post-run backend state is final.
+        self.apply_gates_through(u64::MAX);
+        Ok(self.report())
+    }
+
+    fn report(&self) -> SimReport {
+        let mut blocked = Vec::new();
+        let mut faulted = Vec::new();
+        let mut makespan = 0;
+        let mut total_stall = 0;
+        let mut total_instructions = 0;
+        let mut total_syncs = 0;
+        let mut all_stopped = true;
+        for &id in &self.controller_ids {
+            let addr = self.addrs[id as usize];
+            let ctrl = &self.nodes[id as usize]
+                .as_controller()
+                .expect("controller ids index controllers")
+                .ctrl;
+            match ctrl.status() {
+                Status::Blocked(pending) => {
+                    // Re-derive the public reason from the pending op.
+                    let reason = match pending {
+                        hisq_core::controller::PendingOp::SyncPulse { partner, .. } => {
+                            BlockReason::AwaitSyncPulse { partner: *partner }
+                        }
+                        hisq_core::controller::PendingOp::MaxTime { router, .. } => {
+                            BlockReason::AwaitMaxTime { router: *router }
+                        }
+                        hisq_core::controller::PendingOp::Recv { source, .. } => {
+                            BlockReason::AwaitMessage { source: *source }
+                        }
+                    };
+                    blocked.push((addr, reason));
+                }
+                Status::Faulted(message) => faulted.push((addr, message.clone())),
+                Status::Halted | Status::Ready => {}
+            }
+            all_stopped &= matches!(ctrl.status(), Status::Halted);
+            makespan = makespan.max(ctrl.now_wall());
+            total_stall += ctrl.total_stall();
+            total_instructions += ctrl.stats().executed;
+            total_syncs += ctrl.stats().syncs;
+        }
+        let all_halted = blocked.is_empty() && faulted.is_empty() && all_stopped;
+        SimReport {
+            all_halted,
+            blocked,
+            faulted,
+            makespan_cycles: makespan,
+            makespan_ns: makespan * CYCLE_NS,
+            events_processed: self.events_processed,
+            causality_warnings: self.causality_warnings,
+            total_stall_cycles: total_stall,
+            total_instructions,
+            total_syncs,
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Internal event-queue and gate-replay plumbing: the ordered records
+//! the engine's two binary heaps hold. Events order by `(cycle, seq)`
+//! with `seq` assigned at push — the deterministic tie-break the sweep
+//! engine's byte-identical JSON contract rests on.
+
+use hisq_core::NodeAddr;
+use hisq_net::Payload;
+use hisq_quantum::Gate;
+
+use crate::nodes::NodeId;
+
+/// An engine event: a routed message or a resolving measurement. The
+/// destination is an arena id — resolution from addresses happened at
+/// routing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Deliver a routed payload to node `to`.
+    Deliver {
+        /// Sender address (controllers match mailboxes by address).
+        from: NodeAddr,
+        /// Destination arena id.
+        to: NodeId,
+        /// The message content.
+        payload: Payload,
+    },
+    /// A measurement triggered at `trigger_cycle` resolves now.
+    MeasResolve {
+        /// The controller receiving the discrimination result.
+        node: NodeId,
+        /// The measured qubit.
+        qubit: usize,
+        /// When the measurement was triggered (gates replay up to it).
+        trigger_cycle: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct QueuedEvent {
+    /// Absolute delivery cycle.
+    pub at: u64,
+    /// Push-order tie-break.
+    pub seq: u64,
+    /// What happens at `at`.
+    pub kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A backend operation to replay in commit-cycle order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ReplayAction {
+    Gate(Gate, Vec<usize>),
+    Reset(usize),
+}
+
+/// A pending gate waiting to be replayed into the quantum backend in
+/// commit-cycle order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PendingGate {
+    /// Commit cycle of the buffered operation.
+    pub cycle: u64,
+    /// Push-order tie-break.
+    pub seq: u64,
+    /// Index into the engine's gate store.
+    pub gate_index: usize,
+}
+
+impl Ord for PendingGate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl PartialOrd for PendingGate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

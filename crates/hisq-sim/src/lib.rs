@@ -5,6 +5,19 @@
 //! controllers, the router tree, the mesh links, a pluggable quantum
 //! backend supplying measurement outcomes, and TELF event logging.
 //!
+//! The crate is split along the engine/model/spec seam:
+//!
+//! - [`spec`] — the declarative [`SystemSpec`]: a deployment described
+//!   as data (nodes, programs, topology, hubs, quantum bindings,
+//!   backend choice), validated once by [`SystemSpec::build`] — the
+//!   only way to construct a runnable [`System`];
+//! - [`nodes`] — the node models (controllers, routers, broadcast
+//!   hubs) living in one arena behind a small dispatch enum;
+//! - [`engine`] — the arena-indexed discrete-event core: addresses are
+//!   interned into dense node ids at build time, so the hot loop (pop
+//!   event → dispatch → route) indexes `Vec`s instead of walking
+//!   `BTreeMap`s.
+//!
 //! The engine advances each controller until it blocks on an external
 //! input (sync pulse, region max-time, classical message), routes the
 //! controller's outgoing messages with calibrated link latencies, and
@@ -35,15 +48,16 @@
 //! ```
 //! use hisq_isa::Assembler;
 //! use hisq_core::NodeConfig;
-//! use hisq_sim::System;
+//! use hisq_sim::SystemSpec;
 //!
 //! // Two controllers synchronize once, then pulse simultaneously.
 //! let a = Assembler::new().assemble("waiti 40\nsync 1\nwaiti 6\ncw.i.i 0, 1\nstop").unwrap();
 //! let b = Assembler::new().assemble("waiti 90\nsync 0\nwaiti 6\ncw.i.i 0, 1\nstop").unwrap();
 //!
-//! let mut system = System::new();
-//! system.add_controller(NodeConfig::new(0).with_neighbor(1, 6), a.insts().to_vec());
-//! system.add_controller(NodeConfig::new(1).with_neighbor(0, 6), b.insts().to_vec());
+//! let mut spec = SystemSpec::new();
+//! spec.controller(NodeConfig::new(0).with_neighbor(1, 6), a.insts().to_vec());
+//! spec.controller(NodeConfig::new(1).with_neighbor(0, 6), b.insts().to_vec());
+//! let mut system = spec.build().unwrap();
 //! let report = system.run().unwrap();
 //!
 //! let telf = system.telf();
@@ -57,13 +71,20 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod config;
+pub mod engine;
+pub mod events;
+pub mod nodes;
+pub mod spec;
 pub mod sweep;
-pub mod system;
 pub mod telf;
 
 pub use backend::{
     FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
 };
+pub use config::{SimConfig, SimError, SimReport};
+pub use engine::System;
+pub use nodes::{Hub, MeasBinding, QuantumAction};
+pub use spec::{BackendSpec, SystemSpec};
 pub use sweep::{Metric, MetricSummary, SweepGrid, SweepRecord, SweepReport, SweepRunner};
-pub use system::{Hub, MeasBinding, QuantumAction, SimConfig, SimError, SimReport, System};
 pub use telf::{Telf, TelfRecord};

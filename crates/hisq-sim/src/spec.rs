@@ -1,0 +1,533 @@
+//! The declarative system description and its validating builder.
+//!
+//! A [`SystemSpec`] is *data*: the nodes of a deployment (controllers
+//! with their programs, routers, broadcast hubs), the topology the
+//! links were calibrated against, the quantum bindings, and the
+//! backend choice. Nothing is checked while a spec is being described;
+//! [`SystemSpec::build`] validates the whole description once —
+//! address collisions, dangling binding targets, unknown hub
+//! subscribers — and lowers it into the arena-indexed
+//! [`System`], interning every [`NodeAddr`] into a
+//! dense node id so the event loop never walks an address map.
+//!
+//! This is the **only** construction path for a [`System`]: the
+//! experiment harness (`distributed_hisq::runner::build_system`), the
+//! figure reproductions, the examples, and the integration tests all
+//! describe their deployment as a spec and build it.
+//!
+//! # Example
+//!
+//! ```
+//! use hisq_core::NodeConfig;
+//! use hisq_isa::Assembler;
+//! use hisq_sim::SystemSpec;
+//!
+//! let asm = |src| Assembler::new().assemble(src).unwrap().insts().to_vec();
+//! let mut spec = SystemSpec::new();
+//! spec.controller(
+//!     NodeConfig::new(0).with_neighbor(1, 6),
+//!     asm("waiti 40\nsync 1\nwaiti 6\ncw.i.i 0, 1\nstop"),
+//! );
+//! spec.controller(
+//!     NodeConfig::new(1).with_neighbor(0, 6),
+//!     asm("waiti 90\nsync 0\nwaiti 6\ncw.i.i 0, 1\nstop"),
+//! );
+//! let mut system = spec.build().unwrap();
+//! let report = system.run().unwrap();
+//! assert!(report.all_halted);
+//! ```
+
+use std::collections::BTreeMap;
+
+use hisq_core::{NodeAddr, NodeConfig};
+use hisq_isa::Inst;
+use hisq_net::{Router, Topology};
+
+use crate::backend::{
+    FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
+};
+use crate::config::{SimConfig, SimError};
+use crate::engine::System;
+use crate::nodes::{ControllerNode, Hub, HubNode, MeasBinding, NodeId, QuantumAction, SimNode};
+
+/// Declarative choice of the quantum backend a built system starts
+/// with. Custom backend instances (e.g. a scripted
+/// [`FixedBackend`]) can still be swapped in after
+/// building via [`System::set_backend`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSpec {
+    /// Seeded random measurement outcomes (the sweep default).
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Probability of measuring `1`.
+        p_one: f64,
+    },
+    /// Constant measurement outcomes.
+    Fixed {
+        /// The outcome every measurement returns.
+        outcome: bool,
+    },
+    /// Stabilizer (Clifford) simulation.
+    Stabilizer {
+        /// Number of simulated qubits.
+        qubits: usize,
+        /// RNG seed for non-deterministic outcomes.
+        seed: u64,
+    },
+    /// Full state-vector simulation.
+    StateVector {
+        /// Number of simulated qubits.
+        qubits: usize,
+        /// RNG seed for outcome sampling.
+        seed: u64,
+    },
+}
+
+impl Default for BackendSpec {
+    /// The historical engine default: seed 0, fair coin.
+    fn default() -> BackendSpec {
+        BackendSpec::Random {
+            seed: 0,
+            p_one: 0.5,
+        }
+    }
+}
+
+impl BackendSpec {
+    fn instantiate(&self) -> Box<dyn QuantumBackend> {
+        match *self {
+            BackendSpec::Random { seed, p_one } => Box::new(RandomBackend::new(seed, p_one)),
+            BackendSpec::Fixed { outcome } => Box::new(FixedBackend::new(outcome)),
+            BackendSpec::Stabilizer { qubits, seed } => {
+                Box::new(StabilizerBackend::new(qubits, seed))
+            }
+            BackendSpec::StateVector { qubits, seed } => {
+                Box::new(StateVectorBackend::new(qubits, seed))
+            }
+        }
+    }
+}
+
+/// A complete, declarative description of a Distributed-HISQ
+/// deployment. See the [module docs](self) for the building/validation
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSpec {
+    config: SimConfig,
+    backend: BackendSpec,
+    controllers: Vec<(NodeConfig, Vec<Inst>)>,
+    routers: Vec<Router>,
+    hubs: Vec<(NodeAddr, Hub)>,
+    topology: Option<Topology>,
+    bindings: Vec<(NodeAddr, u32, u32, QuantumAction)>,
+    meas_ports: Vec<(NodeAddr, u32, MeasBinding)>,
+}
+
+impl SystemSpec {
+    /// An empty spec with default engine configuration and backend.
+    pub fn new() -> SystemSpec {
+        SystemSpec::default()
+    }
+
+    /// A spec pre-populated from a topology: every router of the tree,
+    /// one controller per program (with the topology's calibrated
+    /// links), and the topology attached for multi-hop latency
+    /// derivation. Collisions between program addresses and tree
+    /// routers surface as [`SimError::DuplicateAddr`] at build time.
+    pub fn from_topology(topology: &Topology, programs: BTreeMap<NodeAddr, Vec<Inst>>) -> Self {
+        let mut spec = SystemSpec::new();
+        for &router_addr in topology.routers() {
+            spec.router(Router::new(
+                router_addr,
+                topology.parent_of(router_addr),
+                topology.children_of(router_addr).to_vec(),
+            ));
+        }
+        for (addr, program) in programs {
+            // A program keyed at a router (or otherwise non-controller)
+            // address gets a bare config; `build` then reports the
+            // address collision instead of silently shadowing the node.
+            let config = if (addr as usize) < topology.num_controllers() {
+                topology.node_config(addr)
+            } else {
+                NodeConfig::new(addr)
+            };
+            spec.controller(config, program);
+        }
+        spec.topology = Some(topology.clone());
+        spec
+    }
+
+    /// Replaces the engine configuration.
+    pub fn config(&mut self, config: SimConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the declarative backend choice (default: seeded 50/50
+    /// random outcomes).
+    pub fn backend(&mut self, backend: BackendSpec) -> &mut Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Attaches the topology used for multi-hop latency derivation
+    /// (pre-set by [`SystemSpec::from_topology`]).
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Adds a controller node running `program`.
+    pub fn controller(&mut self, config: NodeConfig, program: Vec<Inst>) -> &mut Self {
+        self.controllers.push((config, program));
+        self
+    }
+
+    /// Adds a router node.
+    pub fn router(&mut self, router: Router) -> &mut Self {
+        self.routers.push(router);
+        self
+    }
+
+    /// Adds a broadcast hub at `addr` (see [`Hub`]).
+    pub fn hub(&mut self, addr: NodeAddr, hub: Hub) -> &mut Self {
+        self.hubs.push((addr, hub));
+        self
+    }
+
+    /// Binds a `(node, port, codeword)` commit to a quantum action
+    /// (later bindings of the same key win).
+    pub fn bind(
+        &mut self,
+        node: NodeAddr,
+        port: u32,
+        codeword: u32,
+        action: QuantumAction,
+    ) -> &mut Self {
+        self.bindings.push((node, port, codeword, action));
+        self
+    }
+
+    /// Binds every commit on `(node, port)` to a measurement trigger.
+    pub fn bind_measurement_port(
+        &mut self,
+        node: NodeAddr,
+        port: u32,
+        binding: MeasBinding,
+    ) -> &mut Self {
+        self.meas_ports.push((node, port, binding));
+        self
+    }
+
+    /// Number of controllers described so far.
+    pub fn num_controllers(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Validates the description and lowers it into a runnable
+    /// [`System`]: addresses are interned into dense arena ids, hub
+    /// subscribers are pre-resolved, and bindings are attached to
+    /// their controllers.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::DuplicateAddr`] if any two nodes share an address
+    ///   (routers and hubs are registered before controllers, so a
+    ///   program colliding with infrastructure reports the
+    ///   infrastructure address);
+    /// - [`SimError::UnknownAddr`] if a hub subscriber, binding, or
+    ///   measurement port names an address that is not a controller.
+    pub fn build(self) -> Result<System, SimError> {
+        // Intern addresses in registration order: routers, hubs,
+        // controllers.
+        let max_addr = self
+            .routers
+            .iter()
+            .map(|r| r.addr())
+            .chain(self.hubs.iter().map(|&(addr, _)| addr))
+            .chain(self.controllers.iter().map(|(c, _)| c.addr))
+            .max();
+        let table_len = max_addr.map_or(0, |a| a as usize + 1);
+        let mut arena = Arena {
+            addr_to_id: vec![NodeId::MAX; table_len],
+            addrs: Vec::new(),
+            nodes: Vec::new(),
+        };
+
+        for router in self.routers {
+            let addr = router.addr();
+            arena.intern(addr, SimNode::Router(router))?;
+        }
+        // Hubs are interned with empty subscriber lists first;
+        // subscribers resolve after every controller has an id.
+        let mut hub_specs: Vec<(NodeId, Hub)> = Vec::new();
+        for (addr, hub) in self.hubs {
+            let id = arena.intern(
+                addr,
+                SimNode::Hub(HubNode {
+                    subscriber_ids: Vec::new(),
+                    down_latency: hub.down_latency,
+                }),
+            )?;
+            hub_specs.push((id, hub));
+        }
+        for (config, program) in self.controllers {
+            let addr = config.addr;
+            arena.intern(
+                addr,
+                SimNode::Controller(Box::new(ControllerNode::new(config, program))),
+            )?;
+        }
+        let Arena {
+            addr_to_id,
+            addrs,
+            mut nodes,
+        } = arena;
+
+        for (hub_id, hub) in hub_specs {
+            let ids = hub
+                .subscribers
+                .iter()
+                .map(|&s| resolve_controller(&addr_to_id, &nodes, s, "hub subscriber"))
+                .collect::<Result<Vec<NodeId>, SimError>>()?;
+            let SimNode::Hub(node) = &mut nodes[hub_id as usize] else {
+                unreachable!("interned as hub");
+            };
+            node.subscriber_ids = ids;
+        }
+        for (addr, port, codeword, action) in self.bindings {
+            let id = resolve_controller(&addr_to_id, &nodes, addr, "binding node")?;
+            let node = nodes[id as usize]
+                .as_controller_mut()
+                .expect("resolved as controller");
+            node.bindings.insert((port, codeword), action);
+        }
+        for (addr, port, binding) in self.meas_ports {
+            let id = resolve_controller(&addr_to_id, &nodes, addr, "measurement port node")?;
+            let node = nodes[id as usize]
+                .as_controller_mut()
+                .expect("resolved as controller");
+            node.meas_ports.insert(port, binding);
+        }
+
+        // Controllers step in ascending address order (the engine's
+        // deterministic scheduling contract).
+        let mut controller_ids: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.as_controller().is_some())
+            .map(|(i, _)| i as NodeId)
+            .collect();
+        controller_ids.sort_by_key(|&id| addrs[id as usize]);
+
+        Ok(System::from_parts(
+            self.config,
+            nodes,
+            addrs,
+            addr_to_id,
+            controller_ids,
+            self.topology,
+            self.backend.instantiate(),
+        ))
+    }
+}
+
+/// The three parallel arrays [`SystemSpec::build`] populates while
+/// interning addresses.
+struct Arena {
+    addr_to_id: Vec<NodeId>,
+    addrs: Vec<hisq_core::NodeAddr>,
+    nodes: Vec<SimNode>,
+}
+
+impl Arena {
+    fn intern(&mut self, addr: NodeAddr, node: SimNode) -> Result<NodeId, SimError> {
+        let slot = &mut self.addr_to_id[addr as usize];
+        if *slot != NodeId::MAX {
+            return Err(SimError::DuplicateAddr(addr));
+        }
+        let id = self.nodes.len() as NodeId;
+        *slot = id;
+        self.addrs.push(addr);
+        self.nodes.push(node);
+        Ok(id)
+    }
+}
+
+/// Resolves `addr` to the arena id of a *controller*, the only node
+/// kind bindings, measurement ports, and hub subscriptions may target.
+fn resolve_controller(
+    addr_to_id: &[NodeId],
+    nodes: &[SimNode],
+    addr: NodeAddr,
+    role: &'static str,
+) -> Result<NodeId, SimError> {
+    addr_to_id
+        .get(addr as usize)
+        .copied()
+        .filter(|&id| id != NodeId::MAX && nodes[id as usize].as_controller().is_some())
+        .ok_or(SimError::UnknownAddr { addr, role })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_isa::Assembler;
+    use hisq_net::TopologyBuilder;
+
+    fn asm(src: &str) -> Vec<Inst> {
+        Assembler::new().assemble(src).unwrap().insts().to_vec()
+    }
+
+    #[test]
+    fn duplicate_controller_addr_is_rejected() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(3), asm("stop"));
+        spec.controller(NodeConfig::new(3), asm("stop"));
+        assert_eq!(spec.build().unwrap_err(), SimError::DuplicateAddr(3));
+    }
+
+    #[test]
+    fn program_at_router_address_is_rejected() {
+        let topo = TopologyBuilder::linear(2).build();
+        let router = topo.root_router().unwrap();
+        let mut programs = BTreeMap::new();
+        programs.insert(0, asm("stop"));
+        programs.insert(router, asm("stop"));
+        let spec = SystemSpec::from_topology(&topo, programs);
+        assert_eq!(spec.build().unwrap_err(), SimError::DuplicateAddr(router));
+    }
+
+    #[test]
+    fn controller_at_hub_address_is_rejected() {
+        let mut spec = SystemSpec::new();
+        spec.hub(
+            9,
+            Hub {
+                subscribers: vec![],
+                down_latency: 25,
+            },
+        );
+        spec.controller(NodeConfig::new(9), asm("stop"));
+        assert_eq!(spec.build().unwrap_err(), SimError::DuplicateAddr(9));
+    }
+
+    #[test]
+    fn dangling_hub_subscriber_is_rejected() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("stop"));
+        spec.hub(
+            1,
+            Hub {
+                subscribers: vec![0, 7],
+                down_latency: 25,
+            },
+        );
+        assert_eq!(
+            spec.build().unwrap_err(),
+            SimError::UnknownAddr {
+                addr: 7,
+                role: "hub subscriber"
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_binding_is_rejected() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("stop"));
+        spec.bind(5, 0, 1, QuantumAction::Measure { qubit: 0 });
+        assert_eq!(
+            spec.build().unwrap_err(),
+            SimError::UnknownAddr {
+                addr: 5,
+                role: "binding node"
+            }
+        );
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("stop"));
+        spec.bind_measurement_port(
+            6,
+            4,
+            MeasBinding {
+                qubit: 0,
+                result_latency: 75,
+            },
+        );
+        assert!(matches!(
+            spec.build().unwrap_err(),
+            SimError::UnknownAddr { addr: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn binding_at_router_address_is_rejected() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("stop"));
+        spec.router(Router::new(1, None, vec![0]));
+        spec.bind(1, 0, 1, QuantumAction::Measure { qubit: 0 });
+        assert!(matches!(
+            spec.build().unwrap_err(),
+            SimError::UnknownAddr { addr: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn later_bindings_override_earlier_ones() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("waiti 5\ncw.i.i 2, 1\nstop"));
+        spec.bind(0, 2, 1, QuantumAction::Measure { qubit: 3 });
+        spec.bind(
+            0,
+            2,
+            1,
+            QuantumAction::Gate {
+                gate: hisq_quantum::Gate::X,
+                qubits: vec![1],
+            },
+        );
+        let mut system = spec.build().unwrap();
+        let report = system.run().unwrap();
+        assert!(report.all_halted);
+        // The override is a gate, not a measurement: exposure reflects
+        // a 20 ns X on qubit 1 and nothing on qubit 3.
+        assert!(system.exposure().exposure_ns(1) > 0);
+        assert_eq!(system.exposure().exposure_ns(3), 0);
+    }
+
+    #[test]
+    fn from_topology_wires_links_and_routers() {
+        let topo = TopologyBuilder::linear(4)
+            .router_arity(2)
+            .neighbor_latency(3)
+            .router_latency(9)
+            .build();
+        let mut programs = BTreeMap::new();
+        for addr in 0..4u16 {
+            programs.insert(addr, asm("stop"));
+        }
+        let system = SystemSpec::from_topology(&topo, programs).build().unwrap();
+        for addr in 0..4u16 {
+            assert!(system.controller(addr).is_some());
+        }
+        assert!(system.controller(topo.root_router().unwrap()).is_none());
+    }
+
+    #[test]
+    fn backend_spec_selects_the_backend() {
+        let mut spec = SystemSpec::new();
+        spec.controller(NodeConfig::new(0), asm("stop"));
+        spec.backend(BackendSpec::Fixed { outcome: true });
+        let mut system = spec.build().unwrap();
+        assert!(system.backend_mut().measure(0));
+        assert_eq!(
+            BackendSpec::default(),
+            BackendSpec::Random {
+                seed: 0,
+                p_one: 0.5
+            }
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Behavioral tests of the arena-indexed event engine through its
+//! public construction path ([`SystemSpec`]): synchronization
+//! alignment, feedback loops, deadlock reporting, the event budget,
+//! gate replay into quantum backends, exposure accounting, hub
+//! broadcast, and unknown-destination drops.
+
+use std::collections::BTreeMap;
+
+use hisq_core::{BlockReason, NodeAddr, NodeConfig};
+use hisq_isa::{Assembler, Inst};
+use hisq_net::TopologyBuilder;
+use hisq_quantum::Gate;
+use hisq_sim::{
+    FixedBackend, Hub, MeasBinding, QuantumAction, SimConfig, SimError, StabilizerBackend,
+    SystemSpec,
+};
+
+fn asm(src: &str) -> Vec<Inst> {
+    Assembler::new().assemble(src).unwrap().insts().to_vec()
+}
+
+#[test]
+fn two_node_nearby_sync_aligns_commits() {
+    let mut spec = SystemSpec::new();
+    spec.controller(
+        NodeConfig::new(0).with_neighbor(1, 6),
+        asm("waiti 40\nsync 1\nwaiti 6\ncw.i.i 0, 1\nstop"),
+    );
+    spec.controller(
+        NodeConfig::new(1).with_neighbor(0, 6),
+        asm("waiti 90\nsync 0\nwaiti 6\ncw.i.i 0, 1\nstop"),
+    );
+    let mut system = spec.build().unwrap();
+    let report = system.run().unwrap();
+    assert!(report.all_halted);
+    let telf = system.telf();
+    assert_eq!(telf.alignment((0, 0), (1, 0)), vec![0]);
+    // The later controller (booking 90, T=96) sets the common time.
+    assert_eq!(telf.commits_of(0)[0].cycle, 96);
+}
+
+#[test]
+fn region_sync_through_router_tree() {
+    // Four controllers, arity-2 tree. All sync against the root with
+    // different booking times; all must commit at the same cycle.
+    let topo = TopologyBuilder::linear(4)
+        .router_arity(2)
+        .neighbor_latency(5)
+        .router_latency(10)
+        .build();
+    let root = topo.root_router().unwrap();
+    let mut programs = BTreeMap::new();
+    for (i, delay) in [40u32, 90, 60, 120].iter().enumerate() {
+        let src = format!("li t0, 30\nwaiti {delay}\nsync {root}, t0\nwaiti 30\ncw.i.i 0, 1\nstop");
+        programs.insert(i as NodeAddr, asm(&src));
+    }
+    let mut system = SystemSpec::from_topology(&topo, programs).build().unwrap();
+    let report = system.run().unwrap();
+    assert!(report.all_halted, "blocked: {:?}", report.blocked);
+    let telf = system.telf();
+    let cycles: Vec<u64> = (0..4u16)
+        .map(|addr| telf.commits_of(addr)[0].cycle)
+        .collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "region sync must align all commits: {cycles:?}"
+    );
+    // The slowest controller books at ~121 with horizon 30 → T_i ≈
+    // 151; bookings cross two tree hops (≤ 141 + 20), so the region
+    // meets at max(T_i, arrivals).
+    let common = cycles[0];
+    assert!(common >= 151, "common start {common} below slowest T_i");
+}
+
+#[test]
+fn feedback_loop_with_scripted_measurement() {
+    // Controller 0 triggers a measurement on port 4, receives the
+    // result, and pulses port 1 only when the result is 1.
+    let mut spec = SystemSpec::new();
+    spec.controller(
+        NodeConfig::new(0),
+        asm("
+            waiti 25
+            cw.i.i 4, 1
+            recv t0, 0xFFF
+            beqz t0, skip
+            waiti 10
+            cw.i.i 1, 1
+        skip:
+            stop
+        "),
+    );
+    spec.bind_measurement_port(
+        0,
+        4,
+        MeasBinding {
+            qubit: 3,
+            result_latency: 75,
+        },
+    );
+    let mut system = spec.build().unwrap();
+    let mut backend = FixedBackend::new(false);
+    backend.script(3, [true]);
+    system.set_backend(backend);
+    let report = system.run().unwrap();
+    assert!(report.all_halted);
+    let telf = system.telf();
+    let pulses = telf.channel(0, 1);
+    assert_eq!(pulses.len(), 1, "conditional pulse must fire");
+    // Trigger at 25, result at 100, grid rebases then waits 10.
+    assert!(pulses[0].cycle >= 110);
+}
+
+#[test]
+fn feedback_branch_not_taken() {
+    let mut spec = SystemSpec::new();
+    spec.controller(
+        NodeConfig::new(0),
+        asm("
+            waiti 25
+            cw.i.i 4, 1
+            recv t0, 0xFFF
+            beqz t0, skip
+            waiti 10
+            cw.i.i 1, 1
+        skip:
+            stop
+        "),
+    );
+    spec.bind_measurement_port(
+        0,
+        4,
+        MeasBinding {
+            qubit: 3,
+            result_latency: 75,
+        },
+    );
+    let mut system = spec.build().unwrap();
+    system.set_backend(FixedBackend::new(false));
+    let report = system.run().unwrap();
+    assert!(report.all_halted);
+    assert!(system.telf().channel(0, 1).is_empty());
+}
+
+#[test]
+fn deadlock_is_reported_not_hung() {
+    let mut spec = SystemSpec::new();
+    spec.controller(NodeConfig::new(0).with_neighbor(1, 5), asm("sync 1\nstop"));
+    spec.controller(NodeConfig::new(1).with_neighbor(0, 5), asm("stop"));
+    let mut system = spec.build().unwrap();
+    let report = system.run().unwrap();
+    assert!(!report.all_halted);
+    assert_eq!(
+        report.blocked,
+        vec![(0, BlockReason::AwaitSyncPulse { partner: 1 })]
+    );
+}
+
+#[test]
+fn event_budget_guards_runaway_programs() {
+    let config = SimConfig {
+        max_events: 100,
+        ..SimConfig::default()
+    };
+    let mut spec = SystemSpec::new();
+    spec.config(config);
+    // Two controllers bouncing classical messages forever.
+    spec.controller(
+        NodeConfig::new(0).with_neighbor(1, 2),
+        asm("li t0, 1\nping: send 1, t0\nrecv t0, 1\nj ping"),
+    );
+    spec.controller(
+        NodeConfig::new(1).with_neighbor(0, 2),
+        asm("pong: recv t0, 0\nsend 0, t0\nj pong"),
+    );
+    let mut system = spec.build().unwrap();
+    assert_eq!(
+        system.run(),
+        Err(SimError::EventBudgetExceeded { budget: 100 })
+    );
+}
+
+#[test]
+fn gate_replay_drives_quantum_backend() {
+    // Bell pair across two controllers: controller 0 applies H then
+    // (virtually) both halves of the CNOT; both measure; outcomes
+    // must agree thanks to the stabilizer backend.
+    let mut spec = SystemSpec::new();
+    spec.controller(
+        NodeConfig::new(0).with_neighbor(1, 5),
+        asm("
+            waiti 20
+            cw.i.i 0, 1     # H q0
+            waiti 5
+            cw.i.i 0, 2     # CX q0,q1
+            sync 1
+            waiti 5
+            cw.i.i 2, 1     # measure q0
+            recv t0, 0xFFF
+            stop
+        "),
+    );
+    spec.controller(
+        NodeConfig::new(1).with_neighbor(0, 5),
+        asm("
+            waiti 20
+            sync 0
+            waiti 5
+            cw.i.i 2, 1     # measure q1
+            recv t0, 0xFFF
+            stop
+        "),
+    );
+    spec.bind(
+        0,
+        0,
+        1,
+        QuantumAction::Gate {
+            gate: Gate::H,
+            qubits: vec![0],
+        },
+    );
+    spec.bind(
+        0,
+        0,
+        2,
+        QuantumAction::Gate {
+            gate: Gate::Cx,
+            qubits: vec![0, 1],
+        },
+    );
+    spec.bind(0, 2, 1, QuantumAction::Measure { qubit: 0 });
+    spec.bind(1, 2, 1, QuantumAction::Measure { qubit: 1 });
+    let mut system = spec.build().unwrap();
+    system.set_backend(StabilizerBackend::new(2, 1234));
+    let report = system.run().unwrap();
+    assert!(report.all_halted, "{:?}", report);
+    assert_eq!(report.causality_warnings, 0);
+    let m0 = system
+        .controller(0)
+        .unwrap()
+        .reg(hisq_isa::Reg::parse("t0").unwrap());
+    let m1 = system
+        .controller(1)
+        .unwrap()
+        .reg(hisq_isa::Reg::parse("t0").unwrap());
+    assert_eq!(m0, m1, "Bell correlations through the full stack");
+}
+
+#[test]
+fn exposure_ledger_tracks_gate_spans() {
+    let mut spec = SystemSpec::new();
+    spec.controller(
+        NodeConfig::new(0),
+        asm("waiti 10\ncw.i.i 0, 1\nwaiti 100\ncw.i.i 0, 1\nstop"),
+    );
+    spec.bind(
+        0,
+        0,
+        1,
+        QuantumAction::Gate {
+            gate: Gate::X,
+            qubits: vec![5],
+        },
+    );
+    let mut system = spec.build().unwrap();
+    system.run().unwrap();
+    // First gate at cycle 10 (40 ns), second at cycle 110 (440 ns) +
+    // 20 ns duration → exposure 40..460 = 420 ns.
+    assert_eq!(system.exposure().exposure_ns(5), 420);
+}
+
+#[test]
+fn hub_broadcast_reaches_every_subscriber() {
+    // One publisher, three subscribers on a star: the lock-step
+    // substrate end to end through the arena dispatch.
+    let mut spec = SystemSpec::new();
+    spec.hub(
+        10,
+        Hub {
+            subscribers: vec![0, 1, 2],
+            down_latency: 25,
+        },
+    );
+    spec.controller(
+        NodeConfig::new(0),
+        asm("li t0, 7\nsend 10, t0\nrecv t1, 10\nstop"),
+    );
+    for addr in 1..3u16 {
+        spec.controller(NodeConfig::new(addr), asm("recv t1, 10\nstop"));
+    }
+    let mut system = spec.build().unwrap();
+    let report = system.run().unwrap();
+    assert!(report.all_halted, "{:?}", report.blocked);
+    for addr in 0..3u16 {
+        let t1 = system
+            .controller(addr)
+            .unwrap()
+            .reg(hisq_isa::Reg::parse("t1").unwrap());
+        assert_eq!(t1, 7, "subscriber {addr} received the broadcast");
+    }
+}
+
+#[test]
+fn message_to_unknown_address_deadlocks_the_receiver_only() {
+    // A send to an unregistered address is dropped at routing time;
+    // the sender completes and the starved receiver is reported.
+    let mut spec = SystemSpec::new();
+    spec.controller(NodeConfig::new(0), asm("li t0, 1\nsend 99, t0\nstop"));
+    spec.controller(NodeConfig::new(1), asm("recv t0, 0\nstop"));
+    let mut system = spec.build().unwrap();
+    let report = system.run().unwrap();
+    assert!(!report.all_halted);
+    assert_eq!(
+        report.blocked,
+        vec![(1, BlockReason::AwaitMessage { source: 0 })]
+    );
+}

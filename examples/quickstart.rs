@@ -1,12 +1,13 @@
-//! Quickstart: assemble two HISQ programs by hand, run them on a
-//! two-controller Distributed-HISQ system, and watch BISP align their
-//! codeword commits at cycle level.
+//! Quickstart: assemble two HISQ programs by hand, describe a
+//! two-controller Distributed-HISQ system as a declarative
+//! `SystemSpec`, and watch BISP align their codeword commits at cycle
+//! level.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use distributed_hisq::core::NodeConfig;
 use distributed_hisq::isa::Assembler;
-use distributed_hisq::sim::System;
+use distributed_hisq::sim::SystemSpec;
 
 fn main() {
     // Two controllers with different-length deterministic prologues.
@@ -34,16 +35,19 @@ fn main() {
 
     println!("Controller 0 program:\n{program_a}");
 
-    let mut system = System::new();
-    system.add_controller(
+    // Describe the deployment as data, then validate and build it
+    // once: the spec is the single construction path for a system.
+    let mut spec = SystemSpec::new();
+    spec.controller(
         NodeConfig::new(0).with_neighbor(1, 6),
         program_a.insts().to_vec(),
     );
-    system.add_controller(
+    spec.controller(
         NodeConfig::new(1).with_neighbor(0, 6),
         program_b.insts().to_vec(),
     );
 
+    let mut system = spec.build().expect("valid system description");
     let report = system.run().expect("simulation runs");
     assert!(report.all_halted, "both controllers reach `stop`");
 

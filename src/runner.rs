@@ -50,17 +50,66 @@ use hisq_isa::CYCLE_NS;
 use hisq_net::{Topology, TopologyBuilder};
 use hisq_quantum::{CoherenceParams, ExposureLedger};
 use hisq_sim::{
-    Hub, QuantumAction, QuantumBackend, RandomBackend, SimError, SimReport, SweepRecord,
-    SweepReport, SweepRunner, System,
+    BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
+    SweepRunner, System, SystemSpec,
 };
 use hisq_workloads::WorkloadSpec;
 
-/// Builds a ready-to-run [`System`] from a compiled program.
+/// Describes a compiled program as a declarative [`SystemSpec`].
 ///
 /// For [`Scheme::Bisp`] the topology that the circuit was compiled
 /// against must be supplied (controllers, mesh links, and the router
-/// tree are instantiated from it). For [`Scheme::Lockstep`] a star
-/// system is built: bare controllers plus the broadcast hub.
+/// tree are described from it). For [`Scheme::Lockstep`] a star
+/// system is described: bare controllers plus the broadcast hub.
+///
+/// # Panics
+///
+/// Panics if a BISP program is described without its topology.
+pub fn system_spec(compiled: &CompiledSystem, topology: Option<&Topology>) -> SystemSpec {
+    let mut spec = match compiled.scheme {
+        Scheme::Bisp => {
+            let topology = topology.expect("BISP systems need their compilation topology");
+            let programs = compiled
+                .programs
+                .iter()
+                .map(|(&addr, program)| (addr, program.insts().to_vec()))
+                .collect();
+            SystemSpec::from_topology(topology, programs)
+        }
+        Scheme::Lockstep => {
+            let hub = compiled.hub.expect("lock-step systems carry a hub spec");
+            let config = hisq_sim::SimConfig {
+                default_classical_latency: hub.up_latency,
+                ..hisq_sim::SimConfig::default()
+            };
+            let mut spec = SystemSpec::new();
+            spec.config(config);
+            spec.hub(
+                hub.addr,
+                Hub {
+                    subscribers: compiled.programs.keys().copied().collect(),
+                    down_latency: hub.down_latency,
+                },
+            );
+            for (&addr, program) in &compiled.programs {
+                spec.controller(
+                    NodeConfig::new(addr).with_pipeline_headroom(32),
+                    program.insts().to_vec(),
+                );
+            }
+            spec
+        }
+    };
+    apply_bindings(
+        &mut spec,
+        &compiled.bindings,
+        compiled.durations.measurement,
+    );
+    spec
+}
+
+/// Builds a ready-to-run [`System`] from a compiled program — the
+/// [`system_spec`] description, validated and built.
 ///
 /// # Errors
 ///
@@ -73,78 +122,42 @@ pub fn build_system(
     compiled: &CompiledSystem,
     topology: Option<&Topology>,
 ) -> Result<System, SimError> {
-    let mut system = match compiled.scheme {
-        Scheme::Bisp => {
-            let topology = topology.expect("BISP systems need their compilation topology");
-            let programs = compiled
-                .programs
-                .iter()
-                .map(|(&addr, program)| (addr, program.insts().to_vec()))
-                .collect();
-            System::from_topology(topology, programs)?
-        }
-        Scheme::Lockstep => {
-            let hub = compiled.hub.expect("lock-step systems carry a hub spec");
-            let config = hisq_sim::SimConfig {
-                default_classical_latency: hub.up_latency,
-                ..hisq_sim::SimConfig::default()
-            };
-            let mut system = System::with_config(config);
-            // Hub first, so a controller compiled onto the hub's address
-            // surfaces as `SimError::DuplicateAddr`.
-            system.add_hub(
-                hub.addr,
-                Hub {
-                    subscribers: compiled.programs.keys().copied().collect(),
-                    down_latency: hub.down_latency,
-                },
-            );
-            for (&addr, program) in &compiled.programs {
-                system.try_add_controller(
-                    NodeConfig::new(addr).with_pipeline_headroom(32),
-                    program.insts().to_vec(),
-                )?;
-            }
-            system
-        }
-    };
-    apply_bindings(
-        &mut system,
-        &compiled.bindings,
-        compiled.durations.measurement,
-    );
-    Ok(system)
+    system_spec(compiled, topology).build()
 }
 
-/// Installs codeword bindings into a system.
-fn apply_bindings(system: &mut System, bindings: &[Binding], meas_latency: u64) {
+/// Installs codeword bindings into a system description.
+fn apply_bindings(spec: &mut SystemSpec, bindings: &[Binding], meas_latency: u64) {
     for binding in bindings {
         match &binding.action {
-            BindingAction::Gate { gate, qubits } => system.bind(
-                binding.node,
-                binding.port,
-                binding.codeword,
-                QuantumAction::Gate {
-                    gate: *gate,
-                    qubits: qubits.clone(),
-                },
-            ),
+            BindingAction::Gate { gate, qubits } => {
+                spec.bind(
+                    binding.node,
+                    binding.port,
+                    binding.codeword,
+                    QuantumAction::Gate {
+                        gate: *gate,
+                        qubits: qubits.clone(),
+                    },
+                );
+            }
             BindingAction::Measure { qubit } => {
                 debug_assert_eq!(binding.port, PORT_READOUT);
                 let _ = meas_latency; // result latency comes from SimConfig durations
-                system.bind(
+                spec.bind(
                     binding.node,
                     binding.port,
                     binding.codeword,
                     QuantumAction::Measure { qubit: *qubit },
                 );
             }
-            BindingAction::Reset { qubit } => system.bind(
-                binding.node,
-                binding.port,
-                binding.codeword,
-                QuantumAction::Reset { qubit: *qubit },
-            ),
+            BindingAction::Reset { qubit } => {
+                spec.bind(
+                    binding.node,
+                    binding.port,
+                    binding.codeword,
+                    QuantumAction::Reset { qubit: *qubit },
+                );
+            }
             BindingAction::Pulse => {}
         }
     }
@@ -326,9 +339,14 @@ pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
             (compiled, None)
         }
     };
-    let mut system =
-        build_system(&compiled, topology).unwrap_or_else(|e| panic!("{id}: build failed: {e}"));
-    system.set_backend(RandomBackend::new(scenario.seed, 0.5));
+    let mut spec = system_spec(&compiled, topology);
+    spec.backend(BackendSpec::Random {
+        seed: scenario.seed,
+        p_one: 0.5,
+    });
+    let mut system = spec
+        .build()
+        .unwrap_or_else(|e| panic!("{id}: build failed: {e}"));
     let report = system
         .run()
         .unwrap_or_else(|e| panic!("{id}: run failed: {e}"));

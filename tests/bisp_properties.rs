@@ -13,7 +13,7 @@ use proptest::prelude::*;
 
 use distributed_hisq::core::NodeConfig;
 use distributed_hisq::isa::Assembler;
-use distributed_hisq::sim::System;
+use distributed_hisq::sim::SystemSpec;
 use hisq_net::TopologyBuilder;
 
 /// Runs the canonical nearby-sync pair and returns (commit0, commit1).
@@ -27,22 +27,23 @@ fn run_nearby(pad0: u64, pad1: u64, cover0: u64, cover1: u64, latency: u64) -> (
             .insts()
             .to_vec()
     };
-    let mut system = System::new();
+    let mut spec = SystemSpec::new();
     // Deployed queue-decoupling headroom (32 cycles), as the topology
     // builder configures: keeps instruction-issue bursts from outrunning
     // the timing grid in tightly-packed programs.
-    system.add_controller(
+    spec.controller(
         NodeConfig::new(0)
             .with_neighbor(1, latency)
             .with_pipeline_headroom(32),
         program(pad0, cover0, 1),
     );
-    system.add_controller(
+    spec.controller(
         NodeConfig::new(1)
             .with_neighbor(0, latency)
             .with_pipeline_headroom(32),
         program(pad1, cover1, 0),
     );
+    let mut system = spec.build().expect("builds");
     let report = system.run().expect("runs");
     assert!(report.all_halted, "{:?}", report.blocked);
     let telf = system.telf();
@@ -114,7 +115,7 @@ proptest! {
                 Assembler::new().assemble(&src).unwrap().insts().to_vec(),
             );
         }
-        let mut system = System::from_topology(&topo, programs).unwrap();
+        let mut system = SystemSpec::from_topology(&topo, programs).build().unwrap();
         let report = system.run().expect("runs");
         prop_assert!(report.all_halted, "{:?}", report.blocked);
         let telf = system.telf();
@@ -142,22 +143,23 @@ proptest! {
         let b = format!(
             "li t1, {rounds}\nloop:\nwaiti 2\nsync 0\nwaiti {latency}\ncw.i.i 5, 1\naddi t1, t1, -1\nbnez t1, loop\nstop"
         );
-        let mut system = System::new();
+        let mut spec = SystemSpec::new();
         // Queue-decoupling headroom, as the deployed topologies configure
         // (asymmetric classical prologues otherwise shift the first
         // round's grid by issue-rate effects).
-        system.add_controller(
+        spec.controller(
             NodeConfig::new(0)
                 .with_neighbor(1, latency)
                 .with_pipeline_headroom(32),
             Assembler::new().assemble(&a).unwrap().insts().to_vec(),
         );
-        system.add_controller(
+        spec.controller(
             NodeConfig::new(1)
                 .with_neighbor(0, latency)
                 .with_pipeline_headroom(32),
             Assembler::new().assemble(&b).unwrap().insts().to_vec(),
         );
+        let mut system = spec.build().expect("builds");
         // Seed the drift register.
         system
             .controller_mut(0)

@@ -8,7 +8,7 @@
 
 use distributed_hisq::core::{NodeConfig, MEAS_FIFO_ADDR};
 use distributed_hisq::isa::{Assembler, Reg};
-use distributed_hisq::sim::{FixedBackend, MeasBinding, System};
+use distributed_hisq::sim::{FixedBackend, MeasBinding, System, SystemSpec};
 
 /// Builds the two-controller RUS system: controller 0 retries a
 /// heralded preparation until the measurement reads 1, then fires the
@@ -36,16 +36,16 @@ fn rus_system(outcomes: Vec<bool>) -> System {
         cw.i.i 0, 9
         stop
     ";
-    let mut system = System::new();
-    system.add_controller(
+    let mut spec = SystemSpec::new();
+    spec.controller(
         NodeConfig::new(0).with_neighbor(1, 6),
         Assembler::new().assemble(&rus).unwrap().insts().to_vec(),
     );
-    system.add_controller(
+    spec.controller(
         NodeConfig::new(1).with_neighbor(0, 6),
         Assembler::new().assemble(partner).unwrap().insts().to_vec(),
     );
-    system.bind_measurement_port(
+    spec.bind_measurement_port(
         0,
         4,
         MeasBinding {
@@ -53,6 +53,7 @@ fn rus_system(outcomes: Vec<bool>) -> System {
             result_latency: 75,
         },
     );
+    let mut system = spec.build().expect("builds");
     let mut backend = FixedBackend::new(true);
     backend.script(0, outcomes);
     system.set_backend(backend);

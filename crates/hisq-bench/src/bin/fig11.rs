@@ -4,7 +4,8 @@
 //! Honors the shared CLI contract: `--json` emits the calibration fit
 //! parameters as a [`hisq_sim::SweepReport`] (one record per
 //! experiment), `--threads N` runs the selected experiments on the
-//! sweep worker pool, and a positional argument
+//! sweep worker pool, `--quick` sweeps reduced point/shot counts
+//! (identical structure, faster runs), and a positional argument
 //! (`circle|freq|rabi|t1`) selects one experiment.
 
 use hisq_analog::experiments::{
@@ -14,12 +15,42 @@ use hisq_analog::experiments::{
 use hisq_bench::cli::FigArgs;
 use hisq_sim::{SweepRecord, SweepRunner};
 
+/// The four experiment configurations at a given scale. `quick` trims
+/// the sweep axes and shot counts (the fits stay well-conditioned).
+struct Configs {
+    circle: CircleConfig,
+    freq: SpectroscopyConfig,
+    rabi: RabiConfig,
+    t1: T1Config,
+}
+
+impl Configs {
+    fn new(quick: bool) -> Configs {
+        let mut configs = Configs {
+            circle: CircleConfig::default(),
+            freq: SpectroscopyConfig::default(),
+            rabi: RabiConfig::default(),
+            t1: T1Config::default(),
+        };
+        if quick {
+            configs.circle.points = 16;
+            configs.freq.points = 21;
+            configs.freq.shots = 64;
+            configs.rabi.points = 21;
+            configs.rabi.shots = 64;
+            configs.t1.points = 16;
+            configs.t1.shots = 64;
+        }
+        configs
+    }
+}
+
 /// Runs one named calibration experiment and distills its fit
 /// parameters into a sweep record.
-fn calibration_record(which: &str) -> SweepRecord {
+fn calibration_record(configs: &Configs, which: &str) -> SweepRecord {
     match which {
         "circle" => {
-            let r = circle_experiment(&CircleConfig::default());
+            let r = circle_experiment(&configs.circle);
             SweepRecord::new("circle")
                 .with("fit_center_x", r.fit.cx)
                 .with("fit_center_y", r.fit.cy)
@@ -28,7 +59,7 @@ fn calibration_record(which: &str) -> SweepRecord {
                 .with("points", r.iq.len() as u64)
         }
         "freq" => {
-            let r = spectroscopy_experiment(&SpectroscopyConfig::default());
+            let r = spectroscopy_experiment(&configs.freq);
             let peak = r.p_excited.iter().cloned().fold(0.0f64, f64::max);
             SweepRecord::new("freq")
                 .with("fitted_frequency_ghz", r.fitted_frequency_ghz)
@@ -36,14 +67,14 @@ fn calibration_record(which: &str) -> SweepRecord {
                 .with("points", r.frequency_ghz.len() as u64)
         }
         "rabi" => {
-            let r = rabi_experiment(&RabiConfig::default());
+            let r = rabi_experiment(&configs.rabi);
             SweepRecord::new("rabi")
                 .with("pi_amplitude", r.pi_amplitude)
                 .with("fit_amplitude", r.fit.amplitude)
                 .with("fit_offset", r.fit.offset)
         }
         "t1" => {
-            let r = t1_experiment(&T1Config::default());
+            let r = t1_experiment(&configs.t1);
             SweepRecord::new("t1")
                 .with("fitted_t1_us", r.fitted_t1_us)
                 .with("reference_t1_us", r.reference_t1_us)
@@ -68,25 +99,26 @@ fn main() {
         eprintln!("unknown experiment {which:?} (circle|freq|rabi|t1|all)");
         std::process::exit(2);
     }
+    let configs = Configs::new(args.quick);
 
     if args.json {
-        let report =
-            SweepRunner::new(args.threads).run(&selected, |_, &name| calibration_record(name));
+        let report = SweepRunner::new(args.threads)
+            .run(&selected, |_, &name| calibration_record(&configs, name));
         println!("{report}");
         return;
     }
 
     for &name in &selected {
-        print_experiment(name);
+        print_experiment(&configs, name);
     }
 }
 
 /// Prints one experiment's human-readable section (the text twin of
 /// [`calibration_record`], sharing the same selection source).
-fn print_experiment(name: &str) {
+fn print_experiment(configs: &Configs, name: &str) {
     match name {
         "circle" => {
-            let r = circle_experiment(&CircleConfig::default());
+            let r = circle_experiment(&configs.circle);
             println!("Figure 11(a): draw circle (phase sweep)");
             println!(
                 "  fitted circle: center = ({:.1}, {:.1}), radius = {:.1}",
@@ -105,7 +137,7 @@ fn print_experiment(name: &str) {
             );
         }
         "freq" => {
-            let r = spectroscopy_experiment(&SpectroscopyConfig::default());
+            let r = spectroscopy_experiment(&configs.freq);
             println!("Figure 11(b): qubit spectroscopy (frequency sweep)");
             println!(
                 "  fitted qubit frequency: {:.4} GHz (paper: 4.62 GHz; ref stack: 4.64 GHz)",
@@ -117,7 +149,7 @@ fn print_experiment(name: &str) {
             );
         }
         "rabi" => {
-            let r = rabi_experiment(&RabiConfig::default());
+            let r = rabi_experiment(&configs.rabi);
             println!("Figure 11(c): Rabi oscillation (amplitude sweep)");
             println!(
                 "  fitted pi-pulse amplitude: {:.3} (model optimum: 0.500)",
@@ -129,7 +161,7 @@ fn print_experiment(name: &str) {
             );
         }
         "t1" => {
-            let r = t1_experiment(&T1Config::default());
+            let r = t1_experiment(&configs.t1);
             println!("Figure 11(d): relaxation time (delay sweep)");
             println!(
                 "  fitted T1 = {:.1} us (paper: 9.9 us; reference stack: {} us)",

@@ -5,41 +5,43 @@
 //! alignment timestamps as a [`hisq_sim::SweepReport`] (one record per
 //! inner-loop iteration: the control-board and readout-board commit
 //! cycles plus their offset — the Figure 13 alignment check in
-//! machine-readable form). The experiment itself is one fixed
-//! two-board run, so `--threads`/`--quick` are accepted for CLI
-//! uniformity but do not change it.
+//! machine-readable form), `--quick` bounds the boards to two
+//! inner-loop iterations instead of three, and `--threads N` distills
+//! the per-iteration records on the sweep worker pool (the output is
+//! byte-identical for any thread count, as CI asserts).
 
 use hisq_bench::cli::FigArgs;
-use hisq_bench::figures::fig13_waveforms;
+use hisq_bench::figures::fig13_waveforms_iterations;
 use hisq_isa::CYCLE_NS;
-use hisq_sim::{SweepRecord, SweepReport};
+use hisq_sim::{SweepRecord, SweepRunner};
 
 fn main() {
     let args = FigArgs::parse();
-    let r = fig13_waveforms();
+    let iterations = if args.quick { 2 } else { 3 };
+    let r = fig13_waveforms_iterations(iterations);
 
     if args.json {
         let readout_pulses: Vec<u64> = r.telf.channel(1, 5).iter().map(|p| p.cycle).collect();
-        let records = r
+        let rows: Vec<(usize, u64, u64, i64)> = r
             .control_pulses
             .iter()
             .zip(&readout_pulses)
             .zip(&r.alignment)
             .enumerate()
-            .map(|(i, ((&control, &readout), &offset))| {
+            .map(|(i, ((&control, &readout), &offset))| (i, control, readout, offset))
+            .collect();
+        let first_offset = r.alignment.first().copied().unwrap_or(0);
+        let report =
+            SweepRunner::new(args.threads).run(&rows, |_, &(i, control, readout, offset)| {
                 SweepRecord::new(format!("iteration_{i}"))
                     .with("control_port7_cycle", control)
                     .with("control_port7_ns", control * CYCLE_NS)
                     .with("readout_port5_cycle", readout)
                     .with("readout_port5_ns", readout * CYCLE_NS)
                     .with("offset_cycles", offset as f64)
-                    .with(
-                        "aligned",
-                        offset == r.alignment.first().copied().unwrap_or(0),
-                    )
-            })
-            .collect();
-        println!("{}", SweepReport::from_records(records));
+                    .with("aligned", offset == first_offset)
+            });
+        println!("{report}");
         return;
     }
 

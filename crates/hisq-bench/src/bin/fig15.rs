@@ -22,7 +22,10 @@ fn main() {
         scenarios.len(),
         args.threads
     );
-    let report = run_sweep(&scenarios, args.threads);
+    let report = run_sweep(&scenarios, args.threads).unwrap_or_else(|e| {
+        eprintln!("fig15: {e}");
+        std::process::exit(1);
+    });
     if args.json {
         println!("{}", report.to_json());
         return;

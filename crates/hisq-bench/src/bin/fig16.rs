@@ -16,7 +16,10 @@ fn main() {
     };
     let t_points: Vec<f64> = steps.iter().map(|&i| 30.0 * i as f64).collect();
     let scenarios = fig16_scenarios(&t_points);
-    let report = run_sweep(&scenarios, args.threads);
+    let report = run_sweep(&scenarios, args.threads).unwrap_or_else(|e| {
+        eprintln!("fig16: {e}");
+        std::process::exit(1);
+    });
     if args.json {
         println!("{}", report.to_json());
         return;

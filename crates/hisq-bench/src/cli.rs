@@ -3,9 +3,11 @@
 //! Every figure harness accepts the same surface — `--threads N`,
 //! `--json`, `--quick` — so CI can invoke the whole set uniformly.
 //! The experiment binaries honor it too: `fig11 --json` emits its
-//! calibration fit parameters (with `--threads` parallelizing the
-//! selected experiments) and `fig13 --json` its per-iteration
-//! alignment timestamps, both as `SweepReport` documents.
+//! calibration fit parameters (`--threads` parallelizes the selected
+//! experiments, `--quick` sweeps reduced point/shot counts) and
+//! `fig13 --json` its per-iteration alignment timestamps (`--quick`
+//! bounds the inner loop to two iterations), both as `SweepReport`
+//! documents that are byte-identical across thread counts.
 
 use std::process::exit;
 

@@ -1,8 +1,9 @@
 //! Data producers for every figure of the paper's evaluation. The
 //! `src/bin/` harnesses print these; the criterion benches measure
-//! them. The scenario-driven figures (15, 16) ride the sweep engine:
-//! they expand a [`SweepGrid`] of [`Scenario`]s and distill the
-//! aggregated records back into figure rows/points.
+//! them. The scenario-driven figures (15, 16, and the contention
+//! extension) ride the sweep engine: they expand a [`SweepGrid`] of
+//! [`Scenario`]s and distill the aggregated records back into figure
+//! rows/points.
 
 use distributed_hisq::compiler::{compile_bisp, BispOptions, Scheme};
 use distributed_hisq::quantum::Circuit;
@@ -11,7 +12,7 @@ use distributed_hisq::workloads::{SuiteScale, WorkloadSpec};
 use hisq_core::NodeConfig;
 use hisq_isa::Assembler;
 use hisq_net::TopologyBuilder;
-use hisq_sim::{SweepGrid, SweepRecord, SweepReport, SweepRunner, SystemSpec, Telf};
+use hisq_sim::{LinkModel, SweepGrid, SweepRecord, SweepReport, SweepRunner, SystemSpec, Telf};
 
 /// Figure 5(a): nearby BISP synchronization timing.
 #[derive(Debug, Clone, Copy)]
@@ -263,11 +264,25 @@ pub struct Fig13 {
 /// Runs the paper's Figure 12 programs (bounded to three inner-loop
 /// iterations) on a two-board system.
 pub fn fig13_waveforms() -> Fig13 {
+    fig13_waveforms_iterations(3)
+}
+
+/// [`fig13_waveforms`] with a configurable inner-loop bound (the
+/// `--quick` twin runs two iterations; the figure default is three).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero (the alignment check needs at least
+/// one synchronized pulse pair).
+pub fn fig13_waveforms_iterations(iterations: usize) -> Fig13 {
+    assert!(iterations > 0, "fig13 needs at least one iteration");
     let latency = 4;
     // The control board of Figure 12, with the infinite outer loop
-    // replaced by `stop`.
-    let control = "
-        addi $2,$0,120
+    // replaced by `stop` and the `waitr` horizon bounded to
+    // `iterations` (the register grows by 40 per pass).
+    let control = format!(
+        "
+        addi $2,$0,{}
         addi $1,$0,0
     loop:
         waiti 1
@@ -281,10 +296,13 @@ pub fn fig13_waveforms() -> Fig13 {
         waiti 50
         bne $1,$2,loop
         stop
-    ";
-    // The readout board, bounded to the same three iterations.
-    let readout = "
-        addi $3,$0,3
+    ",
+        40 * iterations
+    );
+    // The readout board, bounded to the same iterations.
+    let readout = format!(
+        "
+        addi $3,$0,{iterations}
     loop:
         waiti 2
         sync 0
@@ -294,15 +312,24 @@ pub fn fig13_waveforms() -> Fig13 {
         addi $3,$3,-1
         bnez $3, loop
         stop
-    ";
+    ",
+    );
     let mut spec = SystemSpec::new();
     spec.controller(
         NodeConfig::new(0).with_neighbor(1, latency),
-        Assembler::new().assemble(control).unwrap().insts().to_vec(),
+        Assembler::new()
+            .assemble(&control)
+            .unwrap()
+            .insts()
+            .to_vec(),
     );
     spec.controller(
         NodeConfig::new(1).with_neighbor(0, latency),
-        Assembler::new().assemble(readout).unwrap().insts().to_vec(),
+        Assembler::new()
+            .assemble(&readout)
+            .unwrap()
+            .insts()
+            .to_vec(),
     );
     let mut system = spec.build().expect("builds");
     let report = system.run().expect("runs");
@@ -399,7 +426,7 @@ pub fn fig15_row(workload: &str, seed: u64) -> Fig15Row {
             ..base
         },
     ];
-    let report = run_sweep(&scenarios, 1);
+    let report = run_sweep(&scenarios, 1).expect("suite scenarios are well-formed");
     fig15_rows(&report).remove(0)
 }
 
@@ -493,8 +520,128 @@ pub fn fig16_points(scenarios: &[Scenario], report: &SweepReport) -> Vec<Fig16Po
 /// at every coherence point and score the output data qubits.
 pub fn fig16_sweep(t_us_points: &[f64]) -> Vec<Fig16Point> {
     let scenarios = fig16_scenarios(t_us_points);
-    let report = run_sweep(&scenarios, 1);
+    let report = run_sweep(&scenarios, 1).expect("figure scenarios are well-formed");
     fig16_points(&scenarios, &report)
+}
+
+/// The backend seed of the contention sweep (any fixed value works;
+/// the figure compares makespans, not outcomes).
+const FIG_CONTENTION_SEED: u64 = 21;
+
+/// The logical control→target span of each contention-sweep gadget
+/// (`parallel` gadgets of span 7 occupy `16·parallel − 1` physical
+/// controllers: 15/31/63/127 for parallel = 1/2/4/8).
+const FIG_CONTENTION_SPAN: usize = 7;
+
+/// Expands the contention sweep grid: the simultaneous long-range CNOT
+/// workload at several controller counts (≈8–128) under both schemes,
+/// across a link-serialization axis — `link_model` as a first-class
+/// [`SweepGrid`] axis. The serialization axis varies fastest, then the
+/// scheme, then the size, so records group naturally per (size, scheme)
+/// block.
+///
+/// Both schemes carry the same per-message feedback traffic, so the
+/// sweep isolates *where* contention bites: the lock-step hub fans
+/// every measurement broadcast out through its single shared egress
+/// port (the `(hub, hub)` queue), serializing one copy per subscriber
+/// back to back — so each broadcast costs `N · serialization` of hub
+/// egress time and the queue deepens with both system size and the
+/// number of simultaneous results — while BISP's corrections ride
+/// dedicated point-to-point mesh links that never carry more than one
+/// gadget's traffic.
+pub fn fig_contention_scenarios(quick: bool) -> Vec<Scenario> {
+    let parallel: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let serialization_ns: &[u64] = if quick {
+        &[0, 16, 64]
+    } else {
+        &[0, 8, 16, 32, 64]
+    };
+    let base = Scenario::new(
+        WorkloadSpec::LongRangeCnots {
+            parallel: 1,
+            span: FIG_CONTENTION_SPAN,
+        },
+        Scheme::Bisp,
+    )
+    .with_seed(FIG_CONTENTION_SEED);
+    SweepGrid::new(base)
+        .axis(parallel.iter().copied(), |s, &p| {
+            s.workload = WorkloadSpec::LongRangeCnots {
+                parallel: p,
+                span: FIG_CONTENTION_SPAN,
+            }
+        })
+        .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| {
+            s.scheme = scheme
+        })
+        .axis(serialization_ns.iter().copied(), |s, &ns| {
+            s.params.link_model = LinkModel::serialized(ns)
+        })
+        .into_points()
+}
+
+/// One row of the contention figure: a (controller count, scheme,
+/// serialization) point with its makespan and its slowdown relative to
+/// the same point at zero serialization.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// Physical controller count of the workload.
+    pub controllers: usize,
+    /// `"bisp"` or `"lockstep"`.
+    pub scheme: &'static str,
+    /// The swept per-message serialization time (ns).
+    pub serialization_ns: u64,
+    /// End-to-end runtime (ns).
+    pub makespan_ns: u64,
+    /// `makespan / makespan(serialization = 0)` for the same
+    /// (controllers, scheme) — the contention-induced slowdown.
+    pub slowdown: f64,
+    /// Total link transmission attempts (0 at zero serialization,
+    /// where links run the transparent model).
+    pub link_messages: u64,
+}
+
+/// Distills an executed contention sweep back into figure rows.
+///
+/// # Panics
+///
+/// Panics if the report does not hold
+/// [`fig_contention_scenarios`]-shaped records or a run did not halt.
+pub fn fig_contention_rows(scenarios: &[Scenario], report: &SweepReport) -> Vec<ContentionRow> {
+    let mut baselines: std::collections::BTreeMap<(usize, &'static str), u64> =
+        std::collections::BTreeMap::new();
+    let mut rows = Vec::with_capacity(scenarios.len());
+    for (scenario, record) in scenarios.iter().zip(report.records()) {
+        assert_eq!(
+            record.value("all_halted"),
+            Some(1.0),
+            "{}: run blocked",
+            record.id
+        );
+        let WorkloadSpec::LongRangeCnots { parallel, span } = scenario.workload else {
+            panic!("contention scenarios run the long-range CNOT workload");
+        };
+        let controllers = 2 * parallel * (span + 1) - 1;
+        let scheme = match scenario.scheme {
+            Scheme::Bisp => "bisp",
+            Scheme::Lockstep => "lockstep",
+        };
+        let serialization_ns = scenario.params.link_model.serialization_ns;
+        let makespan_ns = record.counter("makespan_ns").expect("standard metrics");
+        // The zero-serialization point leads its (size, scheme) block.
+        let baseline = *baselines
+            .entry((controllers, scheme))
+            .or_insert(makespan_ns);
+        rows.push(ContentionRow {
+            controllers,
+            scheme,
+            serialization_ns,
+            makespan_ns,
+            slowdown: makespan_ns as f64 / baseline as f64,
+            link_messages: record.counter("link_messages").unwrap_or(0),
+        });
+    }
+    rows
 }
 
 #[cfg(test)]

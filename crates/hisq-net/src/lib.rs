@@ -39,7 +39,7 @@ pub mod router;
 pub mod topology;
 
 pub use message::{Envelope, Payload};
-pub use router::{Router, RouterAction};
-pub use topology::{Topology, TopologyBuilder};
+pub use router::{Router, RouterAction, RouterError};
+pub use topology::{DropPolicy, LinkModel, Topology, TopologyBuilder};
 
 pub use hisq_core::NodeAddr;

@@ -11,8 +11,59 @@
 //! round-by-round in FIFO order.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
 
 use hisq_core::NodeAddr;
+
+/// A routing-invariant violation detected by a router.
+///
+/// These are malformed-but-constructible deployments (a booking from a
+/// node that is not a child, a mis-rooted tree with no parent to
+/// forward to), not programmer errors: routers report them structurally
+/// so the simulation engine can surface the fault instead of tearing
+/// the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterError {
+    /// A booking arrived from a node that is not one of this router's
+    /// children (the tree routing invariant says bookings only ever
+    /// climb parent links).
+    NonChildBooking {
+        /// The router that received the booking.
+        router: NodeAddr,
+        /// The non-child sender.
+        from: NodeAddr,
+    },
+    /// A completed round must be forwarded towards `target`, but this
+    /// router has no parent — the tree is mis-rooted (the sync
+    /// destination is not an ancestor of the booking controllers).
+    MissingParent {
+        /// The parentless router.
+        router: NodeAddr,
+        /// The sync destination the booking was addressed to.
+        target: NodeAddr,
+    },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RouterError::NonChildBooking { router, from } => {
+                write!(
+                    f,
+                    "router {router} received a booking from non-child {from}"
+                )
+            }
+            RouterError::MissingParent { router, target } => write!(
+                f,
+                "router {router} must forward a booking for {target} but has no parent \
+                 (mis-rooted tree)"
+            ),
+        }
+    }
+}
+
+impl Error for RouterError {}
 
 /// An action the router asks the network to perform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,23 +149,38 @@ impl Router {
     /// Handles a booking from child `from` for destination `target`,
     /// arriving at wall-clock `arrival`. Returns the actions to take.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from` is not one of this router's children — the tree
-    /// routing invariant guarantees bookings only ever climb parent
-    /// links.
+    /// - [`RouterError::NonChildBooking`] if `from` is not one of this
+    ///   router's children (the tree routing invariant guarantees
+    ///   bookings only ever climb parent links);
+    /// - [`RouterError::MissingParent`] if a completed round must climb
+    ///   further but this router has no parent (mis-rooted tree).
+    ///
+    /// On error the router's session state is left unchanged — the
+    /// offending booking is not buffered.
     pub fn deliver_book_time(
         &mut self,
         from: NodeAddr,
         target: NodeAddr,
         time_point: u64,
         arrival: u64,
-    ) -> Vec<RouterAction> {
-        assert!(
-            self.children.contains(&from),
-            "router {} received a booking from non-child {from}",
-            self.addr
-        );
+    ) -> Result<Vec<RouterAction>, RouterError> {
+        if !self.children.contains(&from) {
+            return Err(RouterError::NonChildBooking {
+                router: self.addr,
+                from,
+            });
+        }
+        // A round that completes for a foreign target needs a parent to
+        // climb to; reject *before* buffering so the error leaves the
+        // sessions untouched.
+        if target != self.addr && self.parent.is_none() {
+            return Err(RouterError::MissingParent {
+                router: self.addr,
+                target,
+            });
+        }
         let session = self.sessions.entry(target).or_default();
         session
             .per_child
@@ -131,7 +197,7 @@ impl Router {
             .iter()
             .all(|c| session.per_child.get(c).is_some_and(|q| !q.is_empty()));
         if !complete {
-            return Vec::new();
+            return Ok(Vec::new());
         }
 
         let mut t_m = 0u64;
@@ -152,24 +218,24 @@ impl Router {
         self.rounds_completed += 1;
 
         if target == self.addr {
-            vec![RouterAction::Broadcast {
+            Ok(vec![RouterAction::Broadcast {
                 children: self.children.clone(),
                 t_m,
                 target,
-            }]
+            }])
         } else {
-            let parent = self.parent.unwrap_or_else(|| {
-                panic!(
-                    "router {} must forward a booking for {target} but has no parent",
-                    self.addr
-                )
-            });
-            vec![RouterAction::ForwardUp {
+            // Checked before buffering; a parentless router cannot
+            // reach a completed foreign-target round.
+            let parent = self.parent.ok_or(RouterError::MissingParent {
+                router: self.addr,
+                target,
+            })?;
+            Ok(vec![RouterAction::ForwardUp {
                 parent,
                 target,
                 time_point: t_m,
                 sent_at: latest_arrival,
-            }]
+            }])
         }
     }
 
@@ -192,9 +258,9 @@ mod tests {
         let mut r = Router::new(100, None, vec![0, 1, 2]);
         // Paper Figure 7: C2's booking arrives after its claimed
         // time-point, so the arrival becomes the floor.
-        assert!(r.deliver_book_time(0, 100, 50, 20).is_empty());
-        assert!(r.deliver_book_time(1, 100, 60, 25).is_empty());
-        let actions = r.deliver_book_time(2, 100, 55, 70); // D2 < L2
+        assert!(r.deliver_book_time(0, 100, 50, 20).unwrap().is_empty());
+        assert!(r.deliver_book_time(1, 100, 60, 25).unwrap().is_empty());
+        let actions = r.deliver_book_time(2, 100, 55, 70).unwrap(); // D2 < L2
         assert_eq!(
             actions,
             vec![RouterAction::Broadcast {
@@ -209,8 +275,8 @@ mod tests {
     #[test]
     fn zero_overhead_when_arrivals_hidden() {
         let mut r = Router::new(100, None, vec![0, 1]);
-        assert!(r.deliver_book_time(0, 100, 90, 30).is_empty());
-        let actions = r.deliver_book_time(1, 100, 80, 40);
+        assert!(r.deliver_book_time(0, 100, 90, 30).unwrap().is_empty());
+        let actions = r.deliver_book_time(1, 100, 80, 40).unwrap();
         // max(T_i) = 90 dominates max(arrival) = 40: zero-cycle overhead.
         assert_eq!(
             actions,
@@ -225,8 +291,8 @@ mod tests {
     #[test]
     fn intermediate_router_forwards_up() {
         let mut r = Router::new(100, Some(200), vec![0, 1]);
-        assert!(r.deliver_book_time(0, 200, 50, 10).is_empty());
-        let actions = r.deliver_book_time(1, 200, 70, 12);
+        assert!(r.deliver_book_time(0, 200, 50, 10).unwrap().is_empty());
+        let actions = r.deliver_book_time(1, 200, 70, 12).unwrap();
         assert_eq!(
             actions,
             vec![RouterAction::ForwardUp {
@@ -242,9 +308,9 @@ mod tests {
     fn repeated_rounds_pair_fifo() {
         let mut r = Router::new(100, None, vec![0, 1]);
         // Child 0 books twice before child 1's first booking.
-        assert!(r.deliver_book_time(0, 100, 10, 5).is_empty());
-        assert!(r.deliver_book_time(0, 100, 200, 105).is_empty());
-        let first = r.deliver_book_time(1, 100, 20, 6);
+        assert!(r.deliver_book_time(0, 100, 10, 5).unwrap().is_empty());
+        assert!(r.deliver_book_time(0, 100, 200, 105).unwrap().is_empty());
+        let first = r.deliver_book_time(1, 100, 20, 6).unwrap();
         assert_eq!(
             first,
             vec![RouterAction::Broadcast {
@@ -254,7 +320,7 @@ mod tests {
             }]
         );
         // Second round pairs child 0's second booking.
-        let second = r.deliver_book_time(1, 100, 150, 110);
+        let second = r.deliver_book_time(1, 100, 150, 110).unwrap();
         assert_eq!(
             second,
             vec![RouterAction::Broadcast {
@@ -270,10 +336,10 @@ mod tests {
     fn sessions_for_different_targets_are_independent() {
         // Router coordinates nothing itself; it relays two targets.
         let mut r = Router::new(100, Some(200), vec![0, 1]);
-        assert!(r.deliver_book_time(0, 200, 10, 1).is_empty());
-        assert!(r.deliver_book_time(0, 300, 99, 2).is_empty());
+        assert!(r.deliver_book_time(0, 200, 10, 1).unwrap().is_empty());
+        assert!(r.deliver_book_time(0, 300, 99, 2).unwrap().is_empty());
         // Completing target-200's round is unaffected by the 300 session.
-        let actions = r.deliver_book_time(1, 200, 30, 3);
+        let actions = r.deliver_book_time(1, 200, 30, 3).unwrap();
         assert_eq!(actions.len(), 1);
         assert!(matches!(
             actions[0],
@@ -300,9 +366,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-child")]
-    fn booking_from_stranger_panics() {
+    fn booking_from_stranger_is_a_structured_error() {
         let mut r = Router::new(100, None, vec![0, 1]);
-        r.deliver_book_time(9, 100, 1, 1);
+        assert_eq!(
+            r.deliver_book_time(9, 100, 1, 1),
+            Err(RouterError::NonChildBooking {
+                router: 100,
+                from: 9
+            })
+        );
+        // The rejected booking left no session state behind: a valid
+        // round still completes with only the real children.
+        assert!(r.deliver_book_time(0, 100, 5, 1).unwrap().is_empty());
+        assert_eq!(r.deliver_book_time(1, 100, 7, 2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mis_rooted_forwarding_is_a_structured_error() {
+        // A parentless router asked to relay towards a foreign target
+        // (the tree was assembled without the upper level).
+        let mut r = Router::new(100, None, vec![0, 1]);
+        assert_eq!(
+            r.deliver_book_time(0, 300, 10, 1),
+            Err(RouterError::MissingParent {
+                router: 100,
+                target: 300
+            })
+        );
+        assert_eq!(r.rounds_completed(), 0);
     }
 }

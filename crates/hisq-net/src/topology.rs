@@ -16,6 +16,104 @@ use std::collections::BTreeMap;
 
 use hisq_core::{NodeAddr, NodeConfig};
 
+/// Loss model of a contended classical link: each transmission attempt
+/// of a packetized classical message is dropped with a fixed
+/// probability, drawn from a deterministic seeded stream, and the
+/// sender retransmits after a timeout until an attempt survives or the
+/// attempt budget runs out.
+///
+/// Sync pulses and region-sync traffic ride dedicated reliable wires
+/// and are never dropped; only [`Classical`](crate::Payload::Classical)
+/// payloads are subject to loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DropPolicy {
+    /// Per-attempt loss probability in parts per million
+    /// (`1_000_000` = every attempt lost).
+    pub loss_ppm: u32,
+    /// Seed of the deterministic drop stream (per-link streams are
+    /// derived from it, so runs are reproducible across thread counts).
+    pub seed: u64,
+    /// Transmission attempts before the message is abandoned for good
+    /// (counted in the per-link `dropped` statistic). Must be ≥ 1.
+    pub max_attempts: u32,
+}
+
+impl Default for DropPolicy {
+    /// 1% loss, seed 0, 16 attempts.
+    fn default() -> DropPolicy {
+        DropPolicy {
+            loss_ppm: 10_000,
+            seed: 0,
+            max_attempts: 16,
+        }
+    }
+}
+
+/// Contention model of a classical link: how long a message occupies
+/// one of the link's serialization slots, how many slots exist, and an
+/// optional loss model.
+///
+/// The default model (`serialization_ns == 0`, no loss) is
+/// *transparent*: messages are delivered at `sent_at + latency` exactly
+/// as the pure-latency engine always has, so attaching the default
+/// model changes nothing — it exists so contention can become a sweep
+/// axis without forking the configuration surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkModel {
+    /// Time one packetized message occupies a serialization slot, in
+    /// nanoseconds (0 = no serialization, the pure-latency model).
+    pub serialization_ns: u64,
+    /// Parallel serialization slots (lanes) per directed link. Must be
+    /// ≥ 1; ignored while the model is transparent.
+    pub capacity: u32,
+    /// Loss model; `None` = lossless.
+    pub drop: Option<DropPolicy>,
+}
+
+impl Default for LinkModel {
+    /// Transparent: zero serialization, one lane, lossless.
+    fn default() -> LinkModel {
+        LinkModel {
+            serialization_ns: 0,
+            capacity: 1,
+            drop: None,
+        }
+    }
+}
+
+impl LinkModel {
+    /// A lossless model that serializes messages for
+    /// `serialization_ns` through a single slot.
+    pub fn serialized(serialization_ns: u64) -> LinkModel {
+        LinkModel {
+            serialization_ns,
+            ..LinkModel::default()
+        }
+    }
+
+    /// Replaces the slot count (builder style).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: u32) -> LinkModel {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Attaches a loss model (builder style).
+    #[must_use]
+    pub fn with_drop(mut self, drop: DropPolicy) -> LinkModel {
+        self.drop = Some(drop);
+        self
+    }
+
+    /// `true` when the model cannot affect delivery: no serialization
+    /// and no loss. The engine bypasses all queue bookkeeping for
+    /// transparent links, reproducing the pure-latency behavior
+    /// byte-for-byte.
+    pub fn is_transparent(&self) -> bool {
+        self.serialization_ns == 0 && self.drop.is_none()
+    }
+}
+
 /// Builder for [`Topology`].
 #[derive(Debug, Clone)]
 pub struct TopologyBuilder {
@@ -25,6 +123,7 @@ pub struct TopologyBuilder {
     router_arity: usize,
     router_latency: u64,
     pipeline_headroom: u64,
+    link_model: LinkModel,
 }
 
 impl TopologyBuilder {
@@ -41,6 +140,7 @@ impl TopologyBuilder {
             router_arity: 4,
             router_latency: 10,
             pipeline_headroom: 32,
+            link_model: LinkModel::default(),
         }
     }
 
@@ -71,6 +171,13 @@ impl TopologyBuilder {
     /// Sets the controllers' TCU queue decoupling margin (default 32).
     pub fn pipeline_headroom(mut self, cycles: u64) -> TopologyBuilder {
         self.pipeline_headroom = cycles;
+        self
+    }
+
+    /// Sets the contention model every link of this topology carries
+    /// (default: the transparent pure-latency model).
+    pub fn link_model(mut self, model: LinkModel) -> TopologyBuilder {
+        self.link_model = model;
         self
     }
 
@@ -128,6 +235,7 @@ impl TopologyBuilder {
             neighbor_latency: self.neighbor_latency,
             router_latency: self.router_latency,
             pipeline_headroom: self.pipeline_headroom,
+            link_model: self.link_model,
             parent,
             children,
             routers,
@@ -146,6 +254,7 @@ pub struct Topology {
     neighbor_latency: u64,
     router_latency: u64,
     pipeline_headroom: u64,
+    link_model: LinkModel,
     /// Child → parent router, for controllers and non-root routers.
     parent: BTreeMap<NodeAddr, NodeAddr>,
     /// Router → children (controllers or routers).
@@ -185,6 +294,12 @@ impl Topology {
     /// One-way tree-edge latency in cycles.
     pub fn router_latency(&self) -> u64 {
         self.router_latency
+    }
+
+    /// The contention model this topology's links carry (transparent
+    /// unless set via [`TopologyBuilder::link_model`]).
+    pub fn link_model(&self) -> LinkModel {
+        self.link_model
     }
 
     /// The controller address at grid position `(x, y)`.

@@ -61,7 +61,7 @@ proptest! {
             let k = sent[child];
             sent[child] += 1;
             let (tp, arr) = booking(child, k);
-            let actions = router.deliver_book_time(child as u16, addr, tp, arr);
+            let actions = router.deliver_book_time(child as u16, addr, tp, arr).unwrap();
             for action in actions {
                 match action {
                     RouterAction::Broadcast { children: to, t_m, target } => {
@@ -106,14 +106,14 @@ proptest! {
         // completes target 300's round, then target 400's.
         let (arr_300, arr_400) = if a_first { (1, 2) } else { (2, 1) };
         if a_first {
-            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).is_empty());
-            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).is_empty());
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_empty());
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_empty());
         } else {
-            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).is_empty());
-            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).is_empty());
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_empty());
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_empty());
         }
-        let done_a = router.deliver_book_time(1, 300, tp_a[1], 3);
-        let done_b = router.deliver_book_time(1, 400, tp_b[1], 4);
+        let done_a = router.deliver_book_time(1, 300, tp_a[1], 3).unwrap();
+        let done_b = router.deliver_book_time(1, 400, tp_b[1], 4).unwrap();
         let expect = |actions: &[RouterAction], target: u16, t_m: u64| {
             matches!(
                 actions,

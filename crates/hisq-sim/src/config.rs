@@ -5,6 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use hisq_core::{BlockReason, NodeAddr};
+use hisq_net::RouterError;
 use hisq_quantum::GateDurations;
 
 /// Engine configuration.
@@ -55,6 +56,16 @@ pub enum SimError {
         /// What referenced it (e.g. `"hub subscriber"`).
         role: &'static str,
     },
+    /// A router detected a routing-invariant violation mid-run (a
+    /// booking from a non-child, or a mis-rooted tree with no parent
+    /// to forward to).
+    Router(RouterError),
+}
+
+impl From<RouterError> for SimError {
+    fn from(e: RouterError) -> SimError {
+        SimError::Router(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -67,11 +78,33 @@ impl fmt::Display for SimError {
             SimError::UnknownAddr { addr, role } => {
                 write!(f, "{role} references unknown controller address {addr}")
             }
+            SimError::Router(e) => write!(f, "routing fault: {e}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+/// Post-run statistics of one contended directed link (only links that
+/// carried at least one message under a non-transparent
+/// [`LinkModel`](hisq_net::LinkModel) appear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Sending node address.
+    pub from: NodeAddr,
+    /// Receiving node address.
+    pub to: NodeAddr,
+    /// Transmission attempts carried (including retransmissions).
+    pub messages: u64,
+    /// Peak number of simultaneously busy serialization slots; never
+    /// exceeds the model's `capacity`.
+    pub peak_occupancy: u32,
+    /// Retransmissions after a lossy attempt.
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting the drop policy's attempt
+    /// budget (the receiver never sees these).
+    pub dropped: u64,
+}
 
 /// Post-run summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,10 +123,40 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Gate-replay ordering violations (0 for well-formed programs).
     pub causality_warnings: u64,
+    /// Sends whose latency had to fall back to
+    /// [`SimConfig::default_classical_latency`] even though a topology
+    /// was attached — a wiring bug (the destination is unknown to the
+    /// topology), debug-asserted in debug builds and counted here in
+    /// release builds. Always 0 for well-wired systems.
+    pub routing_warnings: u64,
     /// Total TCU stall cycles across all controllers.
     pub total_stall_cycles: u64,
     /// Total instructions retired across all controllers.
     pub total_instructions: u64,
     /// Total `sync` instructions retired.
     pub total_syncs: u64,
+    /// Per-link contention statistics, ordered by `(from, to)` address
+    /// pair. Empty when every link ran the transparent default model.
+    pub link_stats: Vec<LinkReport>,
+}
+
+impl SimReport {
+    /// Sum of retransmissions across every contended link.
+    pub fn total_retransmits(&self) -> u64 {
+        self.link_stats.iter().map(|l| l.retransmits).sum()
+    }
+
+    /// Sum of abandoned messages across every contended link.
+    pub fn total_dropped(&self) -> u64 {
+        self.link_stats.iter().map(|l| l.dropped).sum()
+    }
+
+    /// Highest peak slot occupancy observed on any contended link.
+    pub fn peak_link_occupancy(&self) -> u32 {
+        self.link_stats
+            .iter()
+            .map(|l| l.peak_occupancy)
+            .max()
+            .unwrap_or(0)
+    }
 }

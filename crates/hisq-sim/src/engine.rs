@@ -11,18 +11,19 @@
 //! routing time, surfacing as a deadlocked sender in the report).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use hisq_core::{BlockReason, NodeAddr, Status, MEAS_FIFO_ADDR};
 use hisq_isa::CYCLE_NS;
-use hisq_net::{Payload, RouterAction, Topology};
+use hisq_net::{LinkModel, Payload, RouterAction, Topology};
 use hisq_quantum::ExposureLedger;
 
 use crate::backend::QuantumBackend;
-use crate::config::{SimConfig, SimError, SimReport};
-use crate::events::{EventKind, PendingGate, QueuedEvent, ReplayAction};
+use crate::config::{LinkReport, SimConfig, SimError, SimReport};
+use crate::events::{EventKind, LinkQueue, PendingGate, QueuedEvent, ReplayAction};
 use crate::nodes::{NodeId, QuantumAction, SimNode};
+use crate::spec::Arena;
 use crate::telf::Telf;
 
 /// The full Distributed-HISQ system under simulation, built from a
@@ -41,6 +42,12 @@ pub struct System {
     controller_ids: Vec<NodeId>,
     topology: Option<Topology>,
     backend: Box<dyn QuantumBackend>,
+    /// The contention model every directed link runs (transparent by
+    /// default: no queue bookkeeping, pure `sent_at + latency` sends).
+    link_model: LinkModel,
+    /// Busy-until queues of the contended links, keyed by the directed
+    /// `(from, to)` arena-id pair. Empty while the model is transparent.
+    link_queues: BTreeMap<(NodeId, NodeId), LinkQueue>,
 
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
@@ -48,6 +55,7 @@ pub struct System {
     gate_store: Vec<ReplayAction>,
     applied_through: u64,
     causality_warnings: u64,
+    routing_warnings: u64,
     exposure: ExposureLedger,
     events_processed: u64,
 }
@@ -67,27 +75,29 @@ impl System {
     /// [`SystemSpec::build`](crate::SystemSpec::build)).
     pub(crate) fn from_parts(
         config: SimConfig,
-        nodes: Vec<SimNode>,
-        addrs: Vec<NodeAddr>,
-        addr_to_id: Vec<NodeId>,
+        arena: Arena,
         controller_ids: Vec<NodeId>,
         topology: Option<Topology>,
         backend: Box<dyn QuantumBackend>,
+        link_model: LinkModel,
     ) -> System {
         System {
             config,
-            nodes,
-            addrs,
-            addr_to_id,
+            nodes: arena.nodes,
+            addrs: arena.addrs,
+            addr_to_id: arena.addr_to_id,
             controller_ids,
             topology,
             backend,
+            link_model,
+            link_queues: BTreeMap::new(),
             queue: BinaryHeap::new(),
             seq: 0,
             gate_heap: BinaryHeap::new(),
             gate_store: Vec::new(),
             applied_through: 0,
             causality_warnings: 0,
+            routing_warnings: 0,
             exposure: ExposureLedger::new(),
             events_processed: 0,
         }
@@ -157,7 +167,14 @@ impl System {
     /// One-way latency from node `from` to address `to`: the sender's
     /// calibrated link if one exists, else a topology-derived latency,
     /// else the configured default.
-    fn link_latency(&self, from: NodeId, to: NodeAddr) -> u64 {
+    ///
+    /// The default is legitimate only when no topology is attached
+    /// (e.g. the lock-step star, where it models the uplink). With a
+    /// topology attached, every well-wired destination is derivable, so
+    /// reaching the fallback is a wiring bug: it debug-asserts in debug
+    /// builds and is counted as a [`SimReport::routing_warnings`]
+    /// warning in release builds.
+    fn link_latency(&mut self, from: NodeId, to: NodeAddr) -> u64 {
         if let SimNode::Controller(node) = &self.nodes[from as usize] {
             if let Some(latency) = node.link_latency(to) {
                 return latency;
@@ -174,8 +191,137 @@ impl System {
             if from_addr < nc && to < nc {
                 return topo.classical_latency(from_addr, to);
             }
+            self.routing_warnings += 1;
+            debug_assert!(
+                false,
+                "no route from {from_addr} to unknown destination {to}: \
+                 falling back to default_classical_latency masks a wiring bug"
+            );
         }
         self.config.default_classical_latency
+    }
+
+    /// Sends one payload from node `from` to node `to` over the
+    /// dedicated directed link between them, delivering after `latency`
+    /// cycles.
+    ///
+    /// With the transparent default [`LinkModel`] this is exactly the
+    /// historical `sent_at + latency` push. Under a contended model,
+    /// packetized payloads (everything but the dedicated-wire
+    /// [`Payload::SyncPulse`]) first serialize through the link's
+    /// capacity slots, and classical payloads are additionally subject
+    /// to the deterministic drop-and-retransmit policy.
+    fn send(&mut self, from: NodeId, to: NodeId, payload: Payload, sent_at: u64, latency: u64) {
+        self.send_via((from, to), from, to, payload, sent_at, latency);
+    }
+
+    /// [`System::send`] through an explicit serialization queue.
+    ///
+    /// Dedicated links use their own `(from, to)` queue; the hub's
+    /// star fan-out instead shares the `(hub, hub)` egress queue across
+    /// every subscriber — the central port is the resource each of the
+    /// broadcast's N copies must serialize through, which is what makes
+    /// the hub saturate with system size under contention.
+    fn send_via(
+        &mut self,
+        queue_key: (NodeId, NodeId),
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+        sent_at: u64,
+        latency: u64,
+    ) {
+        if self.link_model.is_transparent() || matches!(payload, Payload::SyncPulse) {
+            let from_addr = self.addrs[from as usize];
+            self.push_event(
+                sent_at + latency,
+                EventKind::Deliver {
+                    from: from_addr,
+                    to,
+                    payload,
+                },
+            );
+            return;
+        }
+        self.transmit(queue_key, to, payload, sent_at, latency, 1);
+    }
+
+    /// One transmission attempt on a contended link: acquire a
+    /// serialization slot at `offer`, draw the loss stream, and either
+    /// schedule the delivery, schedule a retransmission (as a future
+    /// [`EventKind::Resend`], so the slot is *not* reserved during the
+    /// ack-wait window and interleaved traffic keeps the wire busy), or
+    /// abandon the message once the attempt budget is spent.
+    fn transmit(
+        &mut self,
+        queue_key: (NodeId, NodeId),
+        to: NodeId,
+        payload: Payload,
+        offer: u64,
+        latency: u64,
+        attempt: u32,
+    ) {
+        // The sender (and the Deliver `from` address) is the queue's
+        // owning endpoint: the dedicated link's sender, or the hub for
+        // its shared egress.
+        let from_addr = self.addrs[queue_key.0 as usize];
+        let to_addr = self.addrs[to as usize];
+        let hold = self.link_model.serialization_ns.div_ceil(CYCLE_NS);
+        let droppable = matches!(payload, Payload::Classical { .. });
+        let drop_policy = self.link_model.drop.filter(|_| droppable);
+        let capacity = self.link_model.capacity;
+        enum Outcome {
+            Deliver(u64),
+            Resend(u64),
+            Abandoned,
+        }
+        let outcome = {
+            let queue = self
+                .link_queues
+                .entry(queue_key)
+                .or_insert_with(|| LinkQueue::new(capacity));
+            let start = queue.acquire(offer, hold);
+            let done = start + hold;
+            let lost = drop_policy.is_some_and(|policy| {
+                queue.draw_drop(policy.seed, from_addr, to_addr, policy.loss_ppm)
+            });
+            match drop_policy {
+                Some(policy) if lost => {
+                    if attempt >= policy.max_attempts.max(1) {
+                        queue.dropped += 1;
+                        Outcome::Abandoned
+                    } else {
+                        queue.retransmits += 1;
+                        // The sender detects the loss after an
+                        // acknowledgement round trip and re-offers the
+                        // message to the link then.
+                        Outcome::Resend(done + 2 * latency)
+                    }
+                }
+                _ => Outcome::Deliver(done + latency),
+            }
+        };
+        match outcome {
+            Outcome::Deliver(at) => self.push_event(
+                at,
+                EventKind::Deliver {
+                    from: from_addr,
+                    to,
+                    payload,
+                },
+            ),
+            Outcome::Resend(at) => self.push_event(
+                at,
+                EventKind::Resend {
+                    link: queue_key,
+                    to,
+                    payload,
+                    latency,
+                    attempt: attempt + 1,
+                },
+            ),
+            Outcome::Abandoned => {}
+        }
     }
 
     /// Routes one outbound controller message, resolving the
@@ -187,16 +333,9 @@ impl System {
         let from_addr = self.addrs[from as usize];
         match message {
             OutboundMessage::SyncPulse { to, sent_at } => {
-                let at = sent_at + self.link_latency(from, to);
+                let latency = self.link_latency(from, to);
                 let Some(dest) = self.resolve(to) else { return };
-                self.push_event(
-                    at,
-                    EventKind::Deliver {
-                        from: from_addr,
-                        to: dest,
-                        payload: Payload::SyncPulse,
-                    },
-                );
+                self.send(from, dest, Payload::SyncPulse, sent_at, latency);
             }
             OutboundMessage::BookTime {
                 router: target,
@@ -210,30 +349,22 @@ impl System {
                     .as_ref()
                     .and_then(|t| t.parent_of(from_addr))
                     .unwrap_or(target);
-                let at = sent_at + self.link_latency(from, hop);
+                let latency = self.link_latency(from, hop);
                 let Some(dest) = self.resolve(hop) else {
                     return;
                 };
-                self.push_event(
-                    at,
-                    EventKind::Deliver {
-                        from: from_addr,
-                        to: dest,
-                        payload: Payload::BookTime { target, time_point },
-                    },
+                self.send(
+                    from,
+                    dest,
+                    Payload::BookTime { target, time_point },
+                    sent_at,
+                    latency,
                 );
             }
             OutboundMessage::Classical { to, value, sent_at } => {
-                let at = sent_at + self.link_latency(from, to);
+                let latency = self.link_latency(from, to);
                 let Some(dest) = self.resolve(to) else { return };
-                self.push_event(
-                    at,
-                    EventKind::Deliver {
-                        from: from_addr,
-                        to: dest,
-                        payload: Payload::Classical { value },
-                    },
-                );
+                self.send(from, dest, Payload::Classical { value }, sent_at, latency);
             }
         }
     }
@@ -365,7 +496,13 @@ impl System {
         }
     }
 
-    fn deliver(&mut self, from: NodeAddr, to: NodeId, payload: Payload, deliver_at: u64) {
+    fn deliver(
+        &mut self,
+        from: NodeAddr,
+        to: NodeId,
+        payload: Payload,
+        deliver_at: u64,
+    ) -> Result<(), SimError> {
         match &mut self.nodes[to as usize] {
             SimNode::Controller(node) => {
                 match payload {
@@ -376,7 +513,7 @@ impl System {
                     }
                     Payload::BookTime { .. } => {
                         // Controllers never coordinate regions; drop.
-                        return;
+                        return Ok(());
                     }
                 }
                 self.step_controller(to);
@@ -385,16 +522,21 @@ impl System {
                 if let Payload::Classical { value } = payload {
                     let down_latency = hub.down_latency;
                     let subscribers = hub.subscriber_ids.clone();
-                    let hub_addr = self.addrs[to as usize];
+                    // The hub's downlink fan-out rides the link
+                    // machinery through the hub's *shared* egress
+                    // queue: the central port emits one copy per
+                    // subscriber, so under a contended model each
+                    // broadcast serializes N copies back to back — the
+                    // saturation the §6.4.3 baseline's constant-latency
+                    // star assumption hides.
                     for subscriber in subscribers {
-                        let at = deliver_at + down_latency;
-                        self.push_event(
-                            at,
-                            EventKind::Deliver {
-                                from: hub_addr,
-                                to: subscriber,
-                                payload: Payload::Classical { value },
-                            },
+                        self.send_via(
+                            (to, to),
+                            to,
+                            subscriber,
+                            Payload::Classical { value },
+                            deliver_at,
+                            down_latency,
                         );
                     }
                 }
@@ -402,12 +544,11 @@ impl System {
             SimNode::Router(router) => {
                 let actions = match payload {
                     Payload::BookTime { target, time_point } => {
-                        router.deliver_book_time(from, target, time_point, deliver_at)
+                        router.deliver_book_time(from, target, time_point, deliver_at)?
                     }
                     Payload::MaxTime { t_m, target } => router.deliver_max_time(t_m, target),
                     Payload::SyncPulse | Payload::Classical { .. } => Vec::new(),
                 };
-                let router_addr = self.addrs[to as usize];
                 for action in actions {
                     match action {
                         RouterAction::ForwardUp {
@@ -416,17 +557,16 @@ impl System {
                             time_point,
                             sent_at,
                         } => {
-                            let at = sent_at + self.link_latency(to, parent);
+                            let latency = self.link_latency(to, parent);
                             let Some(dest) = self.resolve(parent) else {
                                 continue;
                             };
-                            self.push_event(
-                                at,
-                                EventKind::Deliver {
-                                    from: router_addr,
-                                    to: dest,
-                                    payload: Payload::BookTime { target, time_point },
-                                },
+                            self.send(
+                                to,
+                                dest,
+                                Payload::BookTime { target, time_point },
+                                sent_at,
+                                latency,
                             );
                         }
                         RouterAction::Broadcast {
@@ -435,28 +575,39 @@ impl System {
                             target,
                         } => {
                             for child in children {
-                                let at = if self.config.idealize_downlink {
-                                    deliver_at
+                                let payload = Payload::MaxTime { t_m, target };
+                                if self.config.idealize_downlink {
+                                    // The §4.4 idealization bypasses the
+                                    // wire (and hence any contention).
+                                    let Some(dest) = self.resolve(child) else {
+                                        continue;
+                                    };
+                                    let router_addr = self.addrs[to as usize];
+                                    self.push_event(
+                                        deliver_at,
+                                        EventKind::Deliver {
+                                            from: router_addr,
+                                            to: dest,
+                                            payload,
+                                        },
+                                    );
                                 } else {
-                                    deliver_at + self.link_latency(to, child)
-                                };
-                                let Some(dest) = self.resolve(child) else {
-                                    continue;
-                                };
-                                self.push_event(
-                                    at,
-                                    EventKind::Deliver {
-                                        from: router_addr,
-                                        to: dest,
-                                        payload: Payload::MaxTime { t_m, target },
-                                    },
-                                );
+                                    // Latency first: an unknown child
+                                    // must still count a routing
+                                    // warning before being dropped.
+                                    let latency = self.link_latency(to, child);
+                                    let Some(dest) = self.resolve(child) else {
+                                        continue;
+                                    };
+                                    self.send(to, dest, payload, deliver_at, latency);
+                                }
                             }
                         }
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Runs the system to quiescence.
@@ -465,7 +616,8 @@ impl System {
     ///
     /// Returns [`SimError::EventBudgetExceeded`] if the configured event
     /// budget is exhausted (e.g. a program loops forever emitting
-    /// messages).
+    /// messages), or [`SimError::Router`] if a router detects a
+    /// routing-invariant violation (e.g. a mis-rooted tree).
     pub fn run(&mut self) -> Result<SimReport, SimError> {
         let ids = self.controller_ids.clone();
         for id in ids {
@@ -480,7 +632,16 @@ impl System {
             }
             match event.kind {
                 EventKind::Deliver { from, to, payload } => {
-                    self.deliver(from, to, payload, event.at);
+                    self.deliver(from, to, payload, event.at)?;
+                }
+                EventKind::Resend {
+                    link,
+                    to,
+                    payload,
+                    latency,
+                    attempt,
+                } => {
+                    self.transmit(link, to, payload, event.at, latency, attempt);
                 }
                 EventKind::MeasResolve {
                     node,
@@ -545,6 +706,21 @@ impl System {
             total_syncs += ctrl.stats().syncs;
         }
         let all_halted = blocked.is_empty() && faulted.is_empty() && all_stopped;
+        let mut link_stats: Vec<LinkReport> = self
+            .link_queues
+            .iter()
+            .map(|(&(from, to), queue)| LinkReport {
+                from: self.addrs[from as usize],
+                to: self.addrs[to as usize],
+                messages: queue.messages,
+                peak_occupancy: queue.peak_occupancy,
+                retransmits: queue.retransmits,
+                dropped: queue.dropped,
+            })
+            .collect();
+        // Arena-id order is build-dependent; address order is the
+        // stable public contract.
+        link_stats.sort_unstable_by_key(|l| (l.from, l.to));
         SimReport {
             all_halted,
             blocked,
@@ -553,9 +729,11 @@ impl System {
             makespan_ns: makespan * CYCLE_NS,
             events_processed: self.events_processed,
             causality_warnings: self.causality_warnings,
+            routing_warnings: self.routing_warnings,
             total_stall_cycles: total_stall,
             total_instructions,
             total_syncs,
+            link_stats,
         }
     }
 }

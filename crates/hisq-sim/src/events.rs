@@ -1,7 +1,8 @@
-//! Internal event-queue and gate-replay plumbing: the ordered records
-//! the engine's two binary heaps hold. Events order by `(cycle, seq)`
-//! with `seq` assigned at push — the deterministic tie-break the sweep
-//! engine's byte-identical JSON contract rests on.
+//! Internal event-queue, gate-replay, and link-queue plumbing: the
+//! ordered records the engine's two binary heaps hold, plus the
+//! per-link busy-until state of the contention model. Events order by
+//! `(cycle, seq)` with `seq` assigned at push — the deterministic
+//! tie-break the sweep engine's byte-identical JSON contract rests on.
 
 use hisq_core::NodeAddr;
 use hisq_net::Payload;
@@ -31,6 +32,23 @@ pub(crate) enum EventKind {
         qubit: usize,
         /// When the measurement was triggered (gates replay up to it).
         trigger_cycle: u64,
+    },
+    /// A lost classical message's acknowledgement timeout fired: the
+    /// sender re-offers the message to the link now. Keeping the
+    /// retransmission as an event (instead of booking the future slot
+    /// at loss time) keeps contended links work-conserving — traffic
+    /// offered during the ack-wait window transmits on the idle wire.
+    Resend {
+        /// The serialization queue the message retransmits through.
+        link: (NodeId, NodeId),
+        /// Destination arena id.
+        to: NodeId,
+        /// The message content.
+        payload: Payload,
+        /// Wire latency of the link (cycles).
+        latency: u64,
+        /// 1-based attempt number of this retransmission.
+        attempt: u32,
     },
 }
 
@@ -85,4 +103,80 @@ impl PartialOrd for PendingGate {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Busy-until state of one contended directed link: `slot_free[i]` is
+/// the cycle at which serialization slot `i` becomes idle again. A
+/// message acquires the earliest-free slot (`max(sent_at, free)` start,
+/// deterministic lowest-index tie-break), so occupancy can never exceed
+/// the slot count.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkQueue {
+    /// Per-slot busy-until cycle (length = the model's capacity).
+    pub slot_free: Vec<u64>,
+    /// Transmission attempts carried (including retransmissions).
+    pub messages: u64,
+    /// Peak simultaneous busy slots.
+    pub peak_occupancy: u32,
+    /// Retransmissions after lossy attempts.
+    pub retransmits: u64,
+    /// Messages abandoned after the attempt budget.
+    pub dropped: u64,
+    /// Monotonic drop-draw counter (the per-link RNG stream position).
+    pub draws: u64,
+}
+
+impl LinkQueue {
+    pub fn new(capacity: u32) -> LinkQueue {
+        LinkQueue {
+            slot_free: vec![0; capacity.max(1) as usize],
+            messages: 0,
+            peak_occupancy: 0,
+            retransmits: 0,
+            dropped: 0,
+            draws: 0,
+        }
+    }
+
+    /// Acquires the earliest-free slot for a message offered at
+    /// `sent_at`, occupying it for `hold` cycles. Returns the cycle at
+    /// which serialization starts (≥ `sent_at`; the wire latency is
+    /// paid on top by the caller).
+    pub fn acquire(&mut self, sent_at: u64, hold: u64) -> u64 {
+        let (index, &free) = self
+            .slot_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("capacity >= 1");
+        let start = sent_at.max(free);
+        self.slot_free[index] = start + hold;
+        self.messages += 1;
+        // Slots busy while this message serializes (itself included):
+        // structurally capped at the slot count.
+        let busy = self.slot_free.iter().filter(|&&f| f > start).count() as u32;
+        self.peak_occupancy = self.peak_occupancy.max(busy.max(1));
+        start
+    }
+
+    /// One deterministic loss draw: `true` = this attempt is dropped.
+    /// The stream depends only on (policy seed, link endpoints, draw
+    /// index), so runs reproduce across processes and thread counts.
+    pub fn draw_drop(&mut self, seed: u64, from: NodeAddr, to: NodeAddr, loss_ppm: u32) -> bool {
+        let index = self.draws;
+        self.draws += 1;
+        let key = seed
+            ^ ((from as u64) << 48)
+            ^ ((to as u64) << 32)
+            ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        splitmix64(key) % 1_000_000 < u64::from(loss_ppm)
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash for the loss stream.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }

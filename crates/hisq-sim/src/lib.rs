@@ -25,6 +25,17 @@
 //! land on the TCU's 4 ns grid, so waveform-level alignment questions
 //! (Figure 13) can be answered exactly.
 //!
+//! Links can also *contend* and *lose* messages: every directed link
+//! runs a [`LinkModel`] (declared on the spec or the topology, swept
+//! via the harness's system parameters). The default model is
+//! transparent — pure `sent_at + latency` delivery, byte-identical to
+//! the historical engine — while a contended model serializes
+//! packetized messages through per-link capacity slots and applies a
+//! deterministic seeded drop-and-retransmit policy to classical
+//! payloads, all visible as per-link counters in
+//! [`SimReport::link_stats`]. See the link-model section of
+//! `docs/ARCHITECTURE.md` for the queue semantics.
+//!
 //! On top of the single-system engine, the [`sweep`] module provides
 //! the batch layer: [`SweepGrid`] expands cartesian parameter grids
 //! into scenario lists and [`SweepRunner`] executes them on a worker
@@ -82,8 +93,9 @@ pub mod telf;
 pub use backend::{
     FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
 };
-pub use config::{SimConfig, SimError, SimReport};
+pub use config::{LinkReport, SimConfig, SimError, SimReport};
 pub use engine::System;
+pub use hisq_net::{DropPolicy, LinkModel, RouterError};
 pub use nodes::{Hub, MeasBinding, QuantumAction};
 pub use spec::{BackendSpec, SystemSpec};
 pub use sweep::{Metric, MetricSummary, SweepGrid, SweepRecord, SweepReport, SweepRunner};

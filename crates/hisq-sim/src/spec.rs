@@ -41,7 +41,7 @@ use std::collections::BTreeMap;
 
 use hisq_core::{NodeAddr, NodeConfig};
 use hisq_isa::Inst;
-use hisq_net::{Router, Topology};
+use hisq_net::{LinkModel, Router, Topology};
 
 use crate::backend::{
     FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
@@ -120,6 +120,7 @@ pub struct SystemSpec {
     routers: Vec<Router>,
     hubs: Vec<(NodeAddr, Hub)>,
     topology: Option<Topology>,
+    link_model: LinkModel,
     bindings: Vec<(NodeAddr, u32, u32, QuantumAction)>,
     meas_ports: Vec<(NodeAddr, u32, MeasBinding)>,
 }
@@ -156,6 +157,7 @@ impl SystemSpec {
             spec.controller(config, program);
         }
         spec.topology = Some(topology.clone());
+        spec.link_model = topology.link_model();
         spec
     }
 
@@ -174,8 +176,24 @@ impl SystemSpec {
 
     /// Attaches the topology used for multi-hop latency derivation
     /// (pre-set by [`SystemSpec::from_topology`]).
+    ///
+    /// A contention model configured on the topology
+    /// ([`TopologyBuilder::link_model`](hisq_net::TopologyBuilder::link_model))
+    /// is adopted — call [`SystemSpec::link_model`] *after* this to
+    /// override it.
     pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        if topology.link_model() != LinkModel::default() {
+            self.link_model = topology.link_model();
+        }
         self.topology = Some(topology);
+        self
+    }
+
+    /// Replaces the contention model every directed link runs (default:
+    /// the transparent pure-latency model; pre-set from the topology's
+    /// model by [`SystemSpec::from_topology`]).
+    pub fn link_model(&mut self, model: LinkModel) -> &mut Self {
+        self.link_model = model;
         self
     }
 
@@ -324,22 +342,25 @@ impl SystemSpec {
 
         Ok(System::from_parts(
             self.config,
-            nodes,
-            addrs,
-            addr_to_id,
+            Arena {
+                addr_to_id,
+                addrs,
+                nodes,
+            },
             controller_ids,
             self.topology,
             self.backend.instantiate(),
+            self.link_model,
         ))
     }
 }
 
 /// The three parallel arrays [`SystemSpec::build`] populates while
-/// interning addresses.
-struct Arena {
-    addr_to_id: Vec<NodeId>,
-    addrs: Vec<hisq_core::NodeAddr>,
-    nodes: Vec<SimNode>,
+/// interning addresses (and hands to the engine whole).
+pub(crate) struct Arena {
+    pub(crate) addr_to_id: Vec<NodeId>,
+    pub(crate) addrs: Vec<hisq_core::NodeAddr>,
+    pub(crate) nodes: Vec<SimNode>,
 }
 
 impl Arena {

@@ -462,41 +462,48 @@ impl SweepRunner {
         S: Sync,
         F: Fn(usize, &S) -> SweepRecord + Sync,
     {
-        if self.threads == 1 || scenarios.len() <= 1 {
-            let records = scenarios
-                .iter()
-                .enumerate()
-                .map(|(i, s)| run(i, s))
-                .collect();
-            return SweepReport::from_records(records);
+        SweepReport::from_records(self.map(scenarios, run))
+    }
+
+    /// Executes `run` for every item and returns the results in input
+    /// order — the fallible-friendly core of [`SweepRunner::run`]
+    /// (map to `Result`s and fold afterwards; the first error in
+    /// *input* order is deterministic regardless of scheduling).
+    pub fn map<S, R, F>(&self, items: &[S], run: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(usize, &S) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, s)| run(i, s)).collect();
         }
 
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<SweepRecord>>> = {
-            let mut v = Vec::with_capacity(scenarios.len());
-            v.resize_with(scenarios.len(), || None);
+        let slots: Mutex<Vec<Option<R>>> = {
+            let mut v = Vec::with_capacity(items.len());
+            v.resize_with(items.len(), || None);
             Mutex::new(v)
         };
-        let workers = self.threads.min(scenarios.len());
+        let workers = self.threads.min(items.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= scenarios.len() {
+                    if index >= items.len() {
                         break;
                     }
-                    let record = run(index, &scenarios[index]);
-                    slots.lock().expect("result lock")[index] = Some(record);
+                    let result = run(index, &items[index]);
+                    slots.lock().expect("result lock")[index] = Some(result);
                 });
             }
         });
-        let records = slots
+        slots
             .into_inner()
             .expect("workers joined")
             .into_iter()
             .map(|slot| slot.expect("every index executed"))
-            .collect();
-        SweepReport::from_records(records)
+            .collect()
     }
 }
 

@@ -2,13 +2,14 @@
 //! public construction path ([`SystemSpec`]): synchronization
 //! alignment, feedback loops, deadlock reporting, the event budget,
 //! gate replay into quantum backends, exposure accounting, hub
-//! broadcast, and unknown-destination drops.
+//! broadcast, unknown-destination drops, and the structured fault
+//! paths (router invariant violations, routing warnings).
 
 use std::collections::BTreeMap;
 
 use hisq_core::{BlockReason, NodeAddr, NodeConfig};
 use hisq_isa::{Assembler, Inst};
-use hisq_net::TopologyBuilder;
+use hisq_net::{Router, RouterError, TopologyBuilder};
 use hisq_quantum::Gate;
 use hisq_sim::{
     FixedBackend, Hub, MeasBinding, QuantumAction, SimConfig, SimError, StabilizerBackend,
@@ -315,4 +316,85 @@ fn message_to_unknown_address_deadlocks_the_receiver_only() {
         report.blocked,
         vec![(1, BlockReason::AwaitMessage { source: 0 })]
     );
+}
+
+#[test]
+fn mis_rooted_topology_surfaces_a_router_fault() {
+    // The linear(4)/arity-2 tree needs leaf routers 4 and 5 under root
+    // 6, but the deployment declares router 4 parentless: the first
+    // completed booking that must climb towards the root surfaces as a
+    // structured SimError instead of a panic.
+    let topo = TopologyBuilder::linear(4)
+        .router_arity(2)
+        .neighbor_latency(5)
+        .router_latency(10)
+        .build();
+    let root = topo.root_router().unwrap();
+    let mut spec = SystemSpec::new();
+    spec.topology(topo.clone());
+    spec.router(Router::new(4, None, vec![0, 1])); // should be Some(6)
+    spec.router(Router::new(5, Some(root), vec![2, 3]));
+    spec.router(Router::new(root, None, vec![4, 5]));
+    for addr in 0..4u16 {
+        let src = format!("li t0, 30\nwaiti 10\nsync {root}, t0\nwaiti 30\ncw.i.i 0, 1\nstop");
+        spec.controller(topo.node_config(addr), asm(&src));
+    }
+    let mut system = spec.build().unwrap();
+    assert_eq!(
+        system.run(),
+        Err(SimError::Router(RouterError::MissingParent {
+            router: 4,
+            target: root
+        }))
+    );
+}
+
+#[test]
+fn booking_from_a_non_child_surfaces_a_router_fault() {
+    // Controller 2 carries a calibrated link to router 10 and books a
+    // region sync with it, but the router only parents 0 and 1.
+    let mut spec = SystemSpec::new();
+    spec.router(Router::new(10, None, vec![0, 1]));
+    spec.controller(
+        NodeConfig::new(2).with_router(10, 8),
+        asm("li t0, 20\nsync 10, t0\nwaiti 20\ncw.i.i 0, 1\nstop"),
+    );
+    let mut system = spec.build().unwrap();
+    assert_eq!(
+        system.run(),
+        Err(SimError::Router(RouterError::NonChildBooking {
+            router: 10,
+            from: 2
+        }))
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "wiring bug"))]
+fn unknown_destination_with_topology_is_a_counted_warning() {
+    // With a topology attached, a send to an address the topology
+    // cannot derive a latency for is a wiring bug: debug builds assert,
+    // release builds fall back to the default latency but count the
+    // warning in the report.
+    let topo = TopologyBuilder::linear(2).build();
+    let mut programs = BTreeMap::new();
+    programs.insert(0u16, asm("li t0, 1\nsend 50, t0\nstop"));
+    programs.insert(1u16, asm("stop"));
+    let mut system = SystemSpec::from_topology(&topo, programs).build().unwrap();
+    let report = system.run().unwrap();
+    assert_eq!(report.routing_warnings, 1);
+    assert!(report.all_halted, "the dropped send does not block anyone");
+}
+
+#[test]
+fn starless_classical_default_latency_stays_warning_free() {
+    // Without a topology (the lock-step star), the default classical
+    // latency is the intended uplink model — no warning.
+    let mut spec = SystemSpec::new();
+    spec.controller(NodeConfig::new(0), asm("li t0, 1\nsend 1, t0\nstop"));
+    spec.controller(NodeConfig::new(1), asm("recv t0, 0\nstop"));
+    let mut system = spec.build().unwrap();
+    let report = system.run().unwrap();
+    assert!(report.all_halted);
+    assert_eq!(report.routing_warnings, 0);
 }

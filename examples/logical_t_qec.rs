@@ -4,39 +4,41 @@
 //!
 //! Run with: `cargo run --release --example logical_t_qec`
 
+use std::error::Error;
+
 use distributed_hisq::compiler::{compile_bisp, compile_lockstep, BispOptions, LockstepOptions};
 use distributed_hisq::net::TopologyBuilder;
 use distributed_hisq::runner::build_system;
 use distributed_hisq::sim::RandomBackend;
 use distributed_hisq::workloads::{logical_t, LogicalTConfig};
 
-fn run(units: usize) -> (u64, u64) {
+fn run(units: usize) -> Result<(u64, u64), Box<dyn Error>> {
     let instance = logical_t(&LogicalTConfig::distance(3).with_parallel_units(units));
     let topology = TopologyBuilder::grid(instance.width, instance.height).build();
 
-    let bisp = compile_bisp(&instance.circuit, &topology, &BispOptions::default()).unwrap();
-    let mut system = build_system(&bisp, Some(&topology)).unwrap();
+    let bisp = compile_bisp(&instance.circuit, &topology, &BispOptions::default())?;
+    let mut system = build_system(&bisp, Some(&topology))?;
     system.set_backend(RandomBackend::new(9, 0.5));
-    let bisp_report = system.run().unwrap();
+    let bisp_report = system.run()?;
     assert!(bisp_report.all_halted);
 
-    let lockstep = compile_lockstep(&instance.circuit, &LockstepOptions::default()).unwrap();
-    let mut baseline = build_system(&lockstep, None).unwrap();
+    let lockstep = compile_lockstep(&instance.circuit, &LockstepOptions::default())?;
+    let mut baseline = build_system(&lockstep, None)?;
     baseline.set_backend(RandomBackend::new(9, 0.5));
-    let base_report = baseline.run().unwrap();
+    let base_report = baseline.run()?;
     assert!(base_report.all_halted);
 
-    (bisp_report.makespan_ns, base_report.makespan_ns)
+    Ok((bisp_report.makespan_ns, base_report.makespan_ns))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     println!("Lattice-surgery logical T (distance 3): syndrome rounds, merged");
     println!("ZZ measurement, modelled decoder latency, conditional logical S.\n");
 
-    let (bisp1, base1) = run(1);
+    let (bisp1, base1) = run(1)?;
     println!("1 logical T:  Distributed-HISQ {bisp1:>7} ns | baseline {base1:>7} ns");
 
-    let (bisp2, base2) = run(2);
+    let (bisp2, base2) = run(2)?;
     println!("2 parallel T: Distributed-HISQ {bisp2:>7} ns | baseline {base2:>7} ns");
 
     println!();
@@ -54,4 +56,5 @@ fn main() {
         bisp2.saturating_sub(bisp1) < base2.saturating_sub(base1),
         "simultaneous feedback must be cheaper under BISP"
     );
+    Ok(())
 }

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --example long_range_cnot`
 
+use std::error::Error;
+
 use distributed_hisq::compiler::{
     compile_bisp, compile_lockstep, map_to_physical, BispOptions, LockstepOptions, LongRangeConfig,
 };
@@ -13,7 +15,7 @@ use distributed_hisq::quantum::Circuit;
 use distributed_hisq::runner::build_system;
 use distributed_hisq::sim::StabilizerBackend;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // Logical circuit: CNOT between qubits five sites apart, control
     // prepared in |1> so the target must flip.
     let mut logical = Circuit::new(6, 2);
@@ -24,7 +26,7 @@ fn main() {
 
     // Rewrite onto the interleaved data/ancilla layout with the dynamic
     // gate-teleportation gadget.
-    let physical = map_to_physical(&logical, &LongRangeConfig::default()).expect("maps");
+    let physical = map_to_physical(&logical, &LongRangeConfig::default())?;
     println!(
         "logical 6 qubits -> physical {} qubits; {} dynamic substitution(s), {} feedback op(s)",
         physical.circuit.num_qubits(),
@@ -35,11 +37,10 @@ fn main() {
     let topology = TopologyBuilder::linear(physical.circuit.num_qubits()).build();
 
     // --- Distributed-HISQ (BISP) --------------------------------------
-    let bisp =
-        compile_bisp(&physical.circuit, &topology, &BispOptions::default()).expect("compiles");
-    let mut system = build_system(&bisp, Some(&topology)).expect("builds");
+    let bisp = compile_bisp(&physical.circuit, &topology, &BispOptions::default())?;
+    let mut system = build_system(&bisp, Some(&topology))?;
     system.set_backend(StabilizerBackend::new(physical.circuit.num_qubits(), 42));
-    let report = system.run().expect("runs");
+    let report = system.run()?;
     assert!(report.all_halted);
 
     let t0 = distributed_hisq::isa::Reg::parse("t0").unwrap();
@@ -57,11 +58,10 @@ fn main() {
     assert_eq!(target_bit, 1, "CNOT from |1> must flip the target");
 
     // --- Lock-step baseline --------------------------------------------
-    let lockstep =
-        compile_lockstep(&physical.circuit, &LockstepOptions::default()).expect("compiles");
-    let mut baseline = build_system(&lockstep, None).expect("builds");
+    let lockstep = compile_lockstep(&physical.circuit, &LockstepOptions::default())?;
+    let mut baseline = build_system(&lockstep, None)?;
     baseline.set_backend(StabilizerBackend::new(physical.circuit.num_qubits(), 42));
-    let base_report = baseline.run().expect("runs");
+    let base_report = baseline.run()?;
     assert!(base_report.all_halted);
     println!(
         "baseline: runtime {} ns ({}x Distributed-HISQ)",
@@ -72,4 +72,5 @@ fn main() {
     // Peek at one generated controller program.
     println!("\ngenerated HISQ program for the control qubit's controller:");
     println!("{}", bisp.sources[&0]);
+    Ok(())
 }

@@ -36,10 +36,13 @@
 //!     .axis([1u64, 2], |s, &seed| s.seed = seed)
 //!     .into_points();
 //!
-//! let report = run_sweep(&scenarios, 2);
+//! let report = run_sweep(&scenarios, 2).unwrap();
 //! assert_eq!(report.records().len(), 4);
 //! assert_eq!(report.summary()["all_halted"].sum, 4.0, "every run halts");
 //! ```
+
+use std::error::Error;
+use std::fmt;
 
 use hisq_compiler::{
     compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
@@ -47,13 +50,124 @@ use hisq_compiler::{
 };
 use hisq_core::NodeConfig;
 use hisq_isa::CYCLE_NS;
-use hisq_net::{Topology, TopologyBuilder};
+use hisq_net::{LinkModel, Topology, TopologyBuilder};
 use hisq_quantum::{CoherenceParams, ExposureLedger};
 use hisq_sim::{
     BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
     SweepRunner, System, SystemSpec,
 };
 use hisq_workloads::WorkloadSpec;
+
+/// The measured outcome of one executed scenario (a flat metric bag
+/// keyed by the scenario's stable id — see [`run_scenario`] for the
+/// metric names).
+pub type ScenarioReport = SweepRecord;
+
+/// A failure anywhere along the facade pipeline — describing, building,
+/// compiling, or simulating a scenario. Every variant is a
+/// malformed-but-constructible input (an unknown workload name, a
+/// program map colliding with infrastructure addresses, a mis-rooted
+/// tree): the facade reports them structurally instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The scenario named a workload the suite does not know.
+    UnknownWorkload {
+        /// Scenario id (for sweep-level attribution).
+        id: String,
+    },
+    /// Compilation of the workload's circuit failed.
+    Compile {
+        /// Scenario id.
+        id: String,
+        /// Compiler diagnostic.
+        message: String,
+    },
+    /// A BISP system was described without its compilation topology.
+    MissingTopology {
+        /// Scenario id, or `""` outside a scenario context.
+        id: String,
+    },
+    /// A lock-step system was described from a compile result that
+    /// carries no hub specification.
+    MissingHub {
+        /// Scenario id, or `""` outside a scenario context.
+        id: String,
+    },
+    /// Building or running the simulator failed (the scenario id is
+    /// empty when the error came from the lower-level
+    /// [`build_system`]/[`run_compiled`] entry points).
+    Sim {
+        /// Scenario id, or `""` outside a scenario context.
+        id: String,
+        /// The simulator error.
+        source: SimError,
+    },
+}
+
+impl RunnerError {
+    fn sim(source: SimError) -> RunnerError {
+        RunnerError::Sim {
+            id: String::new(),
+            source,
+        }
+    }
+
+    fn with_id(self, id: &str) -> RunnerError {
+        match self {
+            RunnerError::Sim { source, .. } => RunnerError::Sim {
+                id: id.to_string(),
+                source,
+            },
+            RunnerError::MissingTopology { .. } => {
+                RunnerError::MissingTopology { id: id.to_string() }
+            }
+            RunnerError::MissingHub { .. } => RunnerError::MissingHub { id: id.to_string() },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::UnknownWorkload { id } => write!(f, "{id}: unknown workload"),
+            RunnerError::Compile { id, message } => write!(f, "{id}: compile failed: {message}"),
+            RunnerError::MissingTopology { id } => {
+                let prefix = if id.is_empty() {
+                    String::new()
+                } else {
+                    format!("{id}: ")
+                };
+                write!(f, "{prefix}BISP systems need their compilation topology")
+            }
+            RunnerError::MissingHub { id } => {
+                let prefix = if id.is_empty() {
+                    String::new()
+                } else {
+                    format!("{id}: ")
+                };
+                write!(f, "{prefix}lock-step systems carry a hub spec")
+            }
+            RunnerError::Sim { id, source } if id.is_empty() => write!(f, "{source}"),
+            RunnerError::Sim { id, source } => write!(f, "{id}: {source}"),
+        }
+    }
+}
+
+impl Error for RunnerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunnerError::Sim { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunnerError {
+    fn from(source: SimError) -> RunnerError {
+        RunnerError::sim(source)
+    }
+}
 
 /// Describes a compiled program as a declarative [`SystemSpec`].
 ///
@@ -62,13 +176,18 @@ use hisq_workloads::WorkloadSpec;
 /// tree are described from it). For [`Scheme::Lockstep`] a star
 /// system is described: bare controllers plus the broadcast hub.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a BISP program is described without its topology.
-pub fn system_spec(compiled: &CompiledSystem, topology: Option<&Topology>) -> SystemSpec {
+/// Returns [`RunnerError::MissingTopology`] if a BISP program is
+/// described without its topology, or [`RunnerError::MissingHub`] if a
+/// lock-step compile result carries no hub.
+pub fn system_spec(
+    compiled: &CompiledSystem,
+    topology: Option<&Topology>,
+) -> Result<SystemSpec, RunnerError> {
     let mut spec = match compiled.scheme {
         Scheme::Bisp => {
-            let topology = topology.expect("BISP systems need their compilation topology");
+            let topology = topology.ok_or(RunnerError::MissingTopology { id: String::new() })?;
             let programs = compiled
                 .programs
                 .iter()
@@ -77,7 +196,9 @@ pub fn system_spec(compiled: &CompiledSystem, topology: Option<&Topology>) -> Sy
             SystemSpec::from_topology(topology, programs)
         }
         Scheme::Lockstep => {
-            let hub = compiled.hub.expect("lock-step systems carry a hub spec");
+            let hub = compiled
+                .hub
+                .ok_or(RunnerError::MissingHub { id: String::new() })?;
             let config = hisq_sim::SimConfig {
                 default_classical_latency: hub.up_latency,
                 ..hisq_sim::SimConfig::default()
@@ -105,7 +226,7 @@ pub fn system_spec(compiled: &CompiledSystem, topology: Option<&Topology>) -> Sy
         &compiled.bindings,
         compiled.durations.measurement,
     );
-    spec
+    Ok(spec)
 }
 
 /// Builds a ready-to-run [`System`] from a compiled program — the
@@ -113,16 +234,15 @@ pub fn system_spec(compiled: &CompiledSystem, topology: Option<&Topology>) -> Sy
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if node addresses collide (a compiler bug).
-///
-/// # Panics
-///
-/// Panics if a BISP program is built without its topology.
+/// Returns [`RunnerError`] if the description is incomplete (missing
+/// topology/hub) or node addresses collide (a compiler bug).
 pub fn build_system(
     compiled: &CompiledSystem,
     topology: Option<&Topology>,
-) -> Result<System, SimError> {
-    system_spec(compiled, topology).build()
+) -> Result<System, RunnerError> {
+    system_spec(compiled, topology)?
+        .build()
+        .map_err(RunnerError::sim)
 }
 
 /// Installs codeword bindings into a system description.
@@ -180,16 +300,16 @@ pub struct RunMetrics {
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from system construction or the run.
+/// Propagates [`RunnerError`] from system construction or the run.
 pub fn run_compiled(
     compiled: &CompiledSystem,
     topology: Option<&Topology>,
     backend: impl QuantumBackend + 'static,
     coherence: CoherenceParams,
-) -> Result<RunMetrics, SimError> {
+) -> Result<RunMetrics, RunnerError> {
     let mut system = build_system(compiled, topology)?;
     system.set_backend(backend);
-    let report = system.run()?;
+    let report = system.run().map_err(RunnerError::sim)?;
     let runtime_ns = report.makespan_cycles * CYCLE_NS;
     let infidelity = system.exposure().infidelity(coherence);
     Ok(RunMetrics {
@@ -214,11 +334,17 @@ pub struct SystemParams {
     pub star_up_latency: u64,
     /// Baseline hub → controller broadcast latency (cycles).
     pub star_down_latency: u64,
+    /// Contention model every classical link runs — a first-class
+    /// sweep axis (default: transparent pure-latency links). Applies to
+    /// both schemes: mesh/tree links under BISP, the star's up/down
+    /// legs under lock-step.
+    pub link_model: LinkModel,
 }
 
 impl Default for SystemParams {
     /// The paper's Figure 15 defaults: 5-cycle mesh edges, 10-cycle
-    /// tree edges, arity 4, 100 ns (25-cycle) star legs.
+    /// tree edges, arity 4, 100 ns (25-cycle) star legs, transparent
+    /// links.
     fn default() -> SystemParams {
         SystemParams {
             neighbor_latency: 5,
@@ -226,6 +352,7 @@ impl Default for SystemParams {
             router_arity: 4,
             star_up_latency: 25,
             star_down_latency: 25,
+            link_model: LinkModel::default(),
         }
     }
 }
@@ -282,18 +409,39 @@ impl Scenario {
 
     /// Stable identifier used as the sweep-record id (and for pairing
     /// scheme twins in the figure harnesses).
+    ///
+    /// Default-link-model ids are unchanged from their historical form;
+    /// a contended model appends a
+    /// `/serN.cK[.lossPPM.sSEED.aATTEMPTS]` segment covering every
+    /// [`LinkModel`] field, so grid points along *any* link-model axis
+    /// (serialization, capacity, loss rate, drop seed, attempt budget)
+    /// stay unique.
     pub fn id(&self) -> String {
         let scheme = match self.scheme {
             Scheme::Bisp => "bisp",
             Scheme::Lockstep => "lockstep",
         };
-        format!(
+        let mut id = format!(
             "{}/{}/seed{}/t{}",
             self.workload.label(),
             scheme,
             self.seed,
             self.t1_us
-        )
+        );
+        let model = self.params.link_model;
+        if model != LinkModel::default() {
+            id.push_str(&format!(
+                "/ser{}.c{}",
+                model.serialization_ns, model.capacity
+            ));
+            if let Some(drop) = model.drop {
+                id.push_str(&format!(
+                    ".loss{}.s{}.a{}",
+                    drop.loss_ppm, drop.seed, drop.max_attempts
+                ));
+            }
+        }
+        id
     }
 }
 
@@ -303,29 +451,38 @@ impl Scenario {
 /// The record carries: `makespan_cycles` / `makespan_ns` (end-to-end
 /// runtime), `instructions`, `syncs`, `stall_cycles` (synchronization
 /// overhead), `messages` (engine events processed), `infidelity` at the
-/// scenario's coherence time, and the `all_halted` flag.
+/// scenario's coherence time, and the `all_halted` flag. Under a
+/// contended link model the record additionally carries
+/// `link_messages`, `link_retransmits`, `link_dropped`, and
+/// `link_peak_occupancy`; a nonzero routing-warning count surfaces as
+/// `routing_warnings` (default-model records stay byte-identical to
+/// their historical form).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload name is unknown, compilation fails, or node
-/// addresses collide — all programmer errors in the scenario
-/// description, reported with the scenario id for context.
-pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
+/// Returns [`RunnerError`] if the workload name is unknown,
+/// compilation fails, node addresses collide, or the simulation faults
+/// — all reported with the scenario id for context.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
     let built = scenario
         .workload
         .build()
-        .unwrap_or_else(|| panic!("{id}: unknown workload"));
+        .ok_or_else(|| RunnerError::UnknownWorkload { id: id.clone() })?;
     let p = scenario.params;
     let topology = TopologyBuilder::grid(built.grid.0, built.grid.1)
         .neighbor_latency(p.neighbor_latency)
         .router_latency(p.router_latency)
         .router_arity(p.router_arity)
+        .link_model(p.link_model)
         .build();
     let (compiled, topology) = match scenario.scheme {
         Scheme::Bisp => {
             let compiled = compile_bisp(&built.circuit, &topology, &BispOptions::default())
-                .unwrap_or_else(|e| panic!("{id}: BISP compile failed: {e}"));
+                .map_err(|e| RunnerError::Compile {
+                    id: id.clone(),
+                    message: format!("BISP: {e}"),
+                })?;
             (compiled, Some(&topology))
         }
         Scheme::Lockstep => {
@@ -334,22 +491,23 @@ pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
                 star_down_latency: p.star_down_latency,
                 ..LockstepOptions::default()
             };
-            let compiled = compile_lockstep(&built.circuit, &options)
-                .unwrap_or_else(|e| panic!("{id}: lock-step compile failed: {e}"));
+            let compiled =
+                compile_lockstep(&built.circuit, &options).map_err(|e| RunnerError::Compile {
+                    id: id.clone(),
+                    message: format!("lock-step: {e}"),
+                })?;
             (compiled, None)
         }
     };
-    let mut spec = system_spec(&compiled, topology);
+    let mut spec = system_spec(&compiled, topology).map_err(|e| e.with_id(&id))?;
     spec.backend(BackendSpec::Random {
         seed: scenario.seed,
         p_one: 0.5,
     });
-    let mut system = spec
-        .build()
-        .unwrap_or_else(|e| panic!("{id}: build failed: {e}"));
-    let report = system
-        .run()
-        .unwrap_or_else(|e| panic!("{id}: run failed: {e}"));
+    // The lock-step star has no topology to inherit the model from.
+    spec.link_model(p.link_model);
+    let mut system = spec.build().map_err(|e| RunnerError::sim(e).with_id(&id))?;
+    let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
 
     let coherence = CoherenceParams::uniform(scenario.t1_us);
     let infidelity = if built.data_sites.is_empty() {
@@ -364,7 +522,7 @@ pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
         ledger.infidelity(coherence)
     };
 
-    SweepRecord::new(id)
+    let mut record = SweepRecord::new(id)
         .with("makespan_cycles", report.makespan_cycles)
         .with("makespan_ns", report.makespan_ns)
         .with("instructions", report.total_instructions)
@@ -372,7 +530,21 @@ pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
         .with("stall_cycles", report.total_stall_cycles)
         .with("messages", report.events_processed)
         .with("infidelity", infidelity)
-        .with("all_halted", report.all_halted)
+        .with("all_halted", report.all_halted);
+    if p.link_model != LinkModel::default() {
+        let messages: u64 = report.link_stats.iter().map(|l| l.messages).sum();
+        record.set("link_messages", messages);
+        record.set("link_retransmits", report.total_retransmits());
+        record.set("link_dropped", report.total_dropped());
+        record.set(
+            "link_peak_occupancy",
+            u64::from(report.peak_link_occupancy()),
+        );
+    }
+    if report.routing_warnings > 0 {
+        record.set("routing_warnings", report.routing_warnings);
+    }
+    Ok(record)
 }
 
 /// Runs a batch of scenarios on `threads` workers and aggregates their
@@ -381,6 +553,13 @@ pub fn run_scenario(scenario: &Scenario) -> SweepRecord {
 /// The output is byte-identical for any thread count: records land at
 /// their scenario's index and statistics fold in that order. See the
 /// module docs for an end-to-end example.
-pub fn run_sweep(scenarios: &[Scenario], threads: usize) -> SweepReport {
-    SweepRunner::new(threads).run(scenarios, |_, scenario| run_scenario(scenario))
+///
+/// # Errors
+///
+/// Returns the first failing scenario's [`RunnerError`], in *scenario*
+/// order (deterministic regardless of worker scheduling).
+pub fn run_sweep(scenarios: &[Scenario], threads: usize) -> Result<SweepReport, RunnerError> {
+    let results = SweepRunner::new(threads).map(scenarios, |_, scenario| run_scenario(scenario));
+    let records = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SweepReport::from_records(records))
 }

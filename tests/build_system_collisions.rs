@@ -1,4 +1,4 @@
-//! Smoke tests for the documented [`SimError`] path of
+//! Smoke tests for the documented [`RunnerError`] path of
 //! `runner::build_system`: a compiled system whose program map collides
 //! with an infrastructure address (router for BISP, broadcast hub for
 //! lock-step) must be rejected, not silently mis-wired — such a
@@ -8,7 +8,7 @@ use distributed_hisq::compiler::{
     compile_bisp, compile_lockstep, BispOptions, LockstepOptions, Scheme,
 };
 use distributed_hisq::quantum::Circuit;
-use distributed_hisq::runner::build_system;
+use distributed_hisq::runner::{build_system, RunnerError};
 use distributed_hisq::sim::SimError;
 use hisq_net::TopologyBuilder;
 
@@ -36,7 +36,13 @@ fn bisp_rejects_program_at_router_address() {
     compiled.programs.insert(router, stray);
 
     let err = build_system(&compiled, Some(&topo)).unwrap_err();
-    assert_eq!(err, SimError::DuplicateAddr(router));
+    assert_eq!(
+        err,
+        RunnerError::Sim {
+            id: String::new(),
+            source: SimError::DuplicateAddr(router)
+        }
+    );
 }
 
 #[test]
@@ -49,7 +55,13 @@ fn lockstep_rejects_program_at_hub_address() {
     compiled.programs.insert(hub.addr, stray);
 
     let err = build_system(&compiled, None).unwrap_err();
-    assert_eq!(err, SimError::DuplicateAddr(hub.addr));
+    assert_eq!(
+        err,
+        RunnerError::Sim {
+            id: String::new(),
+            source: SimError::DuplicateAddr(hub.addr)
+        }
+    );
 }
 
 #[test]

@@ -1,7 +1,10 @@
-//! CI determinism guard for the parallel sweep engine: a multi-threaded
-//! sweep must produce byte-identical aggregate JSON to the
-//! single-threaded run with the same seeds, regardless of how the
-//! worker pool interleaves scenarios.
+//! CI determinism guards for the parallel sweep engine: a
+//! multi-threaded sweep must produce byte-identical aggregate JSON to
+//! the single-threaded run with the same seeds, regardless of how the
+//! worker pool interleaves scenarios; with the default (transparent)
+//! link model the figure JSON is additionally pinned byte-for-byte to
+//! the pre-link-model engine's output; and the contention sweep itself
+//! is deterministic and shows the hub saturating faster than BISP.
 
 use distributed_hisq::compiler::Scheme;
 use distributed_hisq::runner::{run_sweep, Scenario};
@@ -31,8 +34,8 @@ fn multi_threaded_sweep_json_is_byte_identical_to_single_threaded() {
         scenarios.len()
     );
 
-    let single = run_sweep(&scenarios, 1).to_json();
-    let report = run_sweep(&scenarios, 4);
+    let single = run_sweep(&scenarios, 1).expect("grid runs").to_json();
+    let report = run_sweep(&scenarios, 4).expect("grid runs");
     assert_eq!(
         single,
         report.to_json(),
@@ -53,7 +56,7 @@ fn multi_threaded_sweep_json_is_byte_identical_to_single_threaded() {
 #[test]
 fn scenario_ids_are_unique_and_stable() {
     let scenarios = scenario_grid();
-    let report = run_sweep(&scenarios, 2);
+    let report = run_sweep(&scenarios, 2).expect("grid runs");
     let mut ids: Vec<&str> = report.records().iter().map(|r| r.id.as_str()).collect();
     // Records arrive in scenario order and ids match the descriptors.
     for (scenario, record) in scenarios.iter().zip(report.records()) {
@@ -62,4 +65,39 @@ fn scenario_ids_are_unique_and_stable() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), scenarios.len(), "scenario ids must be unique");
+}
+
+/// FNV-1a 64 over the report bytes (dependency-free byte pin).
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// With `LinkModel::default()` the engine must reproduce the
+/// pre-link-model (PR-3) figure JSON byte-for-byte. The pinned hash is
+/// the FNV-1a of `fig15 --quick --threads 2 --json` captured on the
+/// PR-3 engine; the fig15 quick grid (the full quick suite under both
+/// schemes at seed 15) exercises mesh, tree, and star sends end to end.
+#[test]
+fn default_link_model_reproduces_pr3_fig15_json_byte_for_byte() {
+    let scenarios =
+        SweepGrid::new(Scenario::new(WorkloadSpec::suite(""), Scheme::Bisp).with_seed(15))
+            .axis(WorkloadSpec::suite_specs(SuiteScale::Quick), |s, w| {
+                s.workload = w.clone()
+            })
+            .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| {
+                s.scheme = scheme
+            })
+            .into_points();
+    let json = run_sweep(&scenarios, 2).expect("grid runs").to_json();
+    assert_eq!(json.len(), 3303, "fig15 quick JSON length drifted");
+    assert_eq!(
+        fnv1a64(json.as_bytes()),
+        0x4949_f6c3_c624_03d5,
+        "fig15 quick JSON bytes drifted from the PR-3 baseline"
+    );
 }

@@ -20,7 +20,7 @@
 //! fan their grids out over the `hisq_sim::sweep` worker pool.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod figures;

@@ -112,6 +112,14 @@ impl ExposureLedger {
         self.spans.get(&qubit).map_or(0, |(s, e)| e - s)
     }
 
+    /// Iterates `(qubit, exposure_ns)` pairs in ascending qubit order —
+    /// the duration source both fidelity regimes score from (idle decay
+    /// here, per-nanosecond idle error in
+    /// [`NoiseModel`](crate::NoiseModel)).
+    pub fn exposures_ns(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.spans.iter().map(|(&q, &(s, e))| (q, e - s))
+    }
+
     /// Number of qubits with recorded activity.
     pub fn qubit_count(&self) -> usize {
         self.spans.len()

@@ -12,6 +12,9 @@
 //! - [`Stabilizer`] — a CHP-style tableau simulator scaling to the
 //!   QEC-sized Clifford circuits of the paper's benchmarks;
 //! - [`fidelity`] — the T1/T2 idle-decay model behind Figure 16;
+//! - [`noise`] — declarative per-gate/idle/leakage error rates
+//!   ([`NoiseModel`]) and the seeded [`NoiseStream`] the noisy
+//!   simulator backends sample channels from;
 //! - [`GateDurations`] — the operation-duration table of §6.4.1
 //!   (20 ns single-qubit, 40 ns two-qubit, 300 ns measurement).
 //!
@@ -36,6 +39,7 @@ pub mod circuit;
 pub mod complex;
 pub mod fidelity;
 pub mod gate;
+pub mod noise;
 pub mod stabilizer;
 pub mod statevector;
 pub mod timing;
@@ -44,6 +48,7 @@ pub use circuit::{Circuit, CircuitError, Condition, Instruction, Operation};
 pub use complex::C64;
 pub use fidelity::{CoherenceParams, ExposureLedger};
 pub use gate::Gate;
+pub use noise::{NoiseModel, NoiseStream, OpCounts};
 pub use stabilizer::Stabilizer;
 pub use statevector::StateVector;
 pub use timing::GateDurations;

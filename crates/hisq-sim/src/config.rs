@@ -6,7 +6,7 @@ use std::fmt;
 
 use hisq_core::{BlockReason, NodeAddr};
 use hisq_net::RouterError;
-use hisq_quantum::GateDurations;
+use hisq_quantum::{GateDurations, OpCounts};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +135,10 @@ pub struct SimReport {
     pub total_instructions: u64,
     /// Total `sync` instructions retired.
     pub total_syncs: u64,
+    /// Committed quantum operations (1q/2q gates, measurements,
+    /// resets) — the denominators of the analytic gate-error scoring
+    /// ([`hisq_quantum::NoiseModel::infidelity`]).
+    pub quantum_ops: OpCounts,
     /// Per-link contention statistics, ordered by `(from, to)` address
     /// pair. Empty when every link ran the transparent default model.
     pub link_stats: Vec<LinkReport>,

@@ -17,7 +17,7 @@ use std::fmt;
 use hisq_core::{BlockReason, NodeAddr, Status, MEAS_FIFO_ADDR};
 use hisq_isa::CYCLE_NS;
 use hisq_net::{LinkModel, Payload, RouterAction, Topology};
-use hisq_quantum::ExposureLedger;
+use hisq_quantum::{ExposureLedger, OpCounts};
 
 use crate::backend::QuantumBackend;
 use crate::config::{LinkReport, SimConfig, SimError, SimReport};
@@ -57,6 +57,9 @@ pub struct System {
     causality_warnings: u64,
     routing_warnings: u64,
     exposure: ExposureLedger,
+    /// Committed quantum operations, counted where exposure is recorded
+    /// (the denominators of the analytic gate-error scoring).
+    quantum_ops: OpCounts,
     events_processed: u64,
 }
 
@@ -99,6 +102,7 @@ impl System {
             causality_warnings: 0,
             routing_warnings: 0,
             exposure: ExposureLedger::new(),
+            quantum_ops: OpCounts::default(),
             events_processed: 0,
         }
     }
@@ -146,6 +150,12 @@ impl System {
     /// model).
     pub fn exposure(&self) -> &ExposureLedger {
         &self.exposure
+    }
+
+    /// Committed quantum-operation counts (drives the gate-error
+    /// scoring of [`hisq_quantum::NoiseModel`]).
+    pub fn quantum_ops(&self) -> OpCounts {
+        self.quantum_ops
     }
 
     /// Read-only access to the quantum backend.
@@ -412,6 +422,11 @@ impl System {
                                 commit.cycle * CYCLE_NS + duration,
                             );
                         }
+                        if gate.arity() == 1 {
+                            self.quantum_ops.gates_1q += 1;
+                        } else {
+                            self.quantum_ops.gates_2q += 1;
+                        }
                         self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
                     }
                     QuantumAction::Measure { qubit } => {
@@ -425,6 +440,7 @@ impl System {
                             commit.cycle * CYCLE_NS,
                             commit.cycle * CYCLE_NS + duration,
                         );
+                        self.quantum_ops.resets += 1;
                         self.replay(commit.cycle, ReplayAction::Reset(qubit));
                     }
                 }
@@ -470,6 +486,7 @@ impl System {
             trigger_cycle * CYCLE_NS,
             (trigger_cycle + result_latency) * CYCLE_NS,
         );
+        self.quantum_ops.measurements += 1;
         self.push_event(
             trigger_cycle + result_latency,
             EventKind::MeasResolve {
@@ -733,6 +750,7 @@ impl System {
             total_stall_cycles: total_stall,
             total_instructions,
             total_syncs,
+            quantum_ops: self.quantum_ops,
             link_stats,
         }
     }

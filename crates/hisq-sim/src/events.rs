@@ -6,6 +6,7 @@
 
 use hisq_core::NodeAddr;
 use hisq_net::Payload;
+use hisq_quantum::noise::splitmix64;
 use hisq_quantum::Gate;
 
 use crate::nodes::NodeId;
@@ -171,12 +172,4 @@ impl LinkQueue {
             ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         splitmix64(key) % 1_000_000 < u64::from(loss_ppm)
     }
-}
-
-/// SplitMix64 finalizer: a well-mixed 64-bit hash for the loss stream.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }

@@ -36,6 +36,18 @@
 //! [`SimReport::link_stats`]. See the link-model section of
 //! `docs/ARCHITECTURE.md` for the queue semantics.
 //!
+//! The quantum substrate can be noisy too: the backend choice is
+//! declarative ([`BackendSpec`]), and the noise-aware variants —
+//! [`NoisyStabilizerBackend`] (sampled Pauli channels + readout
+//! flips) and [`LeakyRandomBackend`] (sticky leakage) — take a
+//! [`NoiseModel`] of per-operation error rates. The engine counts
+//! committed quantum operations ([`SimReport::quantum_ops`]) next to
+//! its exposure ledger, so schedules can be scored analytically in the
+//! gate-error-dominated regime
+//! ([`NoiseModel::infidelity`]) as well as under pure
+//! decoherence. See the noise-models section of
+//! `docs/ARCHITECTURE.md` for the seeding/determinism contract.
+//!
 //! On top of the single-system engine, the [`sweep`] module provides
 //! the batch layer: [`SweepGrid`] expands cartesian parameter grids
 //! into scenario lists and [`SweepRunner`] executes them on a worker
@@ -91,11 +103,13 @@ pub mod sweep;
 pub mod telf;
 
 pub use backend::{
-    FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
+    FixedBackend, LeakyRandomBackend, NoisyStabilizerBackend, QuantumBackend, RandomBackend,
+    StabilizerBackend, StateVectorBackend,
 };
 pub use config::{LinkReport, SimConfig, SimError, SimReport};
 pub use engine::System;
 pub use hisq_net::{DropPolicy, LinkModel, RouterError};
+pub use hisq_quantum::{NoiseModel, OpCounts};
 pub use nodes::{Hub, MeasBinding, QuantumAction};
 pub use spec::{BackendSpec, SystemSpec};
 pub use sweep::{Metric, MetricSummary, SweepGrid, SweepRecord, SweepReport, SweepRunner};

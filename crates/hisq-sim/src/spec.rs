@@ -44,7 +44,8 @@ use hisq_isa::Inst;
 use hisq_net::{LinkModel, Router, Topology};
 
 use crate::backend::{
-    FixedBackend, QuantumBackend, RandomBackend, StabilizerBackend, StateVectorBackend,
+    FixedBackend, LeakyRandomBackend, NoisyStabilizerBackend, QuantumBackend, RandomBackend,
+    StabilizerBackend, StateVectorBackend,
 };
 use crate::config::{SimConfig, SimError};
 use crate::engine::System;
@@ -82,6 +83,34 @@ pub enum BackendSpec {
         /// RNG seed for outcome sampling.
         seed: u64,
     },
+    /// Stabilizer simulation with sampled Pauli gate noise and readout
+    /// flips (see
+    /// [`NoisyStabilizerBackend`]). With
+    /// `noise == NoiseModel::default()` this is byte-identical to
+    /// [`BackendSpec::Stabilizer`] at the same seed.
+    NoisyStabilizer {
+        /// Number of simulated qubits.
+        qubits: usize,
+        /// RNG seed (measurement outcomes and channel sampling).
+        seed: u64,
+        /// Per-operation error rates.
+        noise: hisq_quantum::NoiseModel,
+    },
+    /// Seeded random outcomes with sticky leakage (see
+    /// [`LeakyRandomBackend`]). With
+    /// `noise == NoiseModel::default()` this is byte-identical to
+    /// [`BackendSpec::Random`] at the same seed.
+    Leaky {
+        /// RNG seed.
+        seed: u64,
+        /// Probability an unleaked measurement returns `1`.
+        p_one: f64,
+        /// Per-operation error rates (only `p_leak` is sampled here;
+        /// the rest feed the analytic
+        /// [`NoiseModel::infidelity`](hisq_quantum::NoiseModel::infidelity)
+        /// scoring).
+        noise: hisq_quantum::NoiseModel,
+    },
 }
 
 impl Default for BackendSpec {
@@ -104,6 +133,14 @@ impl BackendSpec {
             }
             BackendSpec::StateVector { qubits, seed } => {
                 Box::new(StateVectorBackend::new(qubits, seed))
+            }
+            BackendSpec::NoisyStabilizer {
+                qubits,
+                seed,
+                noise,
+            } => Box::new(NoisyStabilizerBackend::new(qubits, seed, noise)),
+            BackendSpec::Leaky { seed, p_one, noise } => {
+                Box::new(LeakyRandomBackend::new(seed, p_one, noise))
             }
         }
     }

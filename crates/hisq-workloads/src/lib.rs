@@ -23,7 +23,7 @@
 //! engine expands parameter grids over.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adder;
 pub mod bv;

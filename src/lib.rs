@@ -49,7 +49,7 @@
 //! [`runner::run_sweep`] on the [`sim::sweep`] worker pool.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod runner;
 

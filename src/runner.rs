@@ -51,7 +51,7 @@ use hisq_compiler::{
 use hisq_core::NodeConfig;
 use hisq_isa::CYCLE_NS;
 use hisq_net::{LinkModel, Topology, TopologyBuilder};
-use hisq_quantum::{CoherenceParams, ExposureLedger};
+use hisq_quantum::{CoherenceParams, ExposureLedger, NoiseModel};
 use hisq_sim::{
     BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
     SweepRunner, System, SystemSpec,
@@ -320,9 +320,10 @@ pub fn run_compiled(
 }
 
 /// System-level parameters of a scenario: the mesh/tree link latencies
-/// the BISP topology is built with, and the star latencies of the
-/// lock-step baseline's broadcast hub.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// the BISP topology is built with, the star latencies of the
+/// lock-step baseline's broadcast hub, and the classical-link and
+/// quantum-noise models both schemes run under.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Mesh-edge latency between neighbouring controllers (cycles).
     pub neighbor_latency: u64,
@@ -339,12 +340,19 @@ pub struct SystemParams {
     /// both schemes: mesh/tree links under BISP, the star's up/down
     /// legs under lock-step.
     pub link_model: LinkModel,
+    /// Quantum noise model — a first-class sweep axis (default: exactly
+    /// noiseless). A non-default model switches the scenario's backend
+    /// to the leakage-aware random backend (so outcomes, and therefore
+    /// feedback branches, sample the noise) and adds the analytic
+    /// `noise_infidelity` metric scored from the committed operation
+    /// counts and the exposure ledger (`fig_noise`'s metric).
+    pub noise: NoiseModel,
 }
 
 impl Default for SystemParams {
     /// The paper's Figure 15 defaults: 5-cycle mesh edges, 10-cycle
     /// tree edges, arity 4, 100 ns (25-cycle) star legs, transparent
-    /// links.
+    /// links, no gate noise.
     fn default() -> SystemParams {
         SystemParams {
             neighbor_latency: 5,
@@ -353,6 +361,7 @@ impl Default for SystemParams {
             star_up_latency: 25,
             star_down_latency: 25,
             link_model: LinkModel::default(),
+            noise: NoiseModel::NOISELESS,
         }
     }
 }
@@ -415,7 +424,9 @@ impl Scenario {
     /// `/serN.cK[.lossPPM.sSEED.aATTEMPTS]` segment covering every
     /// [`LinkModel`] field, so grid points along *any* link-model axis
     /// (serialization, capacity, loss rate, drop seed, attempt budget)
-    /// stay unique.
+    /// stay unique. A non-default noise model likewise appends a
+    /// `/p1qA.p2qB.mC.iD.lE` segment covering every [`NoiseModel`]
+    /// rate, so grid points along any noise axis stay unique too.
     pub fn id(&self) -> String {
         let scheme = match self.scheme {
             Scheme::Bisp => "bisp",
@@ -441,6 +452,13 @@ impl Scenario {
                 ));
             }
         }
+        let noise = self.params.noise;
+        if !noise.is_noiseless() {
+            id.push_str(&format!(
+                "/p1q{}.p2q{}.m{}.i{}.l{}",
+                noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
+            ));
+        }
         id
     }
 }
@@ -454,9 +472,12 @@ impl Scenario {
 /// scenario's coherence time, and the `all_halted` flag. Under a
 /// contended link model the record additionally carries
 /// `link_messages`, `link_retransmits`, `link_dropped`, and
-/// `link_peak_occupancy`; a nonzero routing-warning count surfaces as
-/// `routing_warnings` (default-model records stay byte-identical to
-/// their historical form).
+/// `link_peak_occupancy`; under a non-default noise model it carries
+/// `noise_infidelity` (the analytic gate-error score) plus the
+/// `gates_1q`/`gates_2q`/`measurements` operation counts; a nonzero
+/// routing-warning count surfaces as `routing_warnings`
+/// (default-model records stay byte-identical to their historical
+/// form).
 ///
 /// # Errors
 ///
@@ -500,9 +521,20 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> 
         }
     };
     let mut spec = system_spec(&compiled, topology).map_err(|e| e.with_id(&id))?;
-    spec.backend(BackendSpec::Random {
-        seed: scenario.seed,
-        p_one: 0.5,
+    // Noiseless scenarios keep the historical random backend (and its
+    // byte-identical outcome stream); a noisy model samples leakage so
+    // sticky readouts steer the feedback branches.
+    spec.backend(if p.noise.is_noiseless() {
+        BackendSpec::Random {
+            seed: scenario.seed,
+            p_one: 0.5,
+        }
+    } else {
+        BackendSpec::Leaky {
+            seed: scenario.seed,
+            p_one: 0.5,
+            noise: p.noise,
+        }
     });
     // The lock-step star has no topology to inherit the model from.
     spec.link_model(p.link_model);
@@ -510,17 +542,18 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> 
     let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
 
     let coherence = CoherenceParams::uniform(scenario.t1_us);
-    let infidelity = if built.data_sites.is_empty() {
-        system.exposure().infidelity(coherence)
+    let scored_exposure: ExposureLedger = if built.data_sites.is_empty() {
+        system.exposure().clone()
     } else {
         // Output data qubits stay coherent from circuit start until the
         // whole dynamic circuit completes (the Figure 16 scoring).
-        let mut ledger = ExposureLedger::new();
-        for &q in &built.data_sites {
-            ledger.record_span(q, 0, report.makespan_ns);
-        }
-        ledger.infidelity(coherence)
+        built
+            .data_sites
+            .iter()
+            .map(|&q| (q, 0, report.makespan_ns))
+            .collect()
     };
+    let infidelity = scored_exposure.infidelity(coherence);
 
     let mut record = SweepRecord::new(id)
         .with("makespan_cycles", report.makespan_cycles)
@@ -540,6 +573,18 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> 
             "link_peak_occupancy",
             u64::from(report.peak_link_occupancy()),
         );
+    }
+    if !p.noise.is_noiseless() {
+        // Analytic gate-error scoring: expected infidelity from the
+        // committed operation counts plus per-nanosecond idle error
+        // charged from the same exposure ledger the T1/T2 metric reads.
+        record.set(
+            "noise_infidelity",
+            p.noise.infidelity(&report.quantum_ops, &scored_exposure),
+        );
+        record.set("gates_1q", report.quantum_ops.gates_1q);
+        record.set("gates_2q", report.quantum_ops.gates_2q);
+        record.set("measurements", report.quantum_ops.measurements);
     }
     if report.routing_warnings > 0 {
         record.set("routing_warnings", report.routing_warnings);

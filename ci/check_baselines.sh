@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Committed-baseline gate for the paper-figure binaries.
+#
+# Each figure binary that commits its quick report to the repo root
+# (BENCH_<bin>.json) is regenerated with the shared
+# `--quick --threads 2 --json` flags and byte-compared, so a baseline
+# can never drift silently. Regenerated copies of mismatching reports
+# are left under $DIFF_DIR (default target/baseline-diff/) for CI to
+# upload as an artifact.
+#
+# Usage: ci/check_baselines.sh           (uses cargo run --release)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DIFF_DIR="${DIFF_DIR:-target/baseline-diff}"
+
+BASELINED_BINS=(fig_contention fig_noise)
+
+rm -rf "$DIFF_DIR"
+mkdir -p "$DIFF_DIR"
+
+status=0
+for bin in "${BASELINED_BINS[@]}"; do
+    golden="BENCH_$bin.json"
+    out="$DIFF_DIR/$bin.json"
+    cargo run --release -p hisq-bench --bin "$bin" -- --quick --threads 2 --json \
+        > "$out"
+    if cmp -s "$out" "$golden"; then
+        rm "$out"
+        echo "ok   $bin ($golden)"
+    else
+        echo "FAIL $bin: regenerated report differs from $golden" >&2
+        echo "     regenerated copy kept at $out" >&2
+        echo "     to accept the new baseline: cp $out $golden" >&2
+        status=1
+    fi
+done
+
+rmdir "$DIFF_DIR" 2> /dev/null || true
+exit "$status"

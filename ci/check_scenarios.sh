@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Golden-corpus replay gate.
+#
+# Replays every scenario file in scenarios/ through `hisq run` and
+# byte-compares the output against the committed report in
+# scenarios/reports/ — once on 1 thread and once on 4, so the gate
+# also proves the parallel sweep engine is deterministic on the whole
+# corpus. One file additionally runs with `--repetitions` to pin the
+# seed++ expansion semantics.
+#
+# Mismatching outputs are left under $DIFF_DIR (default
+# target/scenario-diff/) for CI to upload as an artifact.
+#
+# Usage: ci/check_scenarios.sh            (builds hisq if needed)
+#        HISQ=path/to/hisq ci/check_scenarios.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+HISQ="${HISQ:-target/release/hisq}"
+DIFF_DIR="${DIFF_DIR:-target/scenario-diff}"
+
+if [ ! -x "$HISQ" ]; then
+    cargo build --release --bin hisq
+fi
+
+rm -rf "$DIFF_DIR"
+mkdir -p "$DIFF_DIR"
+
+status=0
+
+for file in scenarios/*.json; do
+    stem="$(basename "$file" .json)"
+    golden="scenarios/reports/$stem.json"
+    if [ ! -f "$golden" ]; then
+        echo "FAIL $stem: no committed report at $golden" >&2
+        status=1
+        continue
+    fi
+    for threads in 1 4; do
+        out="$DIFF_DIR/$stem.t$threads.json"
+        "$HISQ" run "$file" --threads "$threads" --json > "$out" 2> /dev/null
+        if cmp -s "$out" "$golden"; then
+            rm "$out"
+        else
+            echo "FAIL $stem: --threads $threads output differs from $golden" >&2
+            echo "     regenerated copy kept at $out" >&2
+            status=1
+        fi
+    done
+    echo "ok   $stem"
+done
+
+# --repetitions N must expand every grid point N times with
+# consecutive seeds: 4 grid points x 2 repetitions = 8 scenarios.
+reps_out="$DIFF_DIR/bisp_vs_lockstep.reps2.json"
+"$HISQ" run scenarios/bisp_vs_lockstep.json --repetitions 2 --json \
+    > "$reps_out" 2> /dev/null
+if grep -q '^{"scenarios":8,' "$reps_out" \
+    && grep -q '"w_state_n12/bisp/seed3/t300"' "$reps_out"; then
+    rm "$reps_out"
+    echo "ok   bisp_vs_lockstep --repetitions 2 (8 scenarios, seed++)"
+else
+    echo "FAIL bisp_vs_lockstep: --repetitions 2 did not expand to 8 scenarios" >&2
+    echo "     output kept at $reps_out" >&2
+    status=1
+fi
+
+rmdir "$DIFF_DIR" 2> /dev/null || true
+if [ "$status" -ne 0 ]; then
+    echo "golden corpus FAILED; regenerate with:" >&2
+    echo "  for f in scenarios/*.json; do" >&2
+    echo "    $HISQ run \"\$f\" --json > scenarios/reports/\$(basename \"\$f\")" >&2
+    echo "  done" >&2
+fi
+exit "$status"

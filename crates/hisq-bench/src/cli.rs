@@ -51,16 +51,14 @@ impl FigArgs {
 
     /// Parses an explicit argument list (testable core of [`parse`]).
     ///
-    /// Unknown `--flags` are ignored so that figure-specific options
-    /// and future shared flags stay forward-compatible across all
-    /// binaries.
-    ///
     /// [`parse`]: FigArgs::parse
     ///
     /// # Errors
     ///
-    /// Returns a message when `--threads` is missing its value or the
-    /// value is not a positive integer.
+    /// Returns a message when `--threads` is missing its value, the
+    /// value is not a positive integer, or an unknown `--flag` is
+    /// passed — a typo'd flag is an error with a usage hint, never a
+    /// silently ignored knob.
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<FigArgs, String> {
         let mut out = FigArgs::default();
         let mut iter = args.into_iter();
@@ -83,8 +81,10 @@ impl FigArgs {
                 out.json = true;
             } else if arg == "--quick" {
                 out.quick = true;
-            } else if arg.starts_with("--") {
-                // Ignored: keeps the shared-flag surface uniform.
+            } else if arg.starts_with('-') {
+                return Err(format!(
+                    "unknown flag `{arg}`\nusage: [--threads N] [--json] [--quick] [args...]"
+                ));
             } else {
                 out.positional.push(arg);
             }
@@ -110,10 +110,24 @@ mod tests {
     }
 
     #[test]
-    fn ignores_unknown_flags_and_keeps_positionals() {
-        let args = parse(&["rabi", "--verbose", "--json", "--seed=7", "t1"]).unwrap();
+    fn keeps_positionals_in_order() {
+        let args = parse(&["rabi", "--json", "t1"]).unwrap();
         assert!(args.json);
         assert_eq!(args.positional, vec!["rabi".to_string(), "t1".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_with_usage() {
+        for args in [
+            &["--verbose"][..],
+            &["rabi", "--seed=7"][..],
+            &["-q"][..],
+            &["--thread", "4"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("unknown flag"), "{args:?}: {err}");
+            assert!(err.contains("usage:"), "{args:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! JSON serialization of the node-configuration types, for the
+//! scenario-file surface (`hisq run`).
+//!
+//! Formats (all decoders reject unknown fields):
+//!
+//! ```json
+//! {"addr": 0,
+//!  "links": [{"to": 1, "latency": 5, "kind": "neighbor"}],
+//!  "mem_bytes": 65536,
+//!  "pipeline_headroom": 32}
+//! ```
+
+use hisq_json::{Json, JsonError, ObjReader};
+
+use crate::config::{Link, LinkKind, NodeConfig};
+
+impl Link {
+    /// Serializes the link (without its remote address, which keys the
+    /// surrounding map).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("latency".into(), self.latency.into()),
+            (
+                "kind".into(),
+                Json::str(match self.kind {
+                    LinkKind::Neighbor => "neighbor",
+                    LinkKind::Router => "router",
+                }),
+            ),
+        ])
+    }
+
+    /// Parses a link serialized by [`Link::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields or
+    /// an unrecognized `kind`.
+    pub fn from_json(value: &Json, path: &str) -> Result<Link, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let latency = obj
+            .required("latency")?
+            .as_u64(&obj.field_path("latency"))?;
+        let kind_path = obj.field_path("kind");
+        let kind = match obj.required("kind")?.as_str(&kind_path)? {
+            "neighbor" => LinkKind::Neighbor,
+            "router" => LinkKind::Router,
+            other => {
+                return Err(JsonError::decode(
+                    kind_path,
+                    format!("unknown link kind \"{other}\" (expected \"neighbor\" or \"router\")"),
+                ))
+            }
+        };
+        obj.reject_unknown()?;
+        Ok(Link { latency, kind })
+    }
+}
+
+impl NodeConfig {
+    /// Serializes the full controller configuration. Links render as an
+    /// array ordered by remote address (the map's iteration order), so
+    /// output is deterministic.
+    pub fn to_json(&self) -> Json {
+        let links = self
+            .links
+            .iter()
+            .map(|(&to, link)| {
+                let Json::Object(mut fields) = link.to_json() else {
+                    unreachable!("links serialize as objects");
+                };
+                fields.insert(0, ("to".into(), to.into()));
+                Json::Object(fields)
+            })
+            .collect();
+        Json::Object(vec![
+            ("addr".into(), self.addr.into()),
+            ("links".into(), Json::Array(links)),
+            ("mem_bytes".into(), self.mem_bytes.into()),
+            ("pipeline_headroom".into(), self.pipeline_headroom.into()),
+        ])
+    }
+
+    /// Parses a configuration serialized by [`NodeConfig::to_json`].
+    /// `links` and `mem_bytes`/`pipeline_headroom` may be omitted (the
+    /// [`NodeConfig::new`] defaults apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields,
+    /// malformed links, or duplicate link targets.
+    pub fn from_json(value: &Json, path: &str) -> Result<NodeConfig, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let addr = obj.required("addr")?.as_u16(&obj.field_path("addr"))?;
+        let mut config = NodeConfig::new(addr);
+        if let Some(links) = obj.optional("links") {
+            let links_path = obj.field_path("links");
+            for (i, entry) in links.as_array(&links_path)?.iter().enumerate() {
+                let entry_path = format!("{links_path}[{i}]");
+                let mut link_obj = ObjReader::new(entry, &entry_path)?;
+                let to = link_obj
+                    .required("to")?
+                    .as_u16(&link_obj.field_path("to"))?;
+                // Re-serialize the remaining fields through Link's own
+                // decoder so `kind`/`latency` validation lives in one
+                // place.
+                let Json::Object(entries) = entry else {
+                    unreachable!("ObjReader verified this is an object");
+                };
+                let rest: Vec<(String, Json)> =
+                    entries.iter().filter(|(k, _)| k != "to").cloned().collect();
+                let link = Link::from_json(&Json::Object(rest), &entry_path)?;
+                if config.links.insert(to, link).is_some() {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate link to address {to}"),
+                    ));
+                }
+                // Mark the pass-through fields as consumed.
+                link_obj.optional("latency");
+                link_obj.optional("kind");
+                link_obj.reject_unknown()?;
+            }
+        }
+        if let Some(v) = obj.optional("mem_bytes") {
+            config.mem_bytes = v.as_usize(&obj.field_path("mem_bytes"))?;
+        }
+        if let Some(v) = obj.optional("pipeline_headroom") {
+            config.pipeline_headroom = v.as_u64(&obj.field_path("pipeline_headroom"))?;
+        }
+        obj.reject_unknown()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_config_round_trips() {
+        let config = NodeConfig::new(3)
+            .with_neighbor(2, 5)
+            .with_router(100, 12)
+            .with_mem_bytes(1024)
+            .with_pipeline_headroom(32);
+        let json = config.to_json();
+        let back = NodeConfig::from_json(&json, "cfg").unwrap();
+        assert_eq!(config, back);
+        // And via text.
+        let reparsed = Json::parse(&json.to_string_compact()).unwrap();
+        assert_eq!(NodeConfig::from_json(&reparsed, "cfg").unwrap(), config);
+    }
+
+    #[test]
+    fn defaults_may_be_omitted() {
+        let json = Json::parse(r#"{"addr": 7}"#).unwrap();
+        assert_eq!(
+            NodeConfig::from_json(&json, "cfg").unwrap(),
+            NodeConfig::new(7)
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_paths() {
+        let json = Json::parse(r#"{"addr": 1, "memory": 9}"#).unwrap();
+        let err = NodeConfig::from_json(&json, "cfg").unwrap_err();
+        assert_eq!(err.to_string(), "cfg: unknown field `memory`");
+
+        let json =
+            Json::parse(r#"{"addr": 1, "links": [{"to": 2, "latency": 5, "kind": "warp"}]}"#)
+                .unwrap();
+        let err = NodeConfig::from_json(&json, "cfg").unwrap_err();
+        assert!(
+            err.to_string().contains("cfg.links[0].kind"),
+            "error should name the nested path: {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_link_targets_are_rejected() {
+        let json = Json::parse(
+            r#"{"addr": 1, "links": [
+                {"to": 2, "latency": 5, "kind": "neighbor"},
+                {"to": 2, "latency": 6, "kind": "neighbor"}]}"#,
+        )
+        .unwrap();
+        let err = NodeConfig::from_json(&json, "cfg").unwrap_err();
+        assert!(err.to_string().contains("duplicate link"), "{err}");
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod json;
 pub mod msg;
 pub mod pipeline;
 pub mod timeline;

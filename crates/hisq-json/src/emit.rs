@@ -1,0 +1,154 @@
+//! Deterministic JSON writers: compact (the sweep-report convention)
+//! and pretty (the committed scenario-file convention, 2-space indent).
+
+use crate::value::Json;
+
+impl Json {
+    /// Renders the value on one line with no whitespace — the same
+    /// convention the sweep reports use, so byte-for-byte comparisons
+    /// in CI stay trivial.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value with 2-space indentation and a trailing
+    /// newline — the convention for committed `scenarios/*.json` files.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => out.push_str(&float_repr(*v)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline(out, indent, level);
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, level + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1);
+                }
+                newline(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Shortest round-trip form via `{:?}` — integral floats keep their
+/// `.0` so the value re-parses as [`Json::Float`], not an integer.
+fn float_repr(v: f64) -> String {
+    debug_assert!(v.is_finite(), "Json::Float holds finite values");
+    format!("{v:?}")
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::Object(vec![
+            ("seed".into(), Json::UInt(7)),
+            ("t1_us".into(), Json::Float(300.0)),
+            ("name".into(), Json::Str("a\"b".into())),
+            (
+                "axes".into(),
+                Json::Array(vec![Json::UInt(1), Json::Int(-2)]),
+            ),
+            ("empty".into(), Json::Object(vec![])),
+        ])
+    }
+
+    #[test]
+    fn compact_matches_the_report_convention() {
+        assert_eq!(
+            doc().to_string_compact(),
+            r#"{"seed":7,"t1_us":300.0,"name":"a\"b","axes":[1,-2],"empty":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips_through_the_parser() {
+        let pretty = doc().to_string_pretty();
+        assert!(pretty.starts_with("{\n  \"seed\": 7"), "{pretty}");
+        assert!(pretty.ends_with("}\n"), "{pretty}");
+        assert_eq!(Json::parse(&pretty).unwrap(), doc());
+        assert_eq!(Json::parse(&doc().to_string_compact()).unwrap(), doc());
+    }
+
+    #[test]
+    fn floats_keep_their_fraction_marker() {
+        // 300.0 must not collapse to "300": it would re-parse as UInt
+        // and break the typed round-trip.
+        assert_eq!(Json::Float(300.0).to_string_compact(), "300.0");
+        assert_eq!(Json::Float(1e-6).to_string_compact(), "1e-6");
+        assert_eq!(
+            Json::parse(&Json::Float(1e-6).to_string_compact()).unwrap(),
+            Json::Float(1e-6)
+        );
+    }
+}

@@ -1,0 +1,455 @@
+//! Recursive-descent JSON parser with line/column error reporting.
+
+use crate::value::{Json, JsonError};
+
+/// Parser state over the raw bytes. Positions are tracked eagerly so
+/// every error carries the 1-based line and column of the offending
+/// character — scenario files are hand-edited, and "line 14, column 7"
+/// beats "invalid JSON".
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// Nesting limit (arrays + objects). Scenario documents are a few
+/// levels deep; the limit exists so malicious or corrupted input cannot
+/// overflow the parser's stack.
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Parses a complete JSON document (one value, then end of input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Parse`] with the 1-based line/column of the
+    /// first offending character for any syntax error, duplicate object
+    /// key, malformed number/string/escape, or trailing content.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos < parser.bytes.len() {
+            return Err(parser.error("trailing content after the JSON document"));
+        }
+        Ok(value)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            // Count columns in bytes for ASCII, and only for the first
+            // byte of a multi-byte UTF-8 sequence, so columns stay
+            // meaningful in annotated scenario names.
+            if !(0x80..0xC0).contains(&b) {
+                self.col += 1;
+            }
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.error(format!(
+                "expected '{}', found '{}'",
+                byte as char, b as char
+            ))),
+            None => Err(self.error(format!("expected '{}', found end of input", byte as char))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("document nests deeper than 64 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.error(format!("unexpected character '{}'", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        for expected in word.bytes() {
+            match self.peek() {
+                Some(b) if b == expected => {
+                    self.bump();
+                }
+                _ => return Err(self.error(format!("malformed literal (expected `{word}`)"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected a string object key"));
+            }
+            // Remember where the key started for the duplicate report.
+            let (key_line, key_col) = (self.line, self.col);
+            let key = self.string()?;
+            if entries.iter().any(|(existing, _)| *existing == key) {
+                return Err(JsonError::Parse {
+                    line: key_line,
+                    col: key_col,
+                    message: format!("duplicate object key \"{key}\""),
+                });
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Json::Object(entries));
+                }
+                Some(b) => {
+                    return Err(self.error(format!(
+                        "expected ',' or '}}' after object entry, found '{}'",
+                        b as char
+                    )))
+                }
+                None => return Err(self.error("unterminated object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Json::Array(items));
+                }
+                Some(b) => {
+                    return Err(self.error(format!(
+                        "expected ',' or ']' after array element, found '{}'",
+                        b as char
+                    )))
+                }
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale (the common case).
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.bump();
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is a &str"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.error("unpaired surrogate in \\u escape"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate in \\u escape"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid \\u escape")),
+                            }
+                        }
+                        Some(b) => {
+                            return Err(self.error(format!("invalid escape '\\{}'", b as char)))
+                        }
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                Some(_) => return Err(self.error("raw control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("\\u escape wants four hex digits")),
+            };
+            code = (code << 4) | digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.bump();
+        }
+        if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            return Err(self.error("malformed number"));
+        }
+        // Leading zeros are invalid JSON ("01"), but a lone "0" is fine.
+        if self.peek() == Some(b'0') {
+            self.bump();
+            if matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(self.error("numbers may not have leading zeros"));
+            }
+        } else {
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.bump();
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(self.error("expected digits after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(self.error("expected digits in the exponent"));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if fractional {
+            let v: f64 = text.parse().map_err(|_| self.error("malformed number"))?;
+            if !v.is_finite() {
+                return Err(self.error("number overflows f64"));
+            }
+            Ok(Json::Float(v))
+        } else if negative {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.error("integer does not fit in i64"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| self.error("integer does not fit in u64"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse(text)
+    }
+
+    #[test]
+    fn parses_scalars_exactly() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX),
+            "u64::MAX survives exactly"
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN),
+            "i64::MIN survives exactly"
+        );
+        assert_eq!(parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("-0.5").unwrap(), Json::Float(-0.5));
+        assert_eq!(
+            parse("\"a\\nb\\u00e9\"").unwrap(),
+            Json::Str("a\nbé".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            doc,
+            Json::Object(vec![
+                (
+                    "a".into(),
+                    Json::Array(vec![
+                        Json::UInt(1),
+                        Json::Object(vec![("b".into(), Json::Null)])
+                    ])
+                ),
+                ("c".into(), Json::Str("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn reports_line_and_column() {
+        let err = parse("{\n  \"a\": 1,\n  \"a\": 2\n}").unwrap_err();
+        assert_eq!(
+            err,
+            JsonError::Parse {
+                line: 3,
+                col: 3,
+                message: "duplicate object key \"a\"".into()
+            }
+        );
+        let err = parse("{\"a\": tru}").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JsonError::Parse {
+                    line: 1,
+                    col: 10,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = parse("[1, 2").unwrap_err();
+        assert!(err.to_string().contains("unterminated array"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_and_malformed_input() {
+        assert!(parse("1 2").unwrap_err().to_string().contains("trailing"));
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("01")
+            .unwrap_err()
+            .to_string()
+            .contains("leading zeros"));
+        assert!(parse("1.").is_err());
+        assert!(parse("[,]").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("1e400")
+            .unwrap_err()
+            .to_string()
+            .contains("overflows"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        assert!(parse("\"\\ud83d\"").is_err(), "unpaired high surrogate");
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).unwrap_err().to_string().contains("64 levels"));
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(parse(&ok).is_ok());
+    }
+}

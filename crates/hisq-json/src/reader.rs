@@ -1,0 +1,134 @@
+//! Field-cursor for object decoders with unknown-field rejection.
+
+use crate::value::{Json, JsonError};
+
+/// A cursor over one JSON object's fields.
+///
+/// Decoders take the fields they understand with [`ObjReader::required`]
+/// / [`ObjReader::optional`], then call [`ObjReader::reject_unknown`]:
+/// any field the decoder never asked for becomes an error naming the
+/// JSON path — the contract that makes typos in hand-edited scenario
+/// files loud instead of silently ignored.
+#[derive(Debug)]
+pub struct ObjReader<'a> {
+    path: String,
+    entries: &'a [(String, Json)],
+    taken: Vec<bool>,
+}
+
+impl<'a> ObjReader<'a> {
+    /// Opens a reader over `value`, which must be a JSON object.
+    /// `path` names the object's location for error messages (use the
+    /// document root's name at top level).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] if `value` is not an object.
+    pub fn new(value: &'a Json, path: impl Into<String>) -> Result<ObjReader<'a>, JsonError> {
+        let path = path.into();
+        match value {
+            Json::Object(entries) => Ok(ObjReader {
+                taken: vec![false; entries.len()],
+                entries,
+                path,
+            }),
+            other => Err(JsonError::decode(
+                path,
+                format!("expected an object, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// This object's path (for composing error messages).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The dotted path of a field of this object.
+    pub fn field_path(&self, name: &str) -> String {
+        format!("{}.{name}", self.path)
+    }
+
+    /// Takes a required field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] naming the missing field.
+    pub fn required(&mut self, name: &str) -> Result<&'a Json, JsonError> {
+        self.optional(name)
+            .ok_or_else(|| JsonError::decode(&self.path, format!("missing field `{name}`")))
+    }
+
+    /// Takes an optional field (`None` when absent).
+    pub fn optional(&mut self, name: &str) -> Option<&'a Json> {
+        let index = self.entries.iter().position(|(key, _)| key == name)?;
+        self.taken[index] = true;
+        Some(&self.entries[index].1)
+    }
+
+    /// Fails if any field was never taken — the unknown-field
+    /// rejection pass every decoder ends with.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] listing every unrecognized
+    /// field name.
+    pub fn reject_unknown(self) -> Result<(), JsonError> {
+        let unknown: Vec<&str> = self
+            .entries
+            .iter()
+            .zip(&self.taken)
+            .filter(|(_, &taken)| !taken)
+            .map(|((key, _), _)| key.as_str())
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        let names = unknown
+            .iter()
+            .map(|n| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        Err(JsonError::decode(
+            self.path,
+            format!(
+                "unknown field{} {names}",
+                if unknown.len() == 1 { "" } else { "s" }
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fields_and_rejects_leftovers() {
+        let doc = Json::parse(r#"{"a": 1, "b": true, "typo": 0}"#).unwrap();
+        let mut obj = ObjReader::new(&doc, "root").unwrap();
+        assert_eq!(obj.required("a").unwrap().as_u64("root.a").unwrap(), 1);
+        assert!(obj.optional("b").is_some());
+        assert!(obj.optional("absent").is_none());
+        let err = obj.reject_unknown().unwrap_err();
+        assert_eq!(err.to_string(), "root: unknown field `typo`");
+    }
+
+    #[test]
+    fn missing_required_field_names_itself() {
+        let doc = Json::parse("{}").unwrap();
+        let mut obj = ObjReader::new(&doc, "scenario").unwrap();
+        let err = obj.required("workload").unwrap_err();
+        assert_eq!(err.to_string(), "scenario: missing field `workload`");
+    }
+
+    #[test]
+    fn non_objects_are_reported_at_their_path() {
+        let doc = Json::parse("[1]").unwrap();
+        let err = ObjReader::new(&doc, "base.params").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "base.params: expected an object, got an array"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The JSON value tree and the error type shared by parsing and
+//! decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// An exact JSON value.
+///
+/// Numbers are split into three variants so that 64-bit counters and
+/// seeds survive a round-trip bit-exactly: a token with no fraction or
+/// exponent parses as [`Json::UInt`] (or [`Json::Int`] when negative),
+/// everything else as [`Json::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (exact, full `u64` range).
+    UInt(u64),
+    /// A negative integer (exact, full `i64` range).
+    Int(i64),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. Entries keep insertion order (the writers are
+    /// deterministic); the parser rejects duplicate keys outright.
+    Object(Vec<(String, Json)>),
+}
+
+/// A failure while parsing JSON text or decoding a [`Json`] tree into a
+/// typed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The text is not well-formed JSON (or contains a duplicate
+    /// object key). Positions are 1-based.
+    Parse {
+        /// Line of the offending character.
+        line: usize,
+        /// Column of the offending character.
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The JSON is well-formed but does not describe the expected
+    /// value (wrong type, missing field, unknown field, out-of-range
+    /// number).
+    Decode {
+        /// Dotted path from the document root, e.g.
+        /// `scenario.params.link_model`.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl JsonError {
+    /// A decode error at `path`.
+    pub fn decode(path: impl Into<String>, message: impl Into<String>) -> JsonError {
+        JsonError::Decode {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { line, col, message } => {
+                write!(f, "line {line}, column {col}: {message}")
+            }
+            JsonError::Decode { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+impl Json {
+    /// A human label for the value's JSON type (for decode errors).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::UInt(_) | Json::Int(_) => "an integer",
+            Json::Float(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Array(_) => "an array",
+            Json::Object(_) => "an object",
+        }
+    }
+
+    fn expected(&self, path: &str, what: &str) -> JsonError {
+        JsonError::decode(path, format!("expected {what}, got {}", self.type_name()))
+    }
+
+    /// The value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] at `path` for any other type.
+    pub fn as_bool(&self, path: &str) -> Result<bool, JsonError> {
+        match *self {
+            Json::Bool(b) => Ok(b),
+            ref other => Err(other.expected(path, "a boolean")),
+        }
+    }
+
+    /// The value as an unsigned 64-bit integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] at `path` for non-integers and
+    /// negative integers.
+    pub fn as_u64(&self, path: &str) -> Result<u64, JsonError> {
+        match *self {
+            Json::UInt(v) => Ok(v),
+            ref other => Err(other.expected(path, "a non-negative integer")),
+        }
+    }
+
+    /// The value as a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Json::as_u64`], plus a range check.
+    pub fn as_u32(&self, path: &str) -> Result<u32, JsonError> {
+        let v = self.as_u64(path)?;
+        u32::try_from(v).map_err(|_| JsonError::decode(path, format!("{v} does not fit in u32")))
+    }
+
+    /// The value as a `u16` (node addresses).
+    ///
+    /// # Errors
+    ///
+    /// As [`Json::as_u64`], plus a range check.
+    pub fn as_u16(&self, path: &str) -> Result<u16, JsonError> {
+        let v = self.as_u64(path)?;
+        u16::try_from(v).map_err(|_| JsonError::decode(path, format!("{v} does not fit in u16")))
+    }
+
+    /// The value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Json::as_u64`], plus a range check.
+    pub fn as_usize(&self, path: &str) -> Result<usize, JsonError> {
+        let v = self.as_u64(path)?;
+        usize::try_from(v)
+            .map_err(|_| JsonError::decode(path, format!("{v} does not fit in usize")))
+    }
+
+    /// The value as a float. Integers widen (with the usual `u64 → f64`
+    /// rounding above 2⁵³); use [`Json::as_u64`] where exactness
+    /// matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] at `path` for non-numbers.
+    pub fn as_f64(&self, path: &str) -> Result<f64, JsonError> {
+        match *self {
+            Json::UInt(v) => Ok(v as f64),
+            Json::Int(v) => Ok(v as f64),
+            Json::Float(v) => Ok(v),
+            ref other => Err(other.expected(path, "a number")),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] at `path` for any other type.
+    pub fn as_str(&self, path: &str) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(other.expected(path, "a string")),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] at `path` for any other type.
+    pub fn as_array(&self, path: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(other.expected(path, "an array")),
+        }
+    }
+
+    /// Builds a float value, which must be finite (JSON has no
+    /// NaN/infinity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input — serializers only ever hold finite
+    /// model parameters.
+    pub fn float(v: f64) -> Json {
+        assert!(v.is_finite(), "JSON cannot represent {v}");
+        Json::Float(v)
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<u16> for Json {
+    fn from(v: u16) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod json;
 pub mod message;
 pub mod router;
 pub mod topology;

@@ -103,14 +103,14 @@ struct Booking {
 }
 
 /// Per-destination synchronization session state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Session {
     /// FIFO of bookings per child.
     per_child: BTreeMap<NodeAddr, VecDeque<Booking>>,
 }
 
 /// A router node in the inter-layer tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Router {
     addr: NodeAddr,
     parent: Option<NodeAddr>,
@@ -134,6 +134,11 @@ impl Router {
     /// This router's address.
     pub fn addr(&self) -> NodeAddr {
         self.addr
+    }
+
+    /// This router's parent in the tree (`None` for the root).
+    pub fn parent(&self) -> Option<NodeAddr> {
+        self.parent
     }
 
     /// The router's children.

@@ -207,26 +207,7 @@ impl TopologyBuilder {
         }
 
         // Mesh edges: 4-neighbourhood on the grid.
-        let mut mesh: BTreeMap<NodeAddr, Vec<NodeAddr>> = BTreeMap::new();
-        for y in 0..self.height {
-            for x in 0..self.width {
-                let addr = (y * self.width + x) as u16;
-                let mut neighbors = Vec::new();
-                if x > 0 {
-                    neighbors.push(addr - 1);
-                }
-                if x + 1 < self.width {
-                    neighbors.push(addr + 1);
-                }
-                if y > 0 {
-                    neighbors.push(addr - self.width as u16);
-                }
-                if y + 1 < self.height {
-                    neighbors.push(addr + self.width as u16);
-                }
-                mesh.insert(addr, neighbors);
-            }
-        }
+        let mesh = grid_mesh(self.width, self.height);
 
         Topology {
             width: self.width,
@@ -246,23 +227,23 @@ impl TopologyBuilder {
 
 /// A built hybrid topology. See the module docs for the addressing
 /// scheme.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
-    width: usize,
-    height: usize,
-    num_controllers: usize,
-    neighbor_latency: u64,
-    router_latency: u64,
-    pipeline_headroom: u64,
-    link_model: LinkModel,
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    pub(crate) num_controllers: usize,
+    pub(crate) neighbor_latency: u64,
+    pub(crate) router_latency: u64,
+    pub(crate) pipeline_headroom: u64,
+    pub(crate) link_model: LinkModel,
     /// Child → parent router, for controllers and non-root routers.
-    parent: BTreeMap<NodeAddr, NodeAddr>,
+    pub(crate) parent: BTreeMap<NodeAddr, NodeAddr>,
     /// Router → children (controllers or routers).
-    children: BTreeMap<NodeAddr, Vec<NodeAddr>>,
+    pub(crate) children: BTreeMap<NodeAddr, Vec<NodeAddr>>,
     /// Router addresses, creation (level) order; root last.
-    routers: Vec<NodeAddr>,
+    pub(crate) routers: Vec<NodeAddr>,
     /// Controller → mesh neighbours.
-    mesh: BTreeMap<NodeAddr, Vec<NodeAddr>>,
+    pub(crate) mesh: BTreeMap<NodeAddr, Vec<NodeAddr>>,
 }
 
 impl Topology {
@@ -320,9 +301,11 @@ impl Topology {
     }
 
     /// `true` if `addr` names a router.
+    ///
+    /// Membership-based (not an address-range check): spec surgery can
+    /// remove router levels, leaving gaps in the router address space.
     pub fn is_router(&self, addr: NodeAddr) -> bool {
-        (addr as usize) >= self.num_controllers
-            && (addr as usize) < self.num_controllers + self.routers.len()
+        self.children.contains_key(&addr)
     }
 
     /// The root of the router tree.
@@ -467,6 +450,135 @@ impl Topology {
             .map(|addr| (addr, self.node_config(addr)))
             .collect()
     }
+
+    /// **Spec surgery**: removes the bottom router level — every router
+    /// whose children are all controllers — reattaching those
+    /// controllers directly to the removed routers' parents. The tree
+    /// flattens by one level (region syncs save two tree hops at the
+    /// price of a fatter upper-level fan-in).
+    ///
+    /// Child positions are preserved (a removed router's controllers
+    /// splice into its slot in the parent's child list), so the
+    /// operation is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when only the root level exists — dropping it
+    /// would leave the BISP region-sync protocol with no coordinator.
+    pub fn drop_router_level(&mut self) -> Result<(), String> {
+        let bottom: Vec<NodeAddr> = self
+            .routers
+            .iter()
+            .copied()
+            .filter(|&r| self.children_of(r).iter().all(|&c| !self.is_router(c)))
+            .collect();
+        if bottom.len() == self.routers.len() {
+            return Err(
+                "the router tree has only its root level; there is no level to drop".into(),
+            );
+        }
+        for &router in &bottom {
+            let parent = self
+                .parent
+                .remove(&router)
+                .expect("a non-root bottom-level router has a parent");
+            let kids = self
+                .children
+                .remove(&router)
+                .expect("bottom-level routers have child lists");
+            let siblings = self
+                .children
+                .get_mut(&parent)
+                .expect("parents carry child lists");
+            let slot = siblings
+                .iter()
+                .position(|&c| c == router)
+                .expect("a child appears in its parent's list");
+            siblings.splice(slot..=slot, kids.iter().copied());
+            for kid in kids {
+                self.parent.insert(kid, parent);
+            }
+        }
+        self.routers.retain(|r| !bottom.contains(r));
+        Ok(())
+    }
+
+    /// **Spec surgery**: detaches the subtree rooted at `subtree` (a
+    /// controller or a router) from its parent and reattaches it under
+    /// `new_parent` — rewiring a whole region of the machine to report
+    /// through a different coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `new_parent` is not a router, `subtree`
+    /// has no parent (it is the root), the move would create a cycle
+    /// (`new_parent` lies inside the subtree), or it would leave the
+    /// old parent with no children.
+    pub fn rewire_subtree(
+        &mut self,
+        subtree: NodeAddr,
+        new_parent: NodeAddr,
+    ) -> Result<(), String> {
+        if !self.is_router(new_parent) {
+            return Err(format!("new parent {new_parent} is not a router"));
+        }
+        let Some(&old_parent) = self.parent.get(&subtree) else {
+            return Err(format!(
+                "{subtree} has no parent to detach from (is it the root router?)"
+            ));
+        };
+        if subtree == new_parent || self.ancestors(new_parent).contains(&subtree) {
+            return Err(format!(
+                "rewiring {subtree} under {new_parent} would create a cycle"
+            ));
+        }
+        if old_parent == new_parent {
+            return Ok(());
+        }
+        if self.children_of(old_parent).len() == 1 {
+            return Err(format!(
+                "rewiring {subtree} would leave router {old_parent} with no children"
+            ));
+        }
+        let siblings = self
+            .children
+            .get_mut(&old_parent)
+            .expect("parents carry child lists");
+        siblings.retain(|&c| c != subtree);
+        self.children
+            .get_mut(&new_parent)
+            .expect("is_router verified new_parent")
+            .push(subtree);
+        self.parent.insert(subtree, new_parent);
+        Ok(())
+    }
+}
+
+/// The 4-neighbourhood mesh edges of a `width × height` controller
+/// grid (the mesh layer is always derivable from the grid dimensions,
+/// which keeps serialized topologies compact).
+pub(crate) fn grid_mesh(width: usize, height: usize) -> BTreeMap<NodeAddr, Vec<NodeAddr>> {
+    let mut mesh: BTreeMap<NodeAddr, Vec<NodeAddr>> = BTreeMap::new();
+    for y in 0..height {
+        for x in 0..width {
+            let addr = (y * width + x) as u16;
+            let mut neighbors = Vec::new();
+            if x > 0 {
+                neighbors.push(addr - 1);
+            }
+            if x + 1 < width {
+                neighbors.push(addr + 1);
+            }
+            if y > 0 {
+                neighbors.push(addr - width as u16);
+            }
+            if y + 1 < height {
+                neighbors.push(addr + width as u16);
+            }
+            mesh.insert(addr, neighbors);
+        }
+    }
+    mesh
 }
 
 #[cfg(test)]

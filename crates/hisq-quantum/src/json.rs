@@ -1,0 +1,299 @@
+//! JSON serialization of the quantum-model types, for the
+//! scenario-file surface (`hisq run`).
+//!
+//! Formats (all decoders reject unknown fields):
+//!
+//! ```json
+//! {"p_gate_1q": 0.001, "p_gate_2q": 0.01, "p_meas": 0.02,
+//!  "p_idle_per_ns": 1e-6, "p_leak": 0.0005}
+//! ```
+//!
+//! Gates render as a bare string (`"cx"`) when parameterless, or as
+//! `{"gate": "rz", "angle": 0.7853981633974483}` when carrying a
+//! rotation angle.
+
+use hisq_json::{Json, JsonError, ObjReader};
+
+use crate::gate::Gate;
+use crate::noise::NoiseModel;
+use crate::timing::GateDurations;
+
+impl NoiseModel {
+    /// Serializes the error rates. Zero rates are emitted too (the
+    /// noiseless model renders as five explicit zeros), so files state
+    /// their physics assumptions in full.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("p_gate_1q".into(), Json::float(self.p_gate_1q)),
+            ("p_gate_2q".into(), Json::float(self.p_gate_2q)),
+            ("p_meas".into(), Json::float(self.p_meas)),
+            ("p_idle_per_ns".into(), Json::float(self.p_idle_per_ns)),
+            ("p_leak".into(), Json::float(self.p_leak)),
+        ])
+    }
+
+    /// Parses a noise model serialized by [`NoiseModel::to_json`].
+    /// Omitted fields are zero (noiseless), so `{}` is
+    /// [`NoiseModel::NOISELESS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields, wrong
+    /// types, or rates outside `[0, 1]`.
+    pub fn from_json(value: &Json, path: &str) -> Result<NoiseModel, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut model = NoiseModel::NOISELESS;
+        let rate = |obj: &mut ObjReader, name: &str, default: f64| -> Result<f64, JsonError> {
+            let Some(v) = obj.optional(name) else {
+                return Ok(default);
+            };
+            let field_path = obj.field_path(name);
+            let rate = v.as_f64(&field_path)?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(JsonError::decode(
+                    field_path,
+                    format!("probability {rate} is outside [0, 1]"),
+                ));
+            }
+            Ok(rate)
+        };
+        model.p_gate_1q = rate(&mut obj, "p_gate_1q", 0.0)?;
+        model.p_gate_2q = rate(&mut obj, "p_gate_2q", 0.0)?;
+        model.p_meas = rate(&mut obj, "p_meas", 0.0)?;
+        model.p_idle_per_ns = rate(&mut obj, "p_idle_per_ns", 0.0)?;
+        model.p_leak = rate(&mut obj, "p_leak", 0.0)?;
+        obj.reject_unknown()?;
+        Ok(model)
+    }
+}
+
+impl GateDurations {
+    /// Serializes the gate durations (nanoseconds).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("single_qubit_ns".into(), self.single_qubit_ns.into()),
+            ("two_qubit_ns".into(), self.two_qubit_ns.into()),
+            ("measurement_ns".into(), self.measurement_ns.into()),
+            ("reset_ns".into(), self.reset_ns.into()),
+        ])
+    }
+
+    /// Parses durations serialized by [`GateDurations::to_json`].
+    /// Omitted fields take the paper's values ([`GateDurations::PAPER`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields or wrong
+    /// types.
+    pub fn from_json(value: &Json, path: &str) -> Result<GateDurations, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut durations = GateDurations::PAPER;
+        if let Some(v) = obj.optional("single_qubit_ns") {
+            durations.single_qubit_ns = v.as_u64(&obj.field_path("single_qubit_ns"))?;
+        }
+        if let Some(v) = obj.optional("two_qubit_ns") {
+            durations.two_qubit_ns = v.as_u64(&obj.field_path("two_qubit_ns"))?;
+        }
+        if let Some(v) = obj.optional("measurement_ns") {
+            durations.measurement_ns = v.as_u64(&obj.field_path("measurement_ns"))?;
+        }
+        if let Some(v) = obj.optional("reset_ns") {
+            durations.reset_ns = v.as_u64(&obj.field_path("reset_ns"))?;
+        }
+        obj.reject_unknown()?;
+        Ok(durations)
+    }
+}
+
+impl Gate {
+    /// The wire name of this gate (lower-case, matching the usual
+    /// OpenQASM spellings).
+    fn wire_name(self) -> &'static str {
+        match self {
+            Gate::I => "i",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Cphase(_) => "cp",
+            Gate::Swap => "swap",
+        }
+    }
+
+    /// Serializes the gate: a bare string for parameterless gates, an
+    /// object carrying the angle for rotations.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) | Gate::Cphase(a) => {
+                Json::Object(vec![
+                    ("gate".into(), Json::str(self.wire_name())),
+                    ("angle".into(), Json::float(a)),
+                ])
+            }
+            _ => Json::str(self.wire_name()),
+        }
+    }
+
+    /// Parses a gate serialized by [`Gate::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown gate names, a
+    /// missing/superfluous `angle`, or wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<Gate, JsonError> {
+        let (name, angle) = match value {
+            Json::Str(name) => (name.as_str(), None),
+            Json::Object(_) => {
+                let mut obj = ObjReader::new(value, path)?;
+                let name = obj.required("gate")?.as_str(&obj.field_path("gate"))?;
+                let angle = match obj.optional("angle") {
+                    Some(v) => Some(v.as_f64(&obj.field_path("angle"))?),
+                    None => None,
+                };
+                obj.reject_unknown()?;
+                (name, angle)
+            }
+            other => {
+                return Err(JsonError::decode(
+                    path,
+                    format!("expected a gate name or object, got {}", other.type_name()),
+                ))
+            }
+        };
+        let parameterless = |gate: Gate| match angle {
+            None => Ok(gate),
+            Some(_) => Err(JsonError::decode(
+                path,
+                format!("gate \"{name}\" takes no angle"),
+            )),
+        };
+        let rotation = |make: fn(f64) -> Gate| match angle {
+            Some(a) => Ok(make(a)),
+            None => Err(JsonError::decode(
+                path,
+                format!("gate \"{name}\" requires an `angle` field"),
+            )),
+        };
+        match name {
+            "i" => parameterless(Gate::I),
+            "x" => parameterless(Gate::X),
+            "y" => parameterless(Gate::Y),
+            "z" => parameterless(Gate::Z),
+            "h" => parameterless(Gate::H),
+            "s" => parameterless(Gate::S),
+            "sdg" => parameterless(Gate::Sdg),
+            "t" => parameterless(Gate::T),
+            "tdg" => parameterless(Gate::Tdg),
+            "rx" => rotation(Gate::Rx),
+            "ry" => rotation(Gate::Ry),
+            "rz" => rotation(Gate::Rz),
+            "p" => rotation(Gate::Phase),
+            "cx" => parameterless(Gate::Cx),
+            "cz" => parameterless(Gate::Cz),
+            "cp" => rotation(Gate::Cphase),
+            "swap" => parameterless(Gate::Swap),
+            other => Err(JsonError::decode(path, format!("unknown gate \"{other}\""))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_json::Json;
+
+    #[test]
+    fn noise_model_round_trips() {
+        for model in [
+            NoiseModel::NOISELESS,
+            NoiseModel::NOISELESS
+                .with_gate_errors(1e-3, 1e-2)
+                .with_meas_error(0.02)
+                .with_idle_error(1e-6)
+                .with_leak(5e-4),
+        ] {
+            let text = model.to_json().to_string_compact();
+            let back = NoiseModel::from_json(&Json::parse(&text).unwrap(), "noise").unwrap();
+            assert_eq!(model, back, "{text}");
+        }
+        // `{}` is the noiseless model.
+        assert_eq!(
+            NoiseModel::from_json(&Json::parse("{}").unwrap(), "noise").unwrap(),
+            NoiseModel::NOISELESS
+        );
+    }
+
+    #[test]
+    fn noise_model_rejects_bad_rates() {
+        let err = NoiseModel::from_json(&Json::parse(r#"{"p_meas": 1.5}"#).unwrap(), "noise")
+            .unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+        let err =
+            NoiseModel::from_json(&Json::parse(r#"{"p_mea": 0.1}"#).unwrap(), "noise").unwrap_err();
+        assert_eq!(err.to_string(), "noise: unknown field `p_mea`");
+    }
+
+    #[test]
+    fn gate_durations_round_trip() {
+        let durations = GateDurations {
+            single_qubit_ns: 25,
+            two_qubit_ns: 50,
+            measurement_ns: 400,
+            reset_ns: 350,
+        };
+        let back = GateDurations::from_json(&durations.to_json(), "durations").unwrap();
+        assert_eq!(durations, back);
+        assert_eq!(
+            GateDurations::from_json(&Json::parse("{}").unwrap(), "durations").unwrap(),
+            GateDurations::PAPER
+        );
+    }
+
+    #[test]
+    fn gates_round_trip() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::H,
+            Gate::Sdg,
+            Gate::Tdg,
+            Gate::Rx(0.25),
+            Gate::Ry(-1.5),
+            Gate::Rz(std::f64::consts::PI),
+            Gate::Phase(0.5),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Cphase(std::f64::consts::FRAC_PI_4),
+            Gate::Swap,
+        ];
+        for gate in gates {
+            let text = gate.to_json().to_string_compact();
+            let back = Gate::from_json(&Json::parse(&text).unwrap(), "gate").unwrap();
+            assert_eq!(gate, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn gate_errors_are_loud() {
+        for (text, needle) in [
+            (r#""warp""#, "unknown gate"),
+            (r#""rx""#, "requires an `angle`"),
+            (r#"{"gate": "cx", "angle": 1.0}"#, "takes no angle"),
+            (r#"{"gate": "rx"}"#, "requires an `angle`"),
+            ("42", "expected a gate name or object"),
+        ] {
+            let err = Gate::from_json(&Json::parse(text).unwrap(), "gate").unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod circuit;
 pub mod complex;
 pub mod fidelity;
 pub mod gate;
+pub mod json;
 pub mod noise;
 pub mod stabilizer;
 pub mod statevector;

@@ -9,7 +9,7 @@ use hisq_net::RouterError;
 use hisq_quantum::{GateDurations, OpCounts};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Deliver region max-time broadcasts with zero latency (the paper's
     /// §4.4 accounting — see the crate docs). Default `true`.

@@ -1,0 +1,665 @@
+//! JSON serialization of the simulator-facing spec types, for the
+//! scenario-file surface (`hisq run`).
+//!
+//! A serialized [`SystemSpec`] is a complete, self-contained
+//! description of a deployment — engine configuration, backend choice,
+//! every controller with its **encoded** program (u32 instruction
+//! words, the exact wire format of `hisq-isa`), routers, hubs,
+//! topology, link model, and quantum bindings. `from_json(to_json(s))`
+//! reproduces the spec field-for-field; all decoders reject unknown
+//! fields with a dotted JSON path.
+
+use hisq_core::{NodeAddr, NodeConfig};
+use hisq_isa::Inst;
+use hisq_json::{Json, JsonError, ObjReader};
+use hisq_net::{LinkModel, Router, Topology};
+use hisq_quantum::gate::Gate;
+use hisq_quantum::noise::NoiseModel;
+use hisq_quantum::timing::GateDurations;
+
+use crate::config::SimConfig;
+use crate::nodes::{Hub, MeasBinding, QuantumAction};
+use crate::spec::{BackendSpec, SystemSpec};
+
+impl SimConfig {
+    /// Serializes the engine configuration.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("idealize_downlink".into(), self.idealize_downlink.into()),
+            (
+                "default_classical_latency".into(),
+                self.default_classical_latency.into(),
+            ),
+            ("max_events".into(), self.max_events.into()),
+            ("durations".into(), self.durations.to_json()),
+        ])
+    }
+
+    /// Parses a configuration serialized by [`SimConfig::to_json`].
+    /// Omitted fields take the [`SimConfig::default`] values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields or wrong
+    /// types.
+    pub fn from_json(value: &Json, path: &str) -> Result<SimConfig, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut config = SimConfig::default();
+        if let Some(v) = obj.optional("idealize_downlink") {
+            config.idealize_downlink = v.as_bool(&obj.field_path("idealize_downlink"))?;
+        }
+        if let Some(v) = obj.optional("default_classical_latency") {
+            config.default_classical_latency =
+                v.as_u64(&obj.field_path("default_classical_latency"))?;
+        }
+        if let Some(v) = obj.optional("max_events") {
+            config.max_events = v.as_u64(&obj.field_path("max_events"))?;
+        }
+        if let Some(v) = obj.optional("durations") {
+            config.durations = GateDurations::from_json(v, &obj.field_path("durations"))?;
+        }
+        obj.reject_unknown()?;
+        Ok(config)
+    }
+}
+
+impl BackendSpec {
+    /// Serializes the backend choice as a `kind`-tagged object, e.g.
+    /// `{"kind":"random","seed":3,"p_one":0.5}`.
+    pub fn to_json(&self) -> Json {
+        let fields = match self {
+            BackendSpec::Random { seed, p_one } => vec![
+                ("kind".into(), Json::str("random")),
+                ("seed".into(), (*seed).into()),
+                ("p_one".into(), Json::float(*p_one)),
+            ],
+            BackendSpec::Fixed { outcome } => vec![
+                ("kind".into(), Json::str("fixed")),
+                ("outcome".into(), (*outcome).into()),
+            ],
+            BackendSpec::Stabilizer { qubits, seed } => vec![
+                ("kind".into(), Json::str("stabilizer")),
+                ("qubits".into(), (*qubits).into()),
+                ("seed".into(), (*seed).into()),
+            ],
+            BackendSpec::StateVector { qubits, seed } => vec![
+                ("kind".into(), Json::str("statevector")),
+                ("qubits".into(), (*qubits).into()),
+                ("seed".into(), (*seed).into()),
+            ],
+            BackendSpec::NoisyStabilizer {
+                qubits,
+                seed,
+                noise,
+            } => vec![
+                ("kind".into(), Json::str("noisy_stabilizer")),
+                ("qubits".into(), (*qubits).into()),
+                ("seed".into(), (*seed).into()),
+                ("noise".into(), noise.to_json()),
+            ],
+            BackendSpec::Leaky { seed, p_one, noise } => vec![
+                ("kind".into(), Json::str("leaky")),
+                ("seed".into(), (*seed).into()),
+                ("p_one".into(), Json::float(*p_one)),
+                ("noise".into(), noise.to_json()),
+            ],
+        };
+        Json::Object(fields)
+    }
+
+    /// Parses a backend serialized by [`BackendSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for an unknown `kind`,
+    /// missing/unknown fields, or wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<BackendSpec, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let kind_path = obj.field_path("kind");
+        let kind = obj.required("kind")?.as_str(&kind_path)?.to_owned();
+        let spec = match kind.as_str() {
+            "random" => BackendSpec::Random {
+                seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
+                p_one: obj.required("p_one")?.as_f64(&obj.field_path("p_one"))?,
+            },
+            "fixed" => BackendSpec::Fixed {
+                outcome: obj
+                    .required("outcome")?
+                    .as_bool(&obj.field_path("outcome"))?,
+            },
+            "stabilizer" => BackendSpec::Stabilizer {
+                qubits: obj
+                    .required("qubits")?
+                    .as_usize(&obj.field_path("qubits"))?,
+                seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
+            },
+            "statevector" => BackendSpec::StateVector {
+                qubits: obj
+                    .required("qubits")?
+                    .as_usize(&obj.field_path("qubits"))?,
+                seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
+            },
+            "noisy_stabilizer" => BackendSpec::NoisyStabilizer {
+                qubits: obj
+                    .required("qubits")?
+                    .as_usize(&obj.field_path("qubits"))?,
+                seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
+                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+            },
+            "leaky" => BackendSpec::Leaky {
+                seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
+                p_one: obj.required("p_one")?.as_f64(&obj.field_path("p_one"))?,
+                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+            },
+            other => {
+                return Err(JsonError::decode(
+                    kind_path,
+                    format!(
+                        "unknown backend kind \"{other}\" (expected \"random\", \"fixed\", \
+                         \"stabilizer\", \"statevector\", \"noisy_stabilizer\", or \"leaky\")"
+                    ),
+                ))
+            }
+        };
+        obj.reject_unknown()?;
+        Ok(spec)
+    }
+}
+
+impl QuantumAction {
+    /// Serializes the action as an `action`-tagged object, e.g.
+    /// `{"action":"gate","gate":"cx","qubits":[0,1]}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            QuantumAction::Gate { gate, qubits } => Json::Object(vec![
+                ("action".into(), Json::str("gate")),
+                ("gate".into(), gate.to_json()),
+                (
+                    "qubits".into(),
+                    Json::Array(qubits.iter().map(|&q| q.into()).collect()),
+                ),
+            ]),
+            QuantumAction::Measure { qubit } => Json::Object(vec![
+                ("action".into(), Json::str("measure")),
+                ("qubit".into(), (*qubit).into()),
+            ]),
+            QuantumAction::Reset { qubit } => Json::Object(vec![
+                ("action".into(), Json::str("reset")),
+                ("qubit".into(), (*qubit).into()),
+            ]),
+        }
+    }
+
+    /// Parses an action serialized by [`QuantumAction::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for an unknown `action` tag,
+    /// missing/unknown fields, or wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<QuantumAction, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let tag_path = obj.field_path("action");
+        let tag = obj.required("action")?.as_str(&tag_path)?.to_owned();
+        let action = match tag.as_str() {
+            "gate" => {
+                let gate = Gate::from_json(obj.required("gate")?, &obj.field_path("gate"))?;
+                let qubits_path = obj.field_path("qubits");
+                let qubits = obj
+                    .required("qubits")?
+                    .as_array(&qubits_path)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v.as_usize(&format!("{qubits_path}[{i}]")))
+                    .collect::<Result<Vec<usize>, JsonError>>()?;
+                QuantumAction::Gate { gate, qubits }
+            }
+            "measure" => QuantumAction::Measure {
+                qubit: obj.required("qubit")?.as_usize(&obj.field_path("qubit"))?,
+            },
+            "reset" => QuantumAction::Reset {
+                qubit: obj.required("qubit")?.as_usize(&obj.field_path("qubit"))?,
+            },
+            other => {
+                return Err(JsonError::decode(
+                    tag_path,
+                    format!(
+                        "unknown action \"{other}\" (expected \"gate\", \"measure\", or \"reset\")"
+                    ),
+                ))
+            }
+        };
+        obj.reject_unknown()?;
+        Ok(action)
+    }
+}
+
+impl MeasBinding {
+    /// Serializes the measurement binding.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("qubit".into(), self.qubit.into()),
+            ("result_latency".into(), self.result_latency.into()),
+        ])
+    }
+
+    /// Parses a binding serialized by [`MeasBinding::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields or
+    /// wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<MeasBinding, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let qubit = obj.required("qubit")?.as_usize(&obj.field_path("qubit"))?;
+        let result_latency = obj
+            .required("result_latency")?
+            .as_u64(&obj.field_path("result_latency"))?;
+        obj.reject_unknown()?;
+        Ok(MeasBinding {
+            qubit,
+            result_latency,
+        })
+    }
+}
+
+impl Hub {
+    /// Serializes the broadcast hub.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "subscribers".into(),
+                Json::Array(self.subscribers.iter().map(|&s| s.into()).collect()),
+            ),
+            ("down_latency".into(), self.down_latency.into()),
+        ])
+    }
+
+    /// Parses a hub serialized by [`Hub::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields or
+    /// wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<Hub, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let subscribers_path = obj.field_path("subscribers");
+        let subscribers = obj
+            .required("subscribers")?
+            .as_array(&subscribers_path)?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.as_u16(&format!("{subscribers_path}[{i}]")))
+            .collect::<Result<Vec<NodeAddr>, JsonError>>()?;
+        let down_latency = obj
+            .required("down_latency")?
+            .as_u64(&obj.field_path("down_latency"))?;
+        obj.reject_unknown()?;
+        Ok(Hub {
+            subscribers,
+            down_latency,
+        })
+    }
+}
+
+/// Serializes a program as its encoded u32 instruction words (the
+/// `hisq-isa` wire format — an exact round-trip, unlike assembly text).
+fn program_to_json(program: &[Inst], path: &str) -> Result<Json, JsonError> {
+    let words = hisq_isa::encode::encode_all(program)
+        .map_err(|e| JsonError::decode(path, format!("unencodable program: {e}")))?;
+    Ok(Json::Array(words.into_iter().map(Json::from).collect()))
+}
+
+/// Parses a program serialized by [`program_to_json`].
+fn program_from_json(value: &Json, path: &str) -> Result<Vec<Inst>, JsonError> {
+    let words = value
+        .as_array(path)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v.as_u32(&format!("{path}[{i}]")))
+        .collect::<Result<Vec<u32>, JsonError>>()?;
+    hisq_isa::decode::decode_all(&words)
+        .map_err(|e| JsonError::decode(path, format!("undecodable program: {e}")))
+}
+
+impl SystemSpec {
+    /// Serializes the complete deployment description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if a controller program contains an
+    /// instruction outside the encodable ISA (e.g. an out-of-range
+    /// immediate), naming the controller's path.
+    pub fn to_json(&self) -> Result<Json, JsonError> {
+        let controllers = self
+            .controllers
+            .iter()
+            .enumerate()
+            .map(|(i, (config, program))| {
+                Ok(Json::Object(vec![
+                    ("config".into(), config.to_json()),
+                    (
+                        "program".into(),
+                        program_to_json(program, &format!("spec.controllers[{i}].program"))?,
+                    ),
+                ]))
+            })
+            .collect::<Result<Vec<Json>, JsonError>>()?;
+        let hubs = self
+            .hubs
+            .iter()
+            .map(|(addr, hub)| {
+                let Json::Object(mut fields) = hub.to_json() else {
+                    unreachable!("hubs serialize as objects");
+                };
+                fields.insert(0, ("addr".into(), (*addr).into()));
+                Json::Object(fields)
+            })
+            .collect();
+        let bindings = self
+            .bindings
+            .iter()
+            .map(|(node, port, codeword, action)| {
+                Json::Object(vec![
+                    ("node".into(), (*node).into()),
+                    ("port".into(), (*port).into()),
+                    ("codeword".into(), (*codeword).into()),
+                    ("action".into(), action.to_json()),
+                ])
+            })
+            .collect();
+        let meas_ports = self
+            .meas_ports
+            .iter()
+            .map(|(node, port, binding)| {
+                let Json::Object(mut fields) = binding.to_json() else {
+                    unreachable!("bindings serialize as objects");
+                };
+                fields.insert(0, ("port".into(), (*port).into()));
+                fields.insert(0, ("node".into(), (*node).into()));
+                Json::Object(fields)
+            })
+            .collect();
+        Ok(Json::Object(vec![
+            ("config".into(), self.config.to_json()),
+            ("backend".into(), self.backend.to_json()),
+            ("controllers".into(), Json::Array(controllers)),
+            (
+                "routers".into(),
+                Json::Array(self.routers.iter().map(Router::to_json).collect()),
+            ),
+            ("hubs".into(), Json::Array(hubs)),
+            (
+                "topology".into(),
+                match &self.topology {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("link_model".into(), self.link_model.to_json()),
+            ("bindings".into(), Json::Array(bindings)),
+            ("meas_ports".into(), Json::Array(meas_ports)),
+        ]))
+    }
+
+    /// Parses a spec serialized by [`SystemSpec::to_json`]. Every
+    /// top-level field may be omitted (the [`SystemSpec::new`] empty
+    /// defaults apply), so minimal hand-written specs stay short.
+    ///
+    /// The description is *not* validated here beyond its shape — as
+    /// with the builder API, address collisions and dangling binding
+    /// targets surface when [`SystemSpec::build`] runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields, wrong
+    /// types, or undecodable programs.
+    pub fn from_json(value: &Json, path: &str) -> Result<SystemSpec, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut spec = SystemSpec::new();
+        if let Some(v) = obj.optional("config") {
+            spec.config = SimConfig::from_json(v, &obj.field_path("config"))?;
+        }
+        if let Some(v) = obj.optional("backend") {
+            spec.backend = BackendSpec::from_json(v, &obj.field_path("backend"))?;
+        }
+        if let Some(v) = obj.optional("controllers") {
+            let list_path = obj.field_path("controllers");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let mut ctrl = ObjReader::new(entry, &entry_path)?;
+                let config =
+                    NodeConfig::from_json(ctrl.required("config")?, &ctrl.field_path("config"))?;
+                let program =
+                    program_from_json(ctrl.required("program")?, &ctrl.field_path("program"))?;
+                ctrl.reject_unknown()?;
+                spec.controllers.push((config, program));
+            }
+        }
+        if let Some(v) = obj.optional("routers") {
+            let list_path = obj.field_path("routers");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                spec.routers
+                    .push(Router::from_json(entry, &format!("{list_path}[{i}]"))?);
+            }
+        }
+        if let Some(v) = obj.optional("hubs") {
+            let list_path = obj.field_path("hubs");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let mut hub_obj = ObjReader::new(entry, &entry_path)?;
+                let addr = hub_obj
+                    .required("addr")?
+                    .as_u16(&hub_obj.field_path("addr"))?;
+                let Json::Object(entries) = entry else {
+                    unreachable!("ObjReader verified this is an object");
+                };
+                let rest: Vec<(String, Json)> = entries
+                    .iter()
+                    .filter(|(k, _)| k != "addr")
+                    .cloned()
+                    .collect();
+                let hub = Hub::from_json(&Json::Object(rest), &entry_path)?;
+                hub_obj.optional("subscribers");
+                hub_obj.optional("down_latency");
+                hub_obj.reject_unknown()?;
+                spec.hubs.push((addr, hub));
+            }
+        }
+        if let Some(v) = obj.optional("topology") {
+            if !matches!(v, Json::Null) {
+                spec.topology = Some(Topology::from_json(v, &obj.field_path("topology"))?);
+            }
+        }
+        if let Some(v) = obj.optional("link_model") {
+            spec.link_model = LinkModel::from_json(v, &obj.field_path("link_model"))?;
+        }
+        if let Some(v) = obj.optional("bindings") {
+            let list_path = obj.field_path("bindings");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let mut bind = ObjReader::new(entry, &entry_path)?;
+                let node = bind.required("node")?.as_u16(&bind.field_path("node"))?;
+                let port = bind.required("port")?.as_u32(&bind.field_path("port"))?;
+                let codeword = bind
+                    .required("codeword")?
+                    .as_u32(&bind.field_path("codeword"))?;
+                let action =
+                    QuantumAction::from_json(bind.required("action")?, &bind.field_path("action"))?;
+                bind.reject_unknown()?;
+                spec.bindings.push((node, port, codeword, action));
+            }
+        }
+        if let Some(v) = obj.optional("meas_ports") {
+            let list_path = obj.field_path("meas_ports");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let mut port_obj = ObjReader::new(entry, &entry_path)?;
+                let node = port_obj
+                    .required("node")?
+                    .as_u16(&port_obj.field_path("node"))?;
+                let port = port_obj
+                    .required("port")?
+                    .as_u32(&port_obj.field_path("port"))?;
+                let Json::Object(entries) = entry else {
+                    unreachable!("ObjReader verified this is an object");
+                };
+                let rest: Vec<(String, Json)> = entries
+                    .iter()
+                    .filter(|(k, _)| k != "node" && k != "port")
+                    .cloned()
+                    .collect();
+                let binding = MeasBinding::from_json(&Json::Object(rest), &entry_path)?;
+                port_obj.optional("qubit");
+                port_obj.optional("result_latency");
+                port_obj.reject_unknown()?;
+                spec.meas_ports.push((node, port, binding));
+            }
+        }
+        obj.reject_unknown()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use hisq_isa::Assembler;
+    use hisq_net::TopologyBuilder;
+
+    fn asm(src: &str) -> Vec<Inst> {
+        Assembler::new().assemble(src).unwrap().insts().to_vec()
+    }
+
+    fn exemplar_spec() -> SystemSpec {
+        let topology = TopologyBuilder::grid(2, 2)
+            .link_model(LinkModel::serialized(40))
+            .build();
+        let mut programs = BTreeMap::new();
+        for addr in 0..4u16 {
+            programs.insert(addr, asm("waiti 10\ncw.i.i 1, 2\nstop"));
+        }
+        let mut spec = SystemSpec::from_topology(&topology, programs);
+        spec.config(SimConfig {
+            default_classical_latency: 30,
+            ..SimConfig::default()
+        });
+        spec.backend(BackendSpec::Leaky {
+            seed: 7,
+            p_one: 0.5,
+            noise: NoiseModel::NOISELESS.with_leak(1e-3),
+        });
+        spec.hub(
+            9,
+            Hub {
+                subscribers: vec![0, 1, 2, 3],
+                down_latency: 25,
+            },
+        );
+        spec.bind(
+            0,
+            1,
+            2,
+            QuantumAction::Gate {
+                gate: Gate::Cphase(0.5),
+                qubits: vec![0, 1],
+            },
+        );
+        spec.bind_measurement_port(
+            1,
+            2,
+            MeasBinding {
+                qubit: 1,
+                result_latency: 75,
+            },
+        );
+        spec
+    }
+
+    #[test]
+    fn system_spec_round_trips() {
+        let spec = exemplar_spec();
+        let json = spec.to_json().unwrap();
+        let back = SystemSpec::from_json(&json, "spec").unwrap();
+        assert_eq!(spec, back);
+        // And through text, both compact and pretty.
+        let compact = json.to_string_compact();
+        let pretty = json.to_string_pretty();
+        for text in [compact, pretty] {
+            let reparsed = Json::parse(&text).unwrap();
+            assert_eq!(SystemSpec::from_json(&reparsed, "spec").unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn round_tripped_spec_builds_and_runs_identically() {
+        let spec = exemplar_spec();
+        let back = SystemSpec::from_json(&spec.to_json().unwrap(), "spec").unwrap();
+        let report_a = spec.build().unwrap().run().unwrap();
+        let report_b = back.build().unwrap().run().unwrap();
+        assert_eq!(report_a.makespan_cycles, report_b.makespan_cycles);
+        assert_eq!(report_a.events_processed, report_b.events_processed);
+    }
+
+    #[test]
+    fn empty_object_is_the_empty_spec() {
+        let spec = SystemSpec::from_json(&Json::parse("{}").unwrap(), "spec").unwrap();
+        assert_eq!(spec, SystemSpec::new());
+    }
+
+    #[test]
+    fn backend_specs_round_trip() {
+        for backend in [
+            BackendSpec::Random {
+                seed: 3,
+                p_one: 0.25,
+            },
+            BackendSpec::Fixed { outcome: true },
+            BackendSpec::Stabilizer { qubits: 8, seed: 1 },
+            BackendSpec::StateVector { qubits: 4, seed: 2 },
+            BackendSpec::NoisyStabilizer {
+                qubits: 8,
+                seed: 5,
+                noise: NoiseModel::NOISELESS.with_gate_errors(1e-3, 1e-2),
+            },
+            BackendSpec::Leaky {
+                seed: u64::MAX,
+                p_one: 0.5,
+                noise: NoiseModel::NOISELESS.with_leak(2e-3),
+            },
+        ] {
+            let text = backend.to_json().to_string_compact();
+            let back = BackendSpec::from_json(&Json::parse(&text).unwrap(), "b").unwrap();
+            assert_eq!(backend, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_paths() {
+        for (text, needle) in [
+            (
+                r#"{"kind": "random", "seed": 0, "p_one": 0.5, "bias": 1}"#,
+                "unknown field `bias`",
+            ),
+            (r#"{"kind": "warp"}"#, "unknown backend kind"),
+        ] {
+            let err = BackendSpec::from_json(&Json::parse(text).unwrap(), "b").unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+        let err = QuantumAction::from_json(
+            &Json::parse(r#"{"action": "measure", "qubit": 0, "basis": "z"}"#).unwrap(),
+            "a",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown field `basis`"), "{err}");
+    }
+
+    #[test]
+    fn programs_survive_as_exact_words() {
+        let program = asm("waiti 10\nsync 1\ncw.i.i 3, 7\nstop");
+        let json = program_to_json(&program, "p").unwrap();
+        let back = program_from_json(&json, "p").unwrap();
+        assert_eq!(program, back);
+    }
+}

@@ -97,6 +97,7 @@ pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod events;
+pub mod json;
 pub mod nodes;
 pub mod spec;
 pub mod sweep;

@@ -149,17 +149,17 @@ impl BackendSpec {
 /// A complete, declarative description of a Distributed-HISQ
 /// deployment. See the [module docs](self) for the building/validation
 /// contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SystemSpec {
-    config: SimConfig,
-    backend: BackendSpec,
-    controllers: Vec<(NodeConfig, Vec<Inst>)>,
-    routers: Vec<Router>,
-    hubs: Vec<(NodeAddr, Hub)>,
-    topology: Option<Topology>,
-    link_model: LinkModel,
-    bindings: Vec<(NodeAddr, u32, u32, QuantumAction)>,
-    meas_ports: Vec<(NodeAddr, u32, MeasBinding)>,
+    pub(crate) config: SimConfig,
+    pub(crate) backend: BackendSpec,
+    pub(crate) controllers: Vec<(NodeConfig, Vec<Inst>)>,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) hubs: Vec<(NodeAddr, Hub)>,
+    pub(crate) topology: Option<Topology>,
+    pub(crate) link_model: LinkModel,
+    pub(crate) bindings: Vec<(NodeAddr, u32, u32, QuantumAction)>,
+    pub(crate) meas_ports: Vec<(NodeAddr, u32, MeasBinding)>,
 }
 
 impl SystemSpec {

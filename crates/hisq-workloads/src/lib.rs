@@ -27,6 +27,7 @@
 
 pub mod adder;
 pub mod bv;
+pub mod json;
 pub mod logical_t;
 pub mod qft;
 pub mod suite;

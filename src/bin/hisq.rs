@@ -1,0 +1,198 @@
+//! `hisq` — run and validate scenario files.
+//!
+//! ```text
+//! hisq run <scenario.json> [--repetitions N] [--threads T] [--json]
+//! hisq validate <scenario.json>
+//! ```
+//!
+//! `run` expands the scenario file into its sweep grid (see
+//! `docs/SCENARIOS.md`), executes it on the deterministic worker pool,
+//! and prints either a human summary or (`--json`) the raw sweep
+//! report — byte-identical for any `--threads` value, which is what
+//! the golden-corpus CI gate replays. `validate` parses and expands
+//! the file without running anything, printing the scenario ids.
+//!
+//! Unknown flags and malformed inputs exit nonzero with a usage
+//! message; nothing is silently ignored.
+
+use std::process::ExitCode;
+
+use distributed_hisq::runner::run_sweep;
+use distributed_hisq::scenario::ScenarioFile;
+
+const USAGE: &str = "\
+usage: hisq <command> [options]
+
+commands:
+  run <scenario.json>       expand and execute a scenario file
+  validate <scenario.json>  parse and expand a scenario file, print its grid
+
+options (run):
+  --repetitions N   override the file's repetition count (default: the file's)
+  --threads T       worker threads (default 1; output is identical for any T)
+  --json            print the raw sweep report as JSON
+
+options (validate):
+  (none)
+
+The scenario-file grammar is documented in docs/SCENARIOS.md.";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("hisq: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+struct RunArgs {
+    file: String,
+    repetitions: Option<u64>,
+    threads: usize,
+    json: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut file = None;
+    let mut repetitions = None;
+    let mut threads = 1usize;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--repetitions" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--repetitions needs a value".to_string())?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --repetitions value `{value}`"))?;
+                if n == 0 {
+                    return Err("--repetitions must be at least 1".to_string());
+                }
+                repetitions = Some(n);
+            }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                threads = value
+                    .parse()
+                    .map_err(|_| format!("invalid --threads value `{value}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--json" => json = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            positional => {
+                if file.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument `{positional}`"));
+                }
+            }
+        }
+    }
+    let file = file.ok_or_else(|| "missing scenario file".to_string())?;
+    Ok(RunArgs {
+        file,
+        repetitions,
+        threads,
+        json,
+    })
+}
+
+fn load(path: &str) -> Result<ScenarioFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ScenarioFile::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let args = match parse_run_args(args) {
+        Ok(args) => args,
+        Err(message) => return fail(&message),
+    };
+    let file = match load(&args.file) {
+        Ok(file) => file,
+        Err(message) => {
+            eprintln!("hisq: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = file.expand(args.repetitions);
+    eprintln!(
+        "[hisq] {}: {} scenario(s) on {} thread(s)...",
+        file.name,
+        scenarios.len(),
+        args.threads
+    );
+    let report = match run_sweep(&scenarios, args.threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("hisq: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.json {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!("{}: {} scenario(s)", file.name, report.records().len());
+    if !file.description.is_empty() {
+        println!("  {}", file.description);
+    }
+    println!("{:-<78}", "");
+    for record in report.records() {
+        let makespan = match record.metrics.get("makespan_ns") {
+            Some(distributed_hisq::sim::Metric::U64(ns)) => format!("{ns:>12}"),
+            _ => format!("{:>12}", "-"),
+        };
+        println!("{makespan} ns  {}", record.id);
+    }
+    println!("{:-<78}", "");
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail(if args.is_empty() {
+            "missing scenario file"
+        } else {
+            "validate takes exactly one scenario file"
+        });
+    };
+    let file = match load(path) {
+        Ok(file) => file,
+        Err(message) => {
+            eprintln!("hisq: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = file.expand(None);
+    println!(
+        "{}: ok ({} grid point(s) x {} repetition(s) = {} scenario(s))",
+        file.name,
+        file.grid_len(),
+        file.repetitions,
+        scenarios.len()
+    );
+    for scenario in &scenarios {
+        println!("  {}", scenario.id());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((command, rest)) => match command.as_str() {
+            "run" => cmd_run(rest),
+            "validate" => cmd_validate(rest),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            other => fail(&format!("unknown command `{other}`")),
+        },
+        None => fail("missing command"),
+    }
+}

@@ -47,11 +47,16 @@
 //! drives whole parameter sweeps end to end — compile → place →
 //! simulate → aggregate — via [`runner::Scenario`] and
 //! [`runner::run_sweep`] on the [`sim::sweep`] worker pool.
+//!
+//! The [`scenario`] module is the same harness as *files*: versioned
+//! JSON documents describing a base scenario plus sweep axes, executed
+//! by the `hisq run` binary and replayed byte-for-byte in CI.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod runner;
+pub mod scenario;
 
 pub use hisq_analog as analog;
 pub use hisq_compiler as compiler;

@@ -48,8 +48,9 @@ use hisq_compiler::{
     compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
     LockstepOptions, Scheme, PORT_READOUT,
 };
-use hisq_core::NodeConfig;
+use hisq_core::{NodeAddr, NodeConfig};
 use hisq_isa::CYCLE_NS;
+use hisq_json::{Json, JsonError, ObjReader};
 use hisq_net::{LinkModel, Topology, TopologyBuilder};
 use hisq_quantum::{CoherenceParams, ExposureLedger, NoiseModel};
 use hisq_sim::{
@@ -102,6 +103,15 @@ pub enum RunnerError {
         /// The simulator error.
         source: SimError,
     },
+    /// A [`SurgeryOp`] could not be applied to the scenario's topology
+    /// (e.g. dropping the only router level, or a rewire that would
+    /// create a cycle).
+    Surgery {
+        /// Scenario id.
+        id: String,
+        /// What the surgery op objected to.
+        message: String,
+    },
 }
 
 impl RunnerError {
@@ -150,6 +160,9 @@ impl fmt::Display for RunnerError {
             }
             RunnerError::Sim { id, source } if id.is_empty() => write!(f, "{source}"),
             RunnerError::Sim { id, source } => write!(f, "{id}: {source}"),
+            RunnerError::Surgery { id, message } => {
+                write!(f, "{id}: invalid surgery: {message}")
+            }
         }
     }
 }
@@ -319,6 +332,163 @@ pub fn run_compiled(
     })
 }
 
+/// A spec-surgery transform: a declarative edit applied to a scenario
+/// before it runs, making "the same experiment, with one structural
+/// change" expressible as a first-class sweep axis (and a scenario-file
+/// field) instead of a forked binary.
+///
+/// Topology ops ([`DropRouterLevel`](SurgeryOp::DropRouterLevel),
+/// [`RewireSubtree`](SurgeryOp::RewireSubtree)) mutate the built
+/// router tree *before* compilation, so the BISP compiler places
+/// region syncs against the surgered tree. Scenario ops
+/// ([`SwapWorkload`](SurgeryOp::SwapWorkload),
+/// [`OverrideLinkModel`](SurgeryOp::OverrideLinkModel),
+/// [`OverrideNoise`](SurgeryOp::OverrideNoise)) replace the
+/// corresponding scenario field. Ops apply in list order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurgeryOp {
+    /// Remove the bottom router level, splicing its children into
+    /// their grandparents (see
+    /// [`Topology::drop_router_level`]) — a flatter,
+    /// higher-fan-in synchronization tree.
+    DropRouterLevel,
+    /// Reattach the subtree rooted at `subtree` under router
+    /// `new_parent` (see [`Topology::rewire_subtree`]) —
+    /// a region reporting through a different coordinator.
+    RewireSubtree {
+        /// Root of the moved subtree (controller or router address).
+        subtree: NodeAddr,
+        /// The router that adopts it.
+        new_parent: NodeAddr,
+    },
+    /// Run a different workload with otherwise identical parameters.
+    SwapWorkload {
+        /// The replacement workload.
+        workload: WorkloadSpec,
+    },
+    /// Replace the classical link contention model.
+    OverrideLinkModel {
+        /// The replacement model.
+        link_model: LinkModel,
+    },
+    /// Replace the quantum noise model.
+    OverrideNoise {
+        /// The replacement model.
+        noise: NoiseModel,
+    },
+}
+
+impl SurgeryOp {
+    /// Short stable fragment for scenario ids (see [`Scenario::id`]).
+    fn id_fragment(&self) -> String {
+        match self {
+            SurgeryOp::DropRouterLevel => "droplevel".to_string(),
+            SurgeryOp::RewireSubtree {
+                subtree,
+                new_parent,
+            } => format!("rewire{subtree}-{new_parent}"),
+            SurgeryOp::SwapWorkload { workload } => format!("swap-{}", workload.label()),
+            SurgeryOp::OverrideLinkModel { link_model } => {
+                let mut frag = format!(
+                    "lm-ser{}.c{}",
+                    link_model.serialization_ns, link_model.capacity
+                );
+                if let Some(drop) = link_model.drop {
+                    frag.push_str(&format!(
+                        ".loss{}.s{}.a{}",
+                        drop.loss_ppm, drop.seed, drop.max_attempts
+                    ));
+                }
+                frag
+            }
+            SurgeryOp::OverrideNoise { noise } => format!(
+                "noise-p1q{}.p2q{}.m{}.i{}.l{}",
+                noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
+            ),
+        }
+    }
+
+    /// Serializes the op as an `op`-tagged object, e.g.
+    /// `{"op":"rewire_subtree","subtree":5,"new_parent":21}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SurgeryOp::DropRouterLevel => {
+                Json::Object(vec![("op".into(), Json::str("drop_router_level"))])
+            }
+            SurgeryOp::RewireSubtree {
+                subtree,
+                new_parent,
+            } => Json::Object(vec![
+                ("op".into(), Json::str("rewire_subtree")),
+                ("subtree".into(), (*subtree).into()),
+                ("new_parent".into(), (*new_parent).into()),
+            ]),
+            SurgeryOp::SwapWorkload { workload } => Json::Object(vec![
+                ("op".into(), Json::str("swap_workload")),
+                ("workload".into(), workload.to_json()),
+            ]),
+            SurgeryOp::OverrideLinkModel { link_model } => Json::Object(vec![
+                ("op".into(), Json::str("override_link_model")),
+                ("link_model".into(), link_model.to_json()),
+            ]),
+            SurgeryOp::OverrideNoise { noise } => Json::Object(vec![
+                ("op".into(), Json::str("override_noise")),
+                ("noise".into(), noise.to_json()),
+            ]),
+        }
+    }
+
+    /// Parses an op serialized by [`SurgeryOp::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for an unknown `op` tag,
+    /// missing/unknown fields, or wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<SurgeryOp, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let tag_path = obj.field_path("op");
+        let tag = obj.required("op")?.as_str(&tag_path)?.to_owned();
+        let op = match tag.as_str() {
+            "drop_router_level" => SurgeryOp::DropRouterLevel,
+            "rewire_subtree" => SurgeryOp::RewireSubtree {
+                subtree: obj
+                    .required("subtree")?
+                    .as_u16(&obj.field_path("subtree"))?,
+                new_parent: obj
+                    .required("new_parent")?
+                    .as_u16(&obj.field_path("new_parent"))?,
+            },
+            "swap_workload" => SurgeryOp::SwapWorkload {
+                workload: WorkloadSpec::from_json(
+                    obj.required("workload")?,
+                    &obj.field_path("workload"),
+                )?,
+            },
+            "override_link_model" => SurgeryOp::OverrideLinkModel {
+                link_model: LinkModel::from_json(
+                    obj.required("link_model")?,
+                    &obj.field_path("link_model"),
+                )?,
+            },
+            "override_noise" => SurgeryOp::OverrideNoise {
+                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+            },
+            other => {
+                return Err(JsonError::decode(
+                    tag_path,
+                    format!(
+                        "unknown surgery op \"{other}\" (expected \"drop_router_level\", \
+                         \"rewire_subtree\", \"swap_workload\", \"override_link_model\", or \
+                         \"override_noise\")"
+                    ),
+                ))
+            }
+        };
+        obj.reject_unknown()?;
+        Ok(op)
+    }
+}
+
 /// System-level parameters of a scenario: the mesh/tree link latencies
 /// the BISP topology is built with, the star latencies of the
 /// lock-step baseline's broadcast hub, and the classical-link and
@@ -366,6 +536,63 @@ impl Default for SystemParams {
     }
 }
 
+impl SystemParams {
+    /// Serializes the parameters (every field explicit, so a committed
+    /// scenario documents its full configuration).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("neighbor_latency".into(), self.neighbor_latency.into()),
+            ("router_latency".into(), self.router_latency.into()),
+            ("router_arity".into(), self.router_arity.into()),
+            ("star_up_latency".into(), self.star_up_latency.into()),
+            ("star_down_latency".into(), self.star_down_latency.into()),
+            ("link_model".into(), self.link_model.to_json()),
+            ("noise".into(), self.noise.to_json()),
+        ])
+    }
+
+    /// Parses parameters serialized by [`SystemParams::to_json`].
+    /// Omitted fields take the paper defaults ([`SystemParams::default`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields, wrong
+    /// types, or `router_arity < 2` (the topology builder would panic).
+    pub fn from_json(value: &Json, path: &str) -> Result<SystemParams, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut params = SystemParams::default();
+        if let Some(v) = obj.optional("neighbor_latency") {
+            params.neighbor_latency = v.as_u64(&obj.field_path("neighbor_latency"))?;
+        }
+        if let Some(v) = obj.optional("router_latency") {
+            params.router_latency = v.as_u64(&obj.field_path("router_latency"))?;
+        }
+        if let Some(v) = obj.optional("router_arity") {
+            params.router_arity = v.as_usize(&obj.field_path("router_arity"))?;
+            if params.router_arity < 2 {
+                return Err(JsonError::decode(
+                    obj.field_path("router_arity"),
+                    "router arity must be at least 2",
+                ));
+            }
+        }
+        if let Some(v) = obj.optional("star_up_latency") {
+            params.star_up_latency = v.as_u64(&obj.field_path("star_up_latency"))?;
+        }
+        if let Some(v) = obj.optional("star_down_latency") {
+            params.star_down_latency = v.as_u64(&obj.field_path("star_down_latency"))?;
+        }
+        if let Some(v) = obj.optional("link_model") {
+            params.link_model = LinkModel::from_json(v, &obj.field_path("link_model"))?;
+        }
+        if let Some(v) = obj.optional("noise") {
+            params.noise = NoiseModel::from_json(v, &obj.field_path("noise"))?;
+        }
+        obj.reject_unknown()?;
+        Ok(params)
+    }
+}
+
 /// One experiment point of a sweep: workload × scheme × system
 /// parameters × seed × coherence time.
 #[derive(Debug, Clone, PartialEq)]
@@ -378,8 +605,16 @@ pub struct Scenario {
     pub seed: u64,
     /// Relaxation time T1 = T2 (µs) the infidelity metric is scored at.
     pub t1_us: f64,
+    /// Program repetitions per run. Under BISP every shot after the
+    /// first opens with a region-level synchronization against the
+    /// router tree (§2.1.4), so multi-shot scenarios are the ones where
+    /// tree surgery is timing-visible; lock-step unrolls shots
+    /// statically.
+    pub shots: u32,
     /// Link latencies and baseline star parameters.
     pub params: SystemParams,
+    /// Spec-surgery transforms applied before the run (usually empty).
+    pub surgery: Vec<SurgeryOp>,
 }
 
 impl Scenario {
@@ -391,8 +626,17 @@ impl Scenario {
             scheme,
             seed: 1,
             t1_us: 300.0,
+            shots: 1,
             params: SystemParams::default(),
+            surgery: Vec::new(),
         }
+    }
+
+    /// Replaces the shot count (builder style).
+    #[must_use]
+    pub fn with_shots(mut self, shots: u32) -> Scenario {
+        self.shots = shots;
+        self
     }
 
     /// Replaces the backend seed (builder style).
@@ -416,11 +660,19 @@ impl Scenario {
         self
     }
 
+    /// Appends a spec-surgery transform (builder style).
+    #[must_use]
+    pub fn with_surgery(mut self, op: SurgeryOp) -> Scenario {
+        self.surgery.push(op);
+        self
+    }
+
     /// Stable identifier used as the sweep-record id (and for pairing
     /// scheme twins in the figure harnesses).
     ///
-    /// Default-link-model ids are unchanged from their historical form;
-    /// a contended model appends a
+    /// Default-link-model single-shot ids are unchanged from their
+    /// historical form; a multi-shot scenario appends a `/shotsN`
+    /// segment, and a contended model appends a
     /// `/serN.cK[.lossPPM.sSEED.aATTEMPTS]` segment covering every
     /// [`LinkModel`] field, so grid points along *any* link-model axis
     /// (serialization, capacity, loss rate, drop seed, attempt budget)
@@ -439,6 +691,10 @@ impl Scenario {
             self.seed,
             self.t1_us
         );
+        // Single-shot ids are unchanged from their historical form.
+        if self.shots != 1 {
+            id.push_str(&format!("/shots{}", self.shots));
+        }
         let model = self.params.link_model;
         if model != LinkModel::default() {
             id.push_str(&format!(
@@ -459,7 +715,88 @@ impl Scenario {
                 noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
             ));
         }
+        // Surgery-free ids are unchanged from their historical form.
+        for op in &self.surgery {
+            id.push_str("/x-");
+            id.push_str(&op.id_fragment());
+        }
         id
+    }
+
+    /// Serializes the scenario for the scenario-file surface
+    /// (`hisq run`). Every field is explicit.
+    pub fn to_json(&self) -> Json {
+        let scheme = match self.scheme {
+            Scheme::Bisp => "bisp",
+            Scheme::Lockstep => "lockstep",
+        };
+        let mut fields = vec![
+            ("workload".into(), self.workload.to_json()),
+            ("scheme".into(), Json::str(scheme)),
+            ("seed".into(), self.seed.into()),
+            ("t1_us".into(), Json::float(self.t1_us)),
+            ("shots".into(), u64::from(self.shots).into()),
+            ("params".into(), self.params.to_json()),
+        ];
+        if !self.surgery.is_empty() {
+            fields.push((
+                "surgery".into(),
+                Json::Array(self.surgery.iter().map(SurgeryOp::to_json).collect()),
+            ));
+        }
+        Json::Object(fields)
+    }
+
+    /// Parses a scenario serialized by [`Scenario::to_json`]. Only
+    /// `workload` and `scheme` are required; `seed`, `t1_us`, `shots`,
+    /// `params`, and `surgery` default as in [`Scenario::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields,
+    /// an unknown scheme, or wrong types.
+    pub fn from_json(value: &Json, path: &str) -> Result<Scenario, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let workload =
+            WorkloadSpec::from_json(obj.required("workload")?, &obj.field_path("workload"))?;
+        let scheme_path = obj.field_path("scheme");
+        let scheme = match obj.required("scheme")?.as_str(&scheme_path)? {
+            "bisp" => Scheme::Bisp,
+            "lockstep" => Scheme::Lockstep,
+            other => {
+                return Err(JsonError::decode(
+                    scheme_path,
+                    format!("unknown scheme \"{other}\" (expected \"bisp\" or \"lockstep\")"),
+                ))
+            }
+        };
+        let mut scenario = Scenario::new(workload, scheme);
+        if let Some(v) = obj.optional("seed") {
+            scenario.seed = v.as_u64(&obj.field_path("seed"))?;
+        }
+        if let Some(v) = obj.optional("t1_us") {
+            scenario.t1_us = v.as_f64(&obj.field_path("t1_us"))?;
+        }
+        if let Some(v) = obj.optional("shots") {
+            let shots_path = obj.field_path("shots");
+            scenario.shots = v.as_u32(&shots_path)?;
+            if scenario.shots == 0 {
+                return Err(JsonError::decode(shots_path, "shots must be at least 1"));
+            }
+        }
+        if let Some(v) = obj.optional("params") {
+            scenario.params = SystemParams::from_json(v, &obj.field_path("params"))?;
+        }
+        if let Some(v) = obj.optional("surgery") {
+            let list_path = obj.field_path("surgery");
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                scenario
+                    .surgery
+                    .push(SurgeryOp::from_json(entry, &format!("{list_path}[{i}]"))?);
+            }
+        }
+        obj.reject_unknown()?;
+        Ok(scenario)
     }
 }
 
@@ -486,30 +823,63 @@ impl Scenario {
 /// — all reported with the scenario id for context.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
-    let built = scenario
-        .workload
+    // Scenario-level surgery first: the effective workload and
+    // parameters feed everything downstream (topology, compiler,
+    // backend choice, metric gating).
+    let mut workload = scenario.workload.clone();
+    let mut p = scenario.params;
+    for op in &scenario.surgery {
+        match op {
+            SurgeryOp::SwapWorkload { workload: w } => workload = w.clone(),
+            SurgeryOp::OverrideLinkModel { link_model } => p.link_model = *link_model,
+            SurgeryOp::OverrideNoise { noise } => p.noise = *noise,
+            SurgeryOp::DropRouterLevel | SurgeryOp::RewireSubtree { .. } => {}
+        }
+    }
+    let built = workload
         .build()
         .ok_or_else(|| RunnerError::UnknownWorkload { id: id.clone() })?;
-    let p = scenario.params;
-    let topology = TopologyBuilder::grid(built.grid.0, built.grid.1)
+    let mut topology = TopologyBuilder::grid(built.grid.0, built.grid.1)
         .neighbor_latency(p.neighbor_latency)
         .router_latency(p.router_latency)
         .router_arity(p.router_arity)
         .link_model(p.link_model)
         .build();
+    // Topology surgery second, so the compiler places region syncs
+    // against the surgered tree.
+    for op in &scenario.surgery {
+        let result = match op {
+            SurgeryOp::DropRouterLevel => topology.drop_router_level(),
+            SurgeryOp::RewireSubtree {
+                subtree,
+                new_parent,
+            } => topology.rewire_subtree(*subtree, *new_parent),
+            _ => Ok(()),
+        };
+        result.map_err(|message| RunnerError::Surgery {
+            id: id.clone(),
+            message,
+        })?;
+    }
     let (compiled, topology) = match scenario.scheme {
         Scheme::Bisp => {
-            let compiled = compile_bisp(&built.circuit, &topology, &BispOptions::default())
-                .map_err(|e| RunnerError::Compile {
+            let options = BispOptions {
+                shots: scenario.shots,
+                ..BispOptions::default()
+            };
+            let compiled = compile_bisp(&built.circuit, &topology, &options).map_err(|e| {
+                RunnerError::Compile {
                     id: id.clone(),
                     message: format!("BISP: {e}"),
-                })?;
+                }
+            })?;
             (compiled, Some(&topology))
         }
         Scheme::Lockstep => {
             let options = LockstepOptions {
                 star_up_latency: p.star_up_latency,
                 star_down_latency: p.star_down_latency,
+                shots: scenario.shots,
                 ..LockstepOptions::default()
             };
             let compiled =

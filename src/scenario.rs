@@ -1,0 +1,535 @@
+//! Versioned scenario files: the product surface of the reproduction.
+//!
+//! A scenario file is a JSON document describing a whole experiment —
+//! a base [`Scenario`], sweep axes expanded into the cartesian grid
+//! (exactly what the in-process [`SweepGrid`](hisq_sim::SweepGrid)
+//! builders do), and a repetition count — that the `hisq run` binary
+//! executes through the deterministic sweep engine. Committed scenario
+//! files plus their committed reports form the golden replay corpus in
+//! `scenarios/`, compared byte-for-byte in CI.
+//!
+//! # Format
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "quick-bisp-vs-lockstep",
+//!   "description": "Both schemes on one quick workload, two seeds.",
+//!   "repetitions": 1,
+//!   "base": {"workload": {"suite": "w_state_n12"}, "scheme": "bisp"},
+//!   "axes": [
+//!     {"axis": "scheme", "values": ["bisp", "lockstep"]},
+//!     {"axis": "seed", "values": [1, 2]}
+//!   ]
+//! }
+//! ```
+//!
+//! - `schema_version` is **required** and must equal
+//!   [`SCHEMA_VERSION`]; decoding any other version fails loudly so a
+//!   stale tool never silently misreads a newer file.
+//! - Unknown fields are rejected everywhere, with dotted-path errors
+//!   (`base.params.noise: unknown field ...`) — a typo in a
+//!   hand-edited file is a parse error, not a silently ignored knob.
+//! - `axes` (optional) expand in file order into the cartesian
+//!   product, later axes varying fastest. Axis values overwrite the
+//!   corresponding base field, including whole `surgery` op lists — a
+//!   structural transform is a grid axis like any other.
+//! - `repetitions` (optional, default 1) runs every grid point `N`
+//!   times with consecutive seeds (`seed`, `seed+1`, …), golem-des
+//!   style; `hisq run --repetitions N` overrides it.
+
+use hisq_compiler::Scheme;
+use hisq_json::{Json, JsonError, ObjReader};
+use hisq_net::LinkModel;
+use hisq_quantum::NoiseModel;
+use hisq_workloads::WorkloadSpec;
+
+use crate::runner::{Scenario, SurgeryOp};
+
+/// The scenario-file schema version this build reads and writes.
+///
+/// Bump when the scenario grammar changes incompatibly; decoding a
+/// file with any other version fails with an error naming both
+/// versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One sweep axis of a scenario file: which base field varies, and the
+/// values it takes. Axes expand in file order into the cartesian
+/// product of their values (later axes vary fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Vary the execution scheme.
+    Scheme(Vec<Scheme>),
+    /// Vary the backend seed.
+    Seed(Vec<u64>),
+    /// Vary the scored coherence time (µs).
+    T1Us(Vec<f64>),
+    /// Vary the per-run shot count (each shot after the first opens
+    /// with a region sync under BISP).
+    Shots(Vec<u32>),
+    /// Vary the workload.
+    Workload(Vec<WorkloadSpec>),
+    /// Vary the classical link contention model.
+    LinkModel(Vec<LinkModel>),
+    /// Vary the quantum noise model.
+    Noise(Vec<NoiseModel>),
+    /// Vary the spec-surgery op list (each value *replaces* the base
+    /// list, so `[]` is the unmodified machine).
+    Surgery(Vec<Vec<SurgeryOp>>),
+}
+
+impl Axis {
+    /// Number of values on this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            Axis::Scheme(v) => v.len(),
+            Axis::Seed(v) => v.len(),
+            Axis::T1Us(v) => v.len(),
+            Axis::Shots(v) => v.len(),
+            Axis::Workload(v) => v.len(),
+            Axis::LinkModel(v) => v.len(),
+            Axis::Noise(v) => v.len(),
+            Axis::Surgery(v) => v.len(),
+        }
+    }
+
+    /// `true` when the axis carries no values (rejected at parse time,
+    /// so an expanded file never silently produces zero scenarios).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The JSON name of the varied field.
+    fn axis_name(&self) -> &'static str {
+        match self {
+            Axis::Scheme(_) => "scheme",
+            Axis::Seed(_) => "seed",
+            Axis::T1Us(_) => "t1_us",
+            Axis::Shots(_) => "shots",
+            Axis::Workload(_) => "workload",
+            Axis::LinkModel(_) => "link_model",
+            Axis::Noise(_) => "noise",
+            Axis::Surgery(_) => "surgery",
+        }
+    }
+
+    /// Applies value `index` of this axis to `scenario`.
+    fn apply(&self, scenario: &mut Scenario, index: usize) {
+        match self {
+            Axis::Scheme(v) => scenario.scheme = v[index],
+            Axis::Seed(v) => scenario.seed = v[index],
+            Axis::T1Us(v) => scenario.t1_us = v[index],
+            Axis::Shots(v) => scenario.shots = v[index],
+            Axis::Workload(v) => scenario.workload = v[index].clone(),
+            Axis::LinkModel(v) => scenario.params.link_model = v[index],
+            Axis::Noise(v) => scenario.params.noise = v[index],
+            Axis::Surgery(v) => scenario.surgery = v[index].clone(),
+        }
+    }
+
+    /// Serializes the axis as `{"axis": name, "values": [...]}`.
+    pub fn to_json(&self) -> Json {
+        let values = match self {
+            Axis::Scheme(v) => v
+                .iter()
+                .map(|s| {
+                    Json::str(match s {
+                        Scheme::Bisp => "bisp",
+                        Scheme::Lockstep => "lockstep",
+                    })
+                })
+                .collect(),
+            Axis::Seed(v) => v.iter().map(|&s| s.into()).collect(),
+            Axis::T1Us(v) => v.iter().map(|&t| Json::float(t)).collect(),
+            Axis::Shots(v) => v.iter().map(|&s| u64::from(s).into()).collect(),
+            Axis::Workload(v) => v.iter().map(WorkloadSpec::to_json).collect(),
+            Axis::LinkModel(v) => v.iter().map(LinkModel::to_json).collect(),
+            Axis::Noise(v) => v.iter().map(NoiseModel::to_json).collect(),
+            Axis::Surgery(v) => v
+                .iter()
+                .map(|ops| Json::Array(ops.iter().map(SurgeryOp::to_json).collect()))
+                .collect(),
+        };
+        Json::Object(vec![
+            ("axis".into(), Json::str(self.axis_name())),
+            ("values".into(), Json::Array(values)),
+        ])
+    }
+
+    /// Parses an axis serialized by [`Axis::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for an unknown axis name, an
+    /// empty value list, or malformed values.
+    pub fn from_json(value: &Json, path: &str) -> Result<Axis, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let name_path = obj.field_path("axis");
+        let name = obj.required("axis")?.as_str(&name_path)?.to_owned();
+        let values_path = obj.field_path("values");
+        let values = obj.required("values")?.as_array(&values_path)?;
+        let at = |i: usize| format!("{values_path}[{i}]");
+        let axis = match name.as_str() {
+            "scheme" => Axis::Scheme(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v.as_str(&at(i))? {
+                        "bisp" => Ok(Scheme::Bisp),
+                        "lockstep" => Ok(Scheme::Lockstep),
+                        other => Err(JsonError::decode(
+                            at(i),
+                            format!(
+                                "unknown scheme \"{other}\" (expected \"bisp\" or \"lockstep\")"
+                            ),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            "seed" => Axis::Seed(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v.as_u64(&at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "t1_us" => Axis::T1Us(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v.as_f64(&at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "shots" => Axis::Shots(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let shots = v.as_u32(&at(i))?;
+                        if shots == 0 {
+                            return Err(JsonError::decode(at(i), "shots must be at least 1"));
+                        }
+                        Ok(shots)
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            "workload" => Axis::Workload(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| WorkloadSpec::from_json(v, &at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "link_model" => Axis::LinkModel(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| LinkModel::from_json(v, &at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "noise" => Axis::Noise(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| NoiseModel::from_json(v, &at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "surgery" => Axis::Surgery(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        v.as_array(&at(i))?
+                            .iter()
+                            .enumerate()
+                            .map(|(j, op)| SurgeryOp::from_json(op, &format!("{}[{j}]", at(i))))
+                            .collect::<Result<Vec<SurgeryOp>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => {
+                return Err(JsonError::decode(
+                    name_path,
+                    format!(
+                        "unknown axis \"{other}\" (expected \"scheme\", \"seed\", \"t1_us\", \
+                         \"shots\", \"workload\", \"link_model\", \"noise\", or \"surgery\")"
+                    ),
+                ))
+            }
+        };
+        obj.reject_unknown()?;
+        if axis.is_empty() {
+            return Err(JsonError::decode(values_path, "axis has no values"));
+        }
+        Ok(axis)
+    }
+}
+
+/// A parsed scenario file: name, base scenario, sweep axes, and the
+/// repetition count. See the [module docs](self) for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFile {
+    /// Display name (also the suggested report file stem).
+    pub name: String,
+    /// Free-form description (optional, empty when absent).
+    pub description: String,
+    /// Times each grid point runs, with consecutive seeds. Must be ≥ 1.
+    pub repetitions: u64,
+    /// The base scenario every grid point starts from.
+    pub base: Scenario,
+    /// Sweep axes, expanded in order (later axes vary fastest).
+    pub axes: Vec<Axis>,
+}
+
+impl ScenarioFile {
+    /// A single-point scenario file around `base`.
+    pub fn new(name: impl Into<String>, base: Scenario) -> ScenarioFile {
+        ScenarioFile {
+            name: name.into(),
+            description: String::new(),
+            repetitions: 1,
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Parses a scenario-file document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with line/column information for
+    /// malformed JSON, or a dotted-path error for schema violations
+    /// (wrong `schema_version`, unknown fields, empty axes, …).
+    pub fn parse(text: &str) -> Result<ScenarioFile, JsonError> {
+        ScenarioFile::from_json(&Json::parse(text)?, "scenario")
+    }
+
+    /// Parses a scenario file serialized by [`ScenarioFile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path`; see [`ScenarioFile::parse`].
+    pub fn from_json(value: &Json, path: &str) -> Result<ScenarioFile, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let version_path = obj.field_path("schema_version");
+        let version = obj.required("schema_version")?.as_u64(&version_path)?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError::decode(
+                version_path,
+                format!(
+                    "unsupported schema_version {version} (this build reads version \
+                     {SCHEMA_VERSION})"
+                ),
+            ));
+        }
+        let name = obj
+            .required("name")?
+            .as_str(&obj.field_path("name"))?
+            .to_owned();
+        if name.is_empty() {
+            return Err(JsonError::decode(obj.field_path("name"), "name is empty"));
+        }
+        let description = match obj.optional("description") {
+            Some(v) => v.as_str(&obj.field_path("description"))?.to_owned(),
+            None => String::new(),
+        };
+        let repetitions = match obj.optional("repetitions") {
+            Some(v) => {
+                let n = v.as_u64(&obj.field_path("repetitions"))?;
+                if n == 0 {
+                    return Err(JsonError::decode(
+                        obj.field_path("repetitions"),
+                        "repetitions must be at least 1",
+                    ));
+                }
+                n
+            }
+            None => 1,
+        };
+        let base = Scenario::from_json(obj.required("base")?, &obj.field_path("base"))?;
+        let mut axes = Vec::new();
+        if let Some(v) = obj.optional("axes") {
+            let axes_path = obj.field_path("axes");
+            for (i, entry) in v.as_array(&axes_path)?.iter().enumerate() {
+                axes.push(Axis::from_json(entry, &format!("{axes_path}[{i}]"))?);
+            }
+        }
+        obj.reject_unknown()?;
+        Ok(ScenarioFile {
+            name,
+            description,
+            repetitions,
+            base,
+            axes,
+        })
+    }
+
+    /// Serializes the file (omitting an empty description, a
+    /// repetition count of 1, and an empty axis list).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version".into(), SCHEMA_VERSION.into()),
+            ("name".into(), Json::str(self.name.clone())),
+        ];
+        if !self.description.is_empty() {
+            fields.push(("description".into(), Json::str(self.description.clone())));
+        }
+        if self.repetitions != 1 {
+            fields.push(("repetitions".into(), self.repetitions.into()));
+        }
+        fields.push(("base".into(), self.base.to_json()));
+        if !self.axes.is_empty() {
+            fields.push((
+                "axes".into(),
+                Json::Array(self.axes.iter().map(Axis::to_json).collect()),
+            ));
+        }
+        Json::Object(fields)
+    }
+
+    /// Number of grid points (before repetitions).
+    pub fn grid_len(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Expands the file into the concrete scenario list the sweep
+    /// engine runs: the cartesian product of the axes over the base
+    /// scenario (later axes varying fastest), each point repeated
+    /// `repetitions` times with consecutive seeds (`seed`, `seed+1`,
+    /// …). Pass `repetitions_override` to replace the file's count
+    /// (the `--repetitions` flag).
+    pub fn expand(&self, repetitions_override: Option<u64>) -> Vec<Scenario> {
+        let repetitions = repetitions_override.unwrap_or(self.repetitions).max(1);
+        let mut points = vec![self.base.clone()];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(points.len() * axis.len());
+            for point in &points {
+                for index in 0..axis.len() {
+                    let mut varied = point.clone();
+                    axis.apply(&mut varied, index);
+                    next.push(varied);
+                }
+            }
+            points = next;
+        }
+        let mut scenarios = Vec::with_capacity(points.len() * repetitions as usize);
+        for point in points {
+            for rep in 0..repetitions {
+                let mut repeated = point.clone();
+                repeated.seed = point.seed.wrapping_add(rep);
+                scenarios.push(repeated);
+            }
+        }
+        scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_file() -> ScenarioFile {
+        ScenarioFile::parse(
+            r#"{
+                "schema_version": 1,
+                "name": "quick",
+                "base": {"workload": {"suite": "w_state_n12"}, "scheme": "bisp"},
+                "axes": [
+                    {"axis": "scheme", "values": ["bisp", "lockstep"]},
+                    {"axis": "seed", "values": [1, 2]}
+                ]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_is_cartesian_with_later_axes_fastest() {
+        let file = quick_file();
+        assert_eq!(file.grid_len(), 4);
+        let scenarios = file.expand(None);
+        assert_eq!(scenarios.len(), 4);
+        let ids: Vec<String> = scenarios.iter().map(Scenario::id).collect();
+        assert_eq!(
+            ids,
+            [
+                "w_state_n12/bisp/seed1/t300",
+                "w_state_n12/bisp/seed2/t300",
+                "w_state_n12/lockstep/seed1/t300",
+                "w_state_n12/lockstep/seed2/t300",
+            ]
+        );
+    }
+
+    #[test]
+    fn repetitions_expand_with_consecutive_seeds() {
+        let mut file = quick_file();
+        file.axes.truncate(1); // scheme only
+        file.repetitions = 3;
+        let scenarios = file.expand(None);
+        assert_eq!(scenarios.len(), 6);
+        let seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, [1, 2, 3, 1, 2, 3]);
+        // The flag overrides the file.
+        assert_eq!(file.expand(Some(1)).len(), 2);
+    }
+
+    #[test]
+    fn file_round_trips_through_json() {
+        let mut file = quick_file();
+        file.description = "round-trip exemplar".into();
+        file.repetitions = 2;
+        file.axes.push(Axis::Surgery(vec![
+            Vec::new(),
+            vec![crate::runner::SurgeryOp::DropRouterLevel],
+        ]));
+        let text = file.to_json().to_string_pretty();
+        assert_eq!(ScenarioFile::parse(&text).unwrap(), file);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let err = ScenarioFile::parse(
+            r#"{"schema_version": 2, "name": "x",
+                "base": {"workload": {"suite": "w_state_n12"}, "scheme": "bisp"}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported schema_version 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn schema_violations_name_their_paths() {
+        for (text, needle) in [
+            (r#"{"name": "x"}"#, "missing field `schema_version`"),
+            (
+                r#"{"schema_version": 1, "name": "x",
+                    "base": {"workload": {"suite": "a"}, "scheme": "bisp"},
+                    "axes": [{"axis": "seed", "values": []}]}"#,
+                "axis has no values",
+            ),
+            (
+                r#"{"schema_version": 1, "name": "x",
+                    "base": {"workload": {"suite": "a"}, "scheme": "bisp"},
+                    "axes": [{"axis": "temperature", "values": [1]}]}"#,
+                "unknown axis \"temperature\"",
+            ),
+            (
+                r#"{"schema_version": 1, "name": "x", "repetitions": 0,
+                    "base": {"workload": {"suite": "a"}, "scheme": "bisp"}}"#,
+                "repetitions must be at least 1",
+            ),
+            (
+                r#"{"schema_version": 1, "name": "x",
+                    "base": {"workload": {"suite": "a"}, "scheme": "bisp",
+                             "params": {"noize": {}}}}"#,
+                "scenario.base.params: unknown field `noize`",
+            ),
+        ] {
+            let err = ScenarioFile::parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}\n-> {err}");
+        }
+    }
+}

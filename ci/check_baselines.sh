@@ -8,6 +8,11 @@
 # are left under $DIFF_DIR (default target/baseline-diff/) for CI to
 # upload as an artifact.
 #
+# After the figure baselines, the event-engine regression gate runs:
+# `event_engine --gate` re-measures the simulator hot loop and fails if
+# any row of the committed BENCH_event_engine.json regressed by more
+# than 15% ns/event.
+#
 # Usage: ci/check_baselines.sh           (uses cargo run --release)
 set -euo pipefail
 
@@ -15,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 DIFF_DIR="${DIFF_DIR:-target/baseline-diff}"
 
-BASELINED_BINS=(fig_contention fig_noise)
+BASELINED_BINS=(fig_contention fig_noise fig_scale)
 
 rm -rf "$DIFF_DIR"
 mkdir -p "$DIFF_DIR"
@@ -38,4 +43,14 @@ for bin in "${BASELINED_BINS[@]}"; do
 done
 
 rmdir "$DIFF_DIR" 2> /dev/null || true
+
+# The ns/event regression gate (reads the committed baseline, never
+# rewrites it).
+if cargo bench -p hisq-bench --bench event_engine -- --gate; then
+    echo "ok   event_engine (ns/event gate)"
+else
+    echo "FAIL event_engine: ns/event regressed past the committed gate" >&2
+    status=1
+fi
+
 exit "$status"

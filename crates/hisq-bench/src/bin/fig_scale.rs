@@ -1,0 +1,59 @@
+//! The scaling extension figure (beyond the paper's evaluation):
+//! fig15-style normalized runtime of Distributed-HISQ (BISP) vs the
+//! lock-step hub baseline at 256/512/1024/4096 controllers — the
+//! regime the parallel/distributed quantum-simulation literature
+//! motivates and the calendar-queue event core exists to reach.
+//!
+//! Honors the shared CLI contract: `--quick` trims the per-run round
+//! count (never the size axis — the committed baseline must carry the
+//! full 256–4096 range), `--threads N` parallelizes, `--json` emits
+//! the raw sweep report (byte-identical across thread counts; CI pins
+//! the quick report against the committed `BENCH_fig_scale.json`
+//! baseline).
+
+use hisq_bench::cli::FigArgs;
+use hisq_bench::scale::{run_scale_sweep, scale_rounds, scale_rows, SCALE_SIZES};
+
+fn main() {
+    let args = FigArgs::parse();
+    let rounds = scale_rounds(args.quick);
+    eprintln!(
+        "[fig_scale] running {} sizes x 2 schemes at {rounds} rounds on {} thread(s)...",
+        SCALE_SIZES.len(),
+        args.threads
+    );
+    let report = run_scale_sweep(&SCALE_SIZES, rounds, args.threads);
+    if args.json {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let rows = scale_rows(&report);
+    println!("Scaling sweep: BISP vs lock-step hub, normalized runtime (fig15 style)");
+    println!("{:-<78}", "");
+    println!(
+        "{:>11} {:>14} {:>14} {:>11} {:>11} {:>11}",
+        "controllers", "bisp(ns)", "lockstep(ns)", "normalized", "bisp evts", "hub evts"
+    );
+    println!("{:-<78}", "");
+    for row in &rows {
+        println!(
+            "{:>11} {:>14} {:>14} {:>10.3}x {:>11} {:>11}",
+            row.controllers,
+            row.bisp_ns,
+            row.lockstep_ns,
+            row.normalized,
+            row.bisp_events,
+            row.lockstep_events
+        );
+    }
+    println!("{:-<78}", "");
+
+    // The headline: BISP's advantage must hold (or grow) at the
+    // largest size — the hub star serializes through one port.
+    let (first, last) = (rows.first().unwrap(), rows.last().unwrap());
+    println!(
+        "normalized runtime {:.3}x at {} controllers -> {:.3}x at {}",
+        first.normalized, first.controllers, last.normalized, last.controllers
+    );
+}

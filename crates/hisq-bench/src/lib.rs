@@ -25,3 +25,4 @@
 pub mod cli;
 pub mod figures;
 pub mod resources;
+pub mod scale;

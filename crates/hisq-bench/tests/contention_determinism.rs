@@ -4,6 +4,7 @@
 //! strictly faster than BISP's at every system size.
 
 use distributed_hisq::runner::run_sweep;
+use distributed_hisq::testing::assert_pinned;
 use hisq_bench::figures::{fig_contention_rows, fig_contention_scenarios};
 
 #[test]
@@ -34,6 +35,22 @@ fn contention_sweep_is_deterministic_and_hub_degrades_faster() {
              must exceed BISP {bisp:.3}x"
         );
     }
+}
+
+/// The quick contention sweep is pinned byte-for-byte via the shared
+/// helper, so engine-internal changes (e.g. the calendar-queue event
+/// core) cannot silently drift the committed `BENCH_fig_contention.json`
+/// baseline's bytes.
+#[test]
+fn contention_sweep_json_is_pinned_byte_for_byte() {
+    let scenarios = fig_contention_scenarios(true);
+    let json = run_sweep(&scenarios, 2).expect("grid runs").to_json();
+    assert_pinned(
+        "fig_contention quick JSON",
+        &json,
+        5954,
+        0x26b6_8ab7_2b29_a156,
+    );
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! CI guards for the scaling sweep (`fig_scale`): the report is
+//! byte-identical across thread counts, carries only
+//! simulation-deterministic metrics (no wall time), and a debug-sized
+//! grid is pinned byte-for-byte via the shared helper. The full
+//! 256–4096 quick report is gated separately by `ci/check_baselines.sh`
+//! against the committed `BENCH_fig_scale.json`.
+
+use distributed_hisq::testing::assert_pinned;
+use hisq_bench::scale::{run_scale_sweep, scale_points, scale_rows, SCALE_SIZES};
+
+/// Debug builds run the engine ~10× slower, so the in-test grid stops
+/// at 256 controllers with 2 rounds; the release-built CI baseline
+/// covers the full axis.
+const TEST_SIZES: [usize; 2] = [64, 256];
+
+#[test]
+fn scale_sweep_is_deterministic_across_thread_counts() {
+    let single = run_scale_sweep(&TEST_SIZES, 2, 1).to_json();
+    let multi = run_scale_sweep(&TEST_SIZES, 2, 4);
+    assert_eq!(
+        single,
+        multi.to_json(),
+        "thread count must not leak into the scale report"
+    );
+
+    let rows = scale_rows(&multi);
+    assert_eq!(rows.len(), TEST_SIZES.len(), "one row per size");
+    for row in &rows {
+        assert!(row.bisp_events > 0 && row.lockstep_events > 0);
+        assert!(row.normalized.is_finite() && row.normalized > 0.0);
+    }
+}
+
+/// The debug-grid JSON is pinned byte-for-byte (shared-helper pin), so
+/// event-core work cannot drift scale reports even in ways that stay
+/// thread-count-stable.
+#[test]
+fn scale_sweep_json_is_pinned_byte_for_byte() {
+    let json = run_scale_sweep(&TEST_SIZES, 2, 2).to_json();
+    assert_pinned(
+        "fig_scale debug-grid JSON",
+        &json,
+        1178,
+        0xe80c_96f2_e20d_1946,
+    );
+}
+
+#[test]
+fn scale_point_ids_are_unique_and_bisp_leads_each_pair() {
+    let points = scale_points(&SCALE_SIZES);
+    assert_eq!(points.len(), 2 * SCALE_SIZES.len());
+    let mut ids: Vec<String> = points.iter().map(|p| p.id(6)).collect();
+    for pair in points.chunks(2) {
+        assert_eq!(pair[0].scheme, "bisp", "pairing contract: BISP first");
+        assert_eq!(pair[1].scheme, "lockstep");
+        assert_eq!(pair[0].controllers, pair[1].controllers);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), points.len(), "scale ids must be unique");
+}

@@ -1,10 +1,10 @@
 //! The HISQ controller: classical pipeline + TCU + SyncU + MsgU.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use hisq_isa::{AluOp, CwOperand, Inst, LoadOp, Reg, StoreOp};
 
-use crate::config::{LinkKind, NodeConfig};
+use crate::config::{Link, LinkKind, NodeConfig};
 use crate::msg::{CommitRecord, NodeAddr, OutboundMessage};
 use crate::pipeline::{sign_extend, Memory, RegFile};
 use crate::timeline::Timeline;
@@ -46,7 +46,7 @@ pub enum Status {
 }
 
 /// The suspended half of a blocking instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PendingOp {
     /// A nearby `sync` awaiting the partner's pulse.
     SyncPulse {
@@ -123,29 +123,80 @@ pub struct ControllerStats {
     pub recvs: u64,
 }
 
+/// A per-source FIFO inbox as a linear-scan association list.
+///
+/// A controller only ever hears from a handful of peers (its mesh
+/// neighbours and ancestor routers), and the inbox is probed on every
+/// delivery *and* every blocked-retry, so a short scan over a flat
+/// vector beats a tree walk on the simulator's hottest path. Access is
+/// strictly keyed (push one lane, pop one lane) — lane order is never
+/// observed, so swapping the map for a list cannot change behavior.
+#[derive(Debug, Clone, Default)]
+struct Inbox<T> {
+    lanes: Vec<(NodeAddr, VecDeque<T>)>,
+}
+
+impl<T> Inbox<T> {
+    /// Appends to `from`'s FIFO lane, creating it on first contact.
+    fn push(&mut self, from: NodeAddr, item: T) {
+        match self.lanes.iter_mut().find(|(addr, _)| *addr == from) {
+            Some((_, lane)) => lane.push_back(item),
+            None => self.lanes.push((from, VecDeque::from_iter([item]))),
+        }
+    }
+
+    /// Pops the oldest item of `from`'s lane, if any.
+    fn pop(&mut self, from: NodeAddr) -> Option<T> {
+        self.lanes
+            .iter_mut()
+            .find(|(addr, _)| *addr == from)
+            .and_then(|(_, lane)| lane.pop_front())
+    }
+
+    /// `true` when `from`'s lane holds nothing (or was never opened).
+    fn lane_is_empty(&self, from: NodeAddr) -> bool {
+        self.lanes
+            .iter()
+            .find(|(addr, _)| *addr == from)
+            .is_none_or(|(_, lane)| lane.is_empty())
+    }
+}
+
 /// A single HISQ controller node (see the crate-level docs).
+///
+/// `repr(C)` with the hottest fields first: a simulation arena holds
+/// hundreds of controllers and touches one per delivered event, so
+/// every access starts cold. Packing the fetch/execute state
+/// (`status`, `pc`, clocks, `program`) into the leading cache lines —
+/// ahead of the register file and the cold configuration maps — keeps
+/// the per-event working set to a couple of line fills instead of a
+/// walk across the whole struct.
 #[derive(Debug, Clone)]
+#[repr(C)]
 pub struct Controller {
-    config: NodeConfig,
-    program: Vec<Inst>,
+    status: Status,
     pc: usize,
-    regs: RegFile,
-    mem: Memory,
     /// Classical-pipeline clock in TCU cycles (wall clock).
     pipe_cycle: u64,
     /// TCU timing-grid pointer in raw (pre-stall) coordinates.
     grid_raw: u64,
+    program: Vec<Inst>,
     timeline: Timeline,
-    status: Status,
+    stats: ControllerStats,
+    regs: RegFile,
     /// Arrival times of nearby-sync pulses, per neighbour (sticky flags,
     /// cleared on read — Figure 4).
-    sync_pulses: BTreeMap<NodeAddr, VecDeque<u64>>,
+    sync_pulses: Inbox<u64>,
     /// Max-time broadcasts received, per router.
-    max_times: BTreeMap<NodeAddr, VecDeque<u64>>,
+    max_times: Inbox<u64>,
     /// Classical mailboxes: (arrival_cycle, value), per source.
-    mailboxes: BTreeMap<NodeAddr, VecDeque<(u64, u32)>>,
+    mailboxes: Inbox<(u64, u32)>,
     commits: Vec<CommitRecord>,
-    stats: ControllerStats,
+    /// The calibrated links of `config`, flattened to a sorted slice so
+    /// the per-`sync` lookup is a binary search instead of a tree walk.
+    link_table: Vec<(NodeAddr, Link)>,
+    mem: Memory,
+    config: NodeConfig,
 }
 
 impl Controller {
@@ -153,8 +204,15 @@ impl Controller {
     pub fn new(config: NodeConfig, program: Vec<Inst>) -> Controller {
         let mem = Memory::new(config.mem_bytes);
         let grid_raw = config.pipeline_headroom;
+        // BTreeMap iterates in key order, so the table arrives sorted.
+        let link_table: Vec<(NodeAddr, Link)> = config
+            .links
+            .iter()
+            .map(|(&addr, &link)| (addr, link))
+            .collect();
         Controller {
             config,
+            link_table,
             program,
             pc: 0,
             regs: RegFile::new(),
@@ -163,9 +221,9 @@ impl Controller {
             grid_raw,
             timeline: Timeline::new(),
             status: Status::Ready,
-            sync_pulses: BTreeMap::new(),
-            max_times: BTreeMap::new(),
-            mailboxes: BTreeMap::new(),
+            sync_pulses: Inbox::default(),
+            max_times: Inbox::default(),
+            mailboxes: Inbox::default(),
             commits: Vec::new(),
             stats: ControllerStats::default(),
         }
@@ -214,20 +272,99 @@ impl Controller {
 
     /// Delivers a nearby-sync pulse from `from` arriving at `arrival`.
     pub fn deliver_sync_pulse(&mut self, from: NodeAddr, arrival: u64) {
-        self.sync_pulses.entry(from).or_default().push_back(arrival);
+        self.sync_pulses.push(from, arrival);
     }
 
     /// Delivers a region-sync max-time broadcast from `router`.
     pub fn deliver_max_time(&mut self, router: NodeAddr, t_m: u64) {
-        self.max_times.entry(router).or_default().push_back(t_m);
+        self.max_times.push(router, t_m);
     }
 
     /// Delivers a classical message from `from` arriving at `arrival`.
     pub fn deliver_classical(&mut self, from: NodeAddr, value: u32, arrival: u64) {
-        self.mailboxes
-            .entry(from)
-            .or_default()
-            .push_back((arrival, value));
+        self.mailboxes.push(from, (arrival, value));
+    }
+
+    // The `offer_*` variants below fuse a delivery with the completion
+    // check the caller would otherwise run next: each is exactly
+    // `deliver_*` followed by "would a [`Controller::step`] make
+    // progress now?", with the inbox round trip skipped when the input
+    // completes the pending instruction directly. Skipping is sound
+    // because a controller only ever blocks when the awaited lane is
+    // empty ([`Controller::try_complete`] fails iff the lane is empty),
+    // so the delivered input *is* the one `try_complete` would pop —
+    // the lane check below keeps FIFO order even for callers that mix
+    // `deliver_*` and `offer_*` arbitrarily. The returned `bool` is the
+    // event-driven caller's step gate: `false` means the input was
+    // banked and stepping now would be a no-op.
+
+    /// Delivers a nearby-sync pulse and reports whether the controller
+    /// can now make progress (see the fusion note above).
+    pub fn offer_sync_pulse(&mut self, from: NodeAddr, arrival: u64) -> bool {
+        if let Status::Blocked(PendingOp::SyncPulse {
+            partner,
+            raw_gate,
+            floor_eff,
+        }) = self.status
+        {
+            if partner == from && self.sync_pulses.lane_is_empty(from) {
+                self.timeline.add_gate(raw_gate, floor_eff.max(arrival));
+                self.status = Status::Ready;
+                self.pc += 1;
+                return true;
+            }
+        }
+        self.sync_pulses.push(from, arrival);
+        match &self.status {
+            Status::Ready => true,
+            Status::Blocked(PendingOp::SyncPulse { partner, .. }) => *partner == from,
+            _ => false,
+        }
+    }
+
+    /// Delivers a region-sync max-time broadcast and reports whether
+    /// the controller can now make progress.
+    pub fn offer_max_time(&mut self, router: NodeAddr, t_m: u64) -> bool {
+        if let Status::Blocked(PendingOp::MaxTime {
+            router: pending_router,
+            raw_gate,
+            t_i,
+        }) = self.status
+        {
+            if pending_router == router && self.max_times.lane_is_empty(router) {
+                self.timeline.add_gate(raw_gate, t_i.max(t_m));
+                self.status = Status::Ready;
+                self.pc += 1;
+                return true;
+            }
+        }
+        self.max_times.push(router, t_m);
+        match &self.status {
+            Status::Ready => true,
+            Status::Blocked(PendingOp::MaxTime { router: r, .. }) => *r == router,
+            _ => false,
+        }
+    }
+
+    /// Delivers a classical message and reports whether the controller
+    /// can now make progress.
+    pub fn offer_classical(&mut self, from: NodeAddr, value: u32, arrival: u64) -> bool {
+        if let Status::Blocked(PendingOp::Recv { source, rd }) = self.status {
+            if source == from && self.mailboxes.lane_is_empty(from) {
+                self.regs.write(rd, value);
+                self.pipe_cycle = self.pipe_cycle.max(arrival);
+                self.stats.recvs += 1;
+                self.status = Status::Ready;
+                self.pc += 1;
+                return true;
+            }
+        }
+        self.mailboxes.push(from, (arrival, value));
+        match &self.status {
+            Status::Ready => true,
+            Status::Blocked(PendingOp::Recv { source, .. }) => *source == from,
+            _ => false,
+        }
     }
 
     /// Runs the instruction stream until it halts, faults, or blocks on
@@ -238,7 +375,7 @@ impl Controller {
                 Status::Halted => return StepOutcome::Halted,
                 Status::Faulted(_) => return StepOutcome::Faulted,
                 Status::Blocked(pending) => {
-                    let pending = pending.clone();
+                    let pending = *pending;
                     if !self.try_complete(&pending) {
                         return StepOutcome::Blocked(pending.reason());
                     }
@@ -264,11 +401,7 @@ impl Controller {
                 raw_gate,
                 floor_eff,
             } => {
-                let Some(arrival) = self
-                    .sync_pulses
-                    .get_mut(&partner)
-                    .and_then(VecDeque::pop_front)
-                else {
+                let Some(arrival) = self.sync_pulses.pop(partner) else {
                     return false;
                 };
                 self.timeline.add_gate(raw_gate, floor_eff.max(arrival));
@@ -279,22 +412,14 @@ impl Controller {
                 raw_gate,
                 t_i,
             } => {
-                let Some(t_m) = self
-                    .max_times
-                    .get_mut(&router)
-                    .and_then(VecDeque::pop_front)
-                else {
+                let Some(t_m) = self.max_times.pop(router) else {
                     return false;
                 };
                 self.timeline.add_gate(raw_gate, t_i.max(t_m));
                 true
             }
             PendingOp::Recv { source, rd } => {
-                let Some((arrival, value)) = self
-                    .mailboxes
-                    .get_mut(&source)
-                    .and_then(VecDeque::pop_front)
-                else {
+                let Some((arrival, value)) = self.mailboxes.pop(source) else {
                     return false;
                 };
                 self.regs.write(rd, value);
@@ -466,9 +591,10 @@ impl Controller {
                 self.stats.syncs += 1;
                 self.rebase_grid();
                 let link = self
-                    .config
-                    .link(target)
-                    .ok_or_else(|| format!("sync target {target} has no calibrated link"))?;
+                    .link_table
+                    .binary_search_by_key(&target, |&(addr, _)| addr)
+                    .map(|i| self.link_table[i].1)
+                    .map_err(|_| format!("sync target {target} has no calibrated link"))?;
                 let b_raw = self.grid_raw;
                 let b_eff = self.timeline.effective(b_raw);
                 match link.kind {

@@ -10,7 +10,7 @@
 //! and repeated synchronizations against the same destination pair up
 //! round-by-round in FIFO order.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -66,7 +66,13 @@ impl fmt::Display for RouterError {
 impl Error for RouterError {}
 
 /// An action the router asks the network to perform.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Actions are `Copy` and carry no owned data: a broadcast names no
+/// recipient list — the recipients are always *all* of the router's
+/// [`children`](Router::children), which the network reads from the
+/// router itself. Relaying a max-time wave down a large tree therefore
+/// allocates nothing per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterAction {
     /// Forward an aggregated booking to the parent router.
     ForwardUp {
@@ -80,11 +86,10 @@ pub enum RouterAction {
         /// among this round's bookings).
         sent_at: u64,
     },
-    /// Broadcast the final earliest common start time to the children.
+    /// Broadcast the final earliest common start time to every child
+    /// (controllers receive it directly; sub-routers relay it
+    /// downward).
     Broadcast {
-        /// Children to notify (controllers receive it directly;
-        /// sub-routers relay it downward).
-        children: Vec<NodeAddr>,
         /// The agreed region start time.
         t_m: u64,
         /// The coordinating router (the original sync destination).
@@ -102,11 +107,17 @@ struct Booking {
     arrival: u64,
 }
 
-/// Per-destination synchronization session state.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Per-destination synchronization session state. Routers see a
+/// handful of distinct targets and have tree-arity children, so both
+/// levels are flat linear-scanned vectors, not maps — a booking
+/// delivery on the engine's hot path touches no tree nodes and (after
+/// the first round warms the slots) allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Session {
-    /// FIFO of bookings per child.
-    per_child: BTreeMap<NodeAddr, VecDeque<Booking>>,
+    /// The sync destination this session aggregates for.
+    target: NodeAddr,
+    /// FIFO of bookings per child, in first-booking order.
+    per_child: Vec<(NodeAddr, VecDeque<Booking>)>,
 }
 
 /// A router node in the inter-layer tree.
@@ -115,7 +126,7 @@ pub struct Router {
     addr: NodeAddr,
     parent: Option<NodeAddr>,
     children: Vec<NodeAddr>,
-    sessions: BTreeMap<NodeAddr, Session>,
+    sessions: Vec<Session>,
     rounds_completed: u64,
 }
 
@@ -126,7 +137,7 @@ impl Router {
             addr,
             parent,
             children,
-            sessions: BTreeMap::new(),
+            sessions: Vec::new(),
             rounds_completed: 0,
         }
     }
@@ -152,7 +163,8 @@ impl Router {
     }
 
     /// Handles a booking from child `from` for destination `target`,
-    /// arriving at wall-clock `arrival`. Returns the actions to take.
+    /// arriving at wall-clock `arrival`. Returns the action to take,
+    /// if the booking completed a round.
     ///
     /// # Errors
     ///
@@ -170,7 +182,7 @@ impl Router {
         target: NodeAddr,
         time_point: u64,
         arrival: u64,
-    ) -> Result<Vec<RouterAction>, RouterError> {
+    ) -> Result<Option<RouterAction>, RouterError> {
         if !self.children.contains(&from) {
             return Err(RouterError::NonChildBooking {
                 router: self.addr,
@@ -186,35 +198,51 @@ impl Router {
                 target,
             });
         }
-        let session = self.sessions.entry(target).or_default();
-        session
-            .per_child
-            .entry(from)
-            .or_default()
-            .push_back(Booking {
+        let session = match self.sessions.iter_mut().position(|s| s.target == target) {
+            Some(i) => &mut self.sessions[i],
+            None => {
+                self.sessions.push(Session {
+                    target,
+                    per_child: Vec::new(),
+                });
+                self.sessions.last_mut().expect("just pushed")
+            }
+        };
+        match session.per_child.iter_mut().find(|(c, _)| *c == from) {
+            Some((_, queue)) => queue.push_back(Booking {
                 time_point,
                 arrival,
-            });
+            }),
+            None => {
+                let mut queue = VecDeque::new();
+                queue.push_back(Booking {
+                    time_point,
+                    arrival,
+                });
+                session.per_child.push((from, queue));
+            }
+        }
 
         // A round completes once every child has a booking queued.
-        let complete = self
-            .children
-            .iter()
-            .all(|c| session.per_child.get(c).is_some_and(|q| !q.is_empty()));
+        let complete = self.children.iter().all(|c| {
+            session
+                .per_child
+                .iter()
+                .any(|(child, q)| child == c && !q.is_empty())
+        });
         if !complete {
-            return Ok(Vec::new());
+            return Ok(None);
         }
 
         let mut t_m = 0u64;
         let mut latest_arrival = 0u64;
         for child in &self.children {
-            let booking = self
-                .sessions
-                .get_mut(&target)
-                .expect("session exists")
+            let booking = session
                 .per_child
-                .get_mut(child)
-                .expect("queue exists")
+                .iter_mut()
+                .find(|(c, _)| c == child)
+                .expect("round checked complete")
+                .1
                 .pop_front()
                 .expect("round checked complete");
             t_m = t_m.max(booking.time_point).max(booking.arrival);
@@ -223,11 +251,7 @@ impl Router {
         self.rounds_completed += 1;
 
         if target == self.addr {
-            Ok(vec![RouterAction::Broadcast {
-                children: self.children.clone(),
-                t_m,
-                target,
-            }])
+            Ok(Some(RouterAction::Broadcast { t_m, target }))
         } else {
             // Checked before buffering; a parentless router cannot
             // reach a completed foreign-target round.
@@ -235,22 +259,18 @@ impl Router {
                 router: self.addr,
                 target,
             })?;
-            Ok(vec![RouterAction::ForwardUp {
+            Ok(Some(RouterAction::ForwardUp {
                 parent,
                 target,
                 time_point: t_m,
                 sent_at: latest_arrival,
-            }])
+            }))
         }
     }
 
     /// Handles a downward broadcast from the parent: relay to children.
-    pub fn deliver_max_time(&mut self, t_m: u64, target: NodeAddr) -> Vec<RouterAction> {
-        vec![RouterAction::Broadcast {
-            children: self.children.clone(),
-            t_m,
-            target,
-        }]
+    pub fn deliver_max_time(&self, t_m: u64, target: NodeAddr) -> RouterAction {
+        RouterAction::Broadcast { t_m, target }
     }
 }
 
@@ -263,16 +283,15 @@ mod tests {
         let mut r = Router::new(100, None, vec![0, 1, 2]);
         // Paper Figure 7: C2's booking arrives after its claimed
         // time-point, so the arrival becomes the floor.
-        assert!(r.deliver_book_time(0, 100, 50, 20).unwrap().is_empty());
-        assert!(r.deliver_book_time(1, 100, 60, 25).unwrap().is_empty());
-        let actions = r.deliver_book_time(2, 100, 55, 70).unwrap(); // D2 < L2
+        assert!(r.deliver_book_time(0, 100, 50, 20).unwrap().is_none());
+        assert!(r.deliver_book_time(1, 100, 60, 25).unwrap().is_none());
+        let action = r.deliver_book_time(2, 100, 55, 70).unwrap(); // D2 < L2
         assert_eq!(
-            actions,
-            vec![RouterAction::Broadcast {
-                children: vec![0, 1, 2],
+            action,
+            Some(RouterAction::Broadcast {
                 t_m: 70, // max(T_i) = 60 but max(B_i + L_i) = 70 wins
                 target: 100,
-            }]
+            })
         );
         assert_eq!(r.rounds_completed(), 1);
     }
@@ -280,32 +299,31 @@ mod tests {
     #[test]
     fn zero_overhead_when_arrivals_hidden() {
         let mut r = Router::new(100, None, vec![0, 1]);
-        assert!(r.deliver_book_time(0, 100, 90, 30).unwrap().is_empty());
-        let actions = r.deliver_book_time(1, 100, 80, 40).unwrap();
+        assert!(r.deliver_book_time(0, 100, 90, 30).unwrap().is_none());
+        let action = r.deliver_book_time(1, 100, 80, 40).unwrap();
         // max(T_i) = 90 dominates max(arrival) = 40: zero-cycle overhead.
         assert_eq!(
-            actions,
-            vec![RouterAction::Broadcast {
-                children: vec![0, 1],
+            action,
+            Some(RouterAction::Broadcast {
                 t_m: 90,
                 target: 100,
-            }]
+            })
         );
     }
 
     #[test]
     fn intermediate_router_forwards_up() {
         let mut r = Router::new(100, Some(200), vec![0, 1]);
-        assert!(r.deliver_book_time(0, 200, 50, 10).unwrap().is_empty());
-        let actions = r.deliver_book_time(1, 200, 70, 12).unwrap();
+        assert!(r.deliver_book_time(0, 200, 50, 10).unwrap().is_none());
+        let action = r.deliver_book_time(1, 200, 70, 12).unwrap();
         assert_eq!(
-            actions,
-            vec![RouterAction::ForwardUp {
+            action,
+            Some(RouterAction::ForwardUp {
                 parent: 200,
                 target: 200,
                 time_point: 70,
                 sent_at: 12,
-            }]
+            })
         );
     }
 
@@ -313,26 +331,24 @@ mod tests {
     fn repeated_rounds_pair_fifo() {
         let mut r = Router::new(100, None, vec![0, 1]);
         // Child 0 books twice before child 1's first booking.
-        assert!(r.deliver_book_time(0, 100, 10, 5).unwrap().is_empty());
-        assert!(r.deliver_book_time(0, 100, 200, 105).unwrap().is_empty());
+        assert!(r.deliver_book_time(0, 100, 10, 5).unwrap().is_none());
+        assert!(r.deliver_book_time(0, 100, 200, 105).unwrap().is_none());
         let first = r.deliver_book_time(1, 100, 20, 6).unwrap();
         assert_eq!(
             first,
-            vec![RouterAction::Broadcast {
-                children: vec![0, 1],
+            Some(RouterAction::Broadcast {
                 t_m: 20,
                 target: 100,
-            }]
+            })
         );
         // Second round pairs child 0's second booking.
         let second = r.deliver_book_time(1, 100, 150, 110).unwrap();
         assert_eq!(
             second,
-            vec![RouterAction::Broadcast {
-                children: vec![0, 1],
+            Some(RouterAction::Broadcast {
                 t_m: 200,
                 target: 100,
-            }]
+            })
         );
         assert_eq!(r.rounds_completed(), 2);
     }
@@ -341,32 +357,30 @@ mod tests {
     fn sessions_for_different_targets_are_independent() {
         // Router coordinates nothing itself; it relays two targets.
         let mut r = Router::new(100, Some(200), vec![0, 1]);
-        assert!(r.deliver_book_time(0, 200, 10, 1).unwrap().is_empty());
-        assert!(r.deliver_book_time(0, 300, 99, 2).unwrap().is_empty());
+        assert!(r.deliver_book_time(0, 200, 10, 1).unwrap().is_none());
+        assert!(r.deliver_book_time(0, 300, 99, 2).unwrap().is_none());
         // Completing target-200's round is unaffected by the 300 session.
-        let actions = r.deliver_book_time(1, 200, 30, 3).unwrap();
-        assert_eq!(actions.len(), 1);
+        let action = r.deliver_book_time(1, 200, 30, 3).unwrap();
         assert!(matches!(
-            actions[0],
-            RouterAction::ForwardUp {
+            action,
+            Some(RouterAction::ForwardUp {
                 target: 200,
                 time_point: 30,
                 ..
-            }
+            })
         ));
     }
 
     #[test]
     fn downward_broadcast_relays() {
-        let mut r = Router::new(100, Some(200), vec![0, 1]);
-        let actions = r.deliver_max_time(500, 300);
+        let r = Router::new(100, Some(200), vec![0, 1]);
+        let action = r.deliver_max_time(500, 300);
         assert_eq!(
-            actions,
-            vec![RouterAction::Broadcast {
-                children: vec![0, 1],
+            action,
+            RouterAction::Broadcast {
                 t_m: 500,
                 target: 300,
-            }]
+            }
         );
     }
 
@@ -382,8 +396,8 @@ mod tests {
         );
         // The rejected booking left no session state behind: a valid
         // round still completes with only the real children.
-        assert!(r.deliver_book_time(0, 100, 5, 1).unwrap().is_empty());
-        assert_eq!(r.deliver_book_time(1, 100, 7, 2).unwrap().len(), 1);
+        assert!(r.deliver_book_time(0, 100, 5, 1).unwrap().is_none());
+        assert!(r.deliver_book_time(1, 100, 7, 2).unwrap().is_some());
     }
 
     #[test]

@@ -61,18 +61,20 @@ proptest! {
             let k = sent[child];
             sent[child] += 1;
             let (tp, arr) = booking(child, k);
-            let actions = router.deliver_book_time(child as u16, addr, tp, arr).unwrap();
-            for action in actions {
-                match action {
-                    RouterAction::Broadcast { children: to, t_m, target } => {
-                        prop_assert_eq!(&to, &children, "broadcast reaches every child");
-                        prop_assert_eq!(target, addr);
-                        broadcasts.push(t_m);
-                    }
-                    RouterAction::ForwardUp { .. } => {
-                        prop_assert!(false, "destination router must broadcast, not forward");
-                    }
+            let action = router.deliver_book_time(child as u16, addr, tp, arr).unwrap();
+            match action {
+                Some(RouterAction::Broadcast { t_m, target }) => {
+                    // A broadcast always reaches every child: the action
+                    // carries no recipient list, the router's children
+                    // ARE the recipients.
+                    prop_assert_eq!(router.children(), children.as_slice());
+                    prop_assert_eq!(target, addr);
+                    broadcasts.push(t_m);
                 }
+                Some(RouterAction::ForwardUp { .. }) => {
+                    prop_assert!(false, "destination router must broadcast, not forward");
+                }
+                None => {}
             }
         }
 
@@ -106,24 +108,24 @@ proptest! {
         // completes target 300's round, then target 400's.
         let (arr_300, arr_400) = if a_first { (1, 2) } else { (2, 1) };
         if a_first {
-            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_empty());
-            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_empty());
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_none());
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_none());
         } else {
-            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_empty());
-            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_empty());
+            prop_assert!(router.deliver_book_time(0, 400, tp_b[0], arr_400).unwrap().is_none());
+            prop_assert!(router.deliver_book_time(0, 300, tp_a[0], arr_300).unwrap().is_none());
         }
         let done_a = router.deliver_book_time(1, 300, tp_a[1], 3).unwrap();
         let done_b = router.deliver_book_time(1, 400, tp_b[1], 4).unwrap();
-        let expect = |actions: &[RouterAction], target: u16, t_m: u64| {
+        let expect = |action: Option<RouterAction>, target: u16, t_m: u64| {
             matches!(
-                actions,
-                [RouterAction::ForwardUp { target: t, time_point, .. }]
-                    if *t == target && *time_point == t_m
+                action,
+                Some(RouterAction::ForwardUp { target: t, time_point, .. })
+                    if t == target && time_point == t_m
             )
         };
         let max_a = tp_a[0].max(arr_300).max(tp_a[1]).max(3);
         let max_b = tp_b[0].max(arr_400).max(tp_b[1]).max(4);
-        prop_assert!(expect(&done_a, 300, max_a), "target 300: {done_a:?}");
-        prop_assert!(expect(&done_b, 400, max_b), "target 400: {done_b:?}");
+        prop_assert!(expect(done_a, 300, max_a), "target 300: {done_a:?}");
+        prop_assert!(expect(done_b, 400, max_b), "target 400: {done_b:?}");
     }
 }

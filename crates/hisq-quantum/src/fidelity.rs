@@ -17,7 +17,6 @@
 //! and aggregate multiplicatively across qubits:
 //! `infidelity = 1 − ∏_q F_q(t_q)`.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Coherence parameters of a qubit (or a uniform device).
@@ -82,10 +81,14 @@ impl fmt::Display for CoherenceParams {
 /// let infid = ledger.infidelity(CoherenceParams::uniform(100.0));
 /// assert!(infid > 0.0 && infid < 1.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExposureLedger {
-    /// Per-qubit (first_activity_ns, last_activity_ns).
-    spans: BTreeMap<usize, (u64, u64)>,
+    /// Per-qubit (first_activity_ns, last_activity_ns), indexed by
+    /// qubit id (`None` = never active). Dense indexing keeps the
+    /// per-commit recording on the simulator's hot path an array
+    /// access instead of a map walk; qubit ids are small and dense by
+    /// construction (allocator-assigned), so the vector stays compact.
+    spans: Vec<Option<(u64, u64)>>,
 }
 
 impl ExposureLedger {
@@ -94,10 +97,21 @@ impl ExposureLedger {
         ExposureLedger::default()
     }
 
+    /// The recorded spans in ascending qubit order.
+    fn iter_spans(&self) -> impl Iterator<Item = (usize, (u64, u64))> + '_ {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter_map(|(q, span)| span.map(|s| (q, s)))
+    }
+
     /// Records that `qubit` was active over `[start_ns, end_ns]`,
     /// widening any existing span.
     pub fn record_span(&mut self, qubit: usize, start_ns: u64, end_ns: u64) {
-        let entry = self.spans.entry(qubit).or_insert((start_ns, end_ns));
+        if qubit >= self.spans.len() {
+            self.spans.resize(qubit + 1, None);
+        }
+        let entry = self.spans[qubit].get_or_insert((start_ns, end_ns));
         entry.0 = entry.0.min(start_ns);
         entry.1 = entry.1.max(end_ns);
     }
@@ -109,7 +123,11 @@ impl ExposureLedger {
 
     /// Exposure duration of `qubit` in nanoseconds (0 if never active).
     pub fn exposure_ns(&self, qubit: usize) -> u64 {
-        self.spans.get(&qubit).map_or(0, |(s, e)| e - s)
+        self.spans
+            .get(qubit)
+            .copied()
+            .flatten()
+            .map_or(0, |(s, e)| e - s)
     }
 
     /// Iterates `(qubit, exposure_ns)` pairs in ascending qubit order —
@@ -117,30 +135,29 @@ impl ExposureLedger {
     /// here, per-nanosecond idle error in
     /// [`NoiseModel`](crate::NoiseModel)).
     pub fn exposures_ns(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.spans.iter().map(|(&q, &(s, e))| (q, e - s))
+        self.iter_spans().map(|(q, (s, e))| (q, e - s))
     }
 
     /// Number of qubits with recorded activity.
     pub fn qubit_count(&self) -> usize {
-        self.spans.len()
+        self.iter_spans().count()
     }
 
     /// Total exposure across all qubits, in nanoseconds.
     pub fn total_exposure_ns(&self) -> u64 {
-        self.spans.values().map(|(s, e)| e - s).sum()
+        self.iter_spans().map(|(_, (s, e))| e - s).sum()
     }
 
     /// Latest recorded activity (the schedule's makespan), in ns.
     pub fn makespan_ns(&self) -> u64 {
-        self.spans.values().map(|&(_, e)| e).max().unwrap_or(0)
+        self.iter_spans().map(|(_, (_, e))| e).max().unwrap_or(0)
     }
 
     /// Circuit fidelity under uniform coherence parameters:
     /// `∏_q F_q(exposure_q)`.
     pub fn fidelity(&self, params: CoherenceParams) -> f64 {
-        self.spans
-            .values()
-            .map(|&(s, e)| params.idle_fidelity((e - s) as f64))
+        self.iter_spans()
+            .map(|(_, (s, e))| params.idle_fidelity((e - s) as f64))
             .product()
     }
 

@@ -10,9 +10,10 @@
 //! programs name addresses, and unknown destinations are dropped at
 //! routing time, surfacing as a deadlocked sender in the report).
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::mem;
 
 use hisq_core::{BlockReason, NodeAddr, Status, MEAS_FIFO_ADDR};
 use hisq_isa::CYCLE_NS;
@@ -21,10 +22,45 @@ use hisq_quantum::{ExposureLedger, OpCounts};
 
 use crate::backend::QuantumBackend;
 use crate::config::{LinkReport, SimConfig, SimError, SimReport};
-use crate::events::{EventKind, LinkQueue, PendingGate, QueuedEvent, ReplayAction};
+use crate::events::{EventKind, LinkQueue, QubitList, ReplayAction};
 use crate::nodes::{NodeId, QuantumAction, SimNode};
+use crate::queue::{CalendarQueue, EngineQueue, EventQueue, HeapQueue};
 use crate::spec::Arena;
 use crate::telf::Telf;
+
+/// Hot-loop buffers a [`System`] reuses across its lifetime and — via
+/// the per-thread pool below — across *systems* on the same thread, so
+/// a [`SweepRunner`](crate::sweep::SweepRunner) worker builds and runs
+/// thousands of scenarios without re-growing the calendar rings or the
+/// step/commit scratch vectors each time.
+#[derive(Default)]
+struct Scratch {
+    /// The production event queue (pre-sized ring buckets + slab).
+    events: CalendarQueue<EventKind>,
+    /// The gate-replay queue (items index `gate_store`).
+    gates: CalendarQueue<usize>,
+    /// Controller-step outbox, drained after every step.
+    outbox: Vec<hisq_core::OutboundMessage>,
+    /// Commit-harvest staging (copied out so the arena borrow ends).
+    commits: Vec<hisq_core::CommitRecord>,
+    /// Hub broadcast fan-out staging.
+    fanout: Vec<NodeId>,
+    /// Router broadcast relay staging (child addresses).
+    relay: Vec<NodeAddr>,
+    /// Backend operations buffered for in-order replay.
+    gate_store: Vec<ReplayAction>,
+}
+
+/// How many retired [`Scratch`] sets a thread keeps. Sweep workers run
+/// one system at a time, so one would do; a little slack covers nested
+/// or interleaved systems in tests.
+const SCRATCH_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Retired scratch sets, reused by the next [`System`] built on
+    /// this thread (see [`System::from_parts`] / [`Drop`]).
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The full Distributed-HISQ system under simulation, built from a
 /// [`SystemSpec`](crate::SystemSpec).
@@ -40,6 +76,15 @@ pub struct System {
     /// Controller ids in ascending address order (the deterministic
     /// stepping order).
     controller_ids: Vec<NodeId>,
+    /// Per-node direct-link table for non-controller senders (routers:
+    /// parent + children at the tree-edge latency), sorted by address.
+    /// Precomputed from the topology so the per-event router relays
+    /// skip the topology's map walks; misses fall through to the full
+    /// lookup, so the table is purely an equivalent fast path.
+    node_links: Vec<Vec<(NodeAddr, u64)>>,
+    /// Per-node tree parent (`NodeAddr::MAX` = none / no topology),
+    /// the first hop of every controller booking.
+    tree_parent: Vec<NodeAddr>,
     topology: Option<Topology>,
     backend: Box<dyn QuantumBackend>,
     /// The contention model every directed link runs (transparent by
@@ -49,10 +94,24 @@ pub struct System {
     /// `(from, to)` arena-id pair. Empty while the model is transparent.
     link_queues: BTreeMap<(NodeId, NodeId), LinkQueue>,
 
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
-    seq: u64,
-    gate_heap: BinaryHeap<Reverse<PendingGate>>,
+    /// The future-event queue: the production calendar queue, or the
+    /// retained heap reference when [`System::use_reference_queue`]
+    /// selected the differential oracle.
+    queue: EngineQueue<EventKind>,
+    /// Gate-replay ordering folded onto the same queue structure;
+    /// items index `gate_store`.
+    gate_queue: EngineQueue<usize>,
     gate_store: Vec<ReplayAction>,
+    /// Reused controller-step outbox (see [`Scratch`]).
+    outbox_scratch: Vec<hisq_core::OutboundMessage>,
+    /// Reused commit-harvest staging buffer.
+    commit_scratch: Vec<hisq_core::CommitRecord>,
+    /// Reused hub fan-out staging buffer.
+    fanout_scratch: Vec<NodeId>,
+    /// Reused router broadcast relay buffer.
+    relay_scratch: Vec<NodeAddr>,
+    /// `(cycle, fingerprint)` pop trace, recorded when enabled.
+    trace: Option<Vec<(u64, u64)>>,
     applied_through: u64,
     causality_warnings: u64,
     routing_warnings: u64,
@@ -84,20 +143,54 @@ impl System {
         backend: Box<dyn QuantumBackend>,
         link_model: LinkModel,
     ) -> System {
+        let scratch = SCRATCH_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        let tree_parent: Vec<NodeAddr> = match &topology {
+            Some(topo) => arena
+                .addrs
+                .iter()
+                .map(|&addr| topo.parent_of(addr).unwrap_or(NodeAddr::MAX))
+                .collect(),
+            None => vec![NodeAddr::MAX; arena.addrs.len()],
+        };
+        let node_links: Vec<Vec<(NodeAddr, u64)>> = arena
+            .nodes
+            .iter()
+            .map(|node| match (node, &topology) {
+                (SimNode::Router(router), Some(topo)) => {
+                    let mut links: Vec<(NodeAddr, u64)> = router
+                        .children()
+                        .iter()
+                        .chain(router.parent().as_ref())
+                        .map(|&addr| (addr, topo.router_latency()))
+                        .collect();
+                    links.sort_unstable_by_key(|&(addr, _)| addr);
+                    links
+                }
+                _ => Vec::new(),
+            })
+            .collect();
         System {
             config,
             nodes: arena.nodes,
             addrs: arena.addrs,
             addr_to_id: arena.addr_to_id,
             controller_ids,
+            node_links,
+            tree_parent,
             topology,
             backend,
             link_model,
             link_queues: BTreeMap::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            gate_heap: BinaryHeap::new(),
-            gate_store: Vec::new(),
+            queue: EngineQueue::Calendar(scratch.events),
+            gate_queue: EngineQueue::Calendar(scratch.gates),
+            gate_store: scratch.gate_store,
+            outbox_scratch: scratch.outbox,
+            commit_scratch: scratch.commits,
+            fanout_scratch: scratch.fanout,
+            relay_scratch: scratch.relay,
+            trace: None,
             applied_through: 0,
             causality_warnings: 0,
             routing_warnings: 0,
@@ -168,10 +261,33 @@ impl System {
         self.backend.as_mut()
     }
 
+    /// Swaps both event queues for the retained `BinaryHeap` reference
+    /// implementation — the differential-oracle half of a wheel-vs-heap
+    /// comparison run. Call before [`System::run`]; events already
+    /// queued would be dropped.
+    pub fn use_reference_queue(&mut self) {
+        debug_assert!(self.queue.is_empty() && self.gate_queue.is_empty());
+        self.queue = EngineQueue::Reference(HeapQueue::new());
+        self.gate_queue = EngineQueue::Reference(HeapQueue::new());
+    }
+
+    /// Starts recording the pop order of the main event queue as a
+    /// `(cycle, fingerprint)` sequence (see [`System::event_trace`]).
+    /// Call before [`System::run`].
+    pub fn record_event_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded pop trace: one `(cycle, fingerprint)` entry per
+    /// processed event, in pop order. Two runs processed the same
+    /// events in the same order iff their traces are equal. Empty
+    /// unless [`System::record_event_trace`] was called before the run.
+    pub fn event_trace(&self) -> &[(u64, u64)] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
     fn push_event(&mut self, at: u64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.push(at, kind);
     }
 
     /// One-way latency from node `from` to address `to`: the sender's
@@ -185,9 +301,19 @@ impl System {
     /// builds and is counted as a [`SimReport::routing_warnings`]
     /// warning in release builds.
     fn link_latency(&mut self, from: NodeId, to: NodeAddr) -> u64 {
-        if let SimNode::Controller(node) = &self.nodes[from as usize] {
-            if let Some(latency) = node.link_latency(to) {
-                return latency;
+        match &self.nodes[from as usize] {
+            SimNode::Controller(node) => {
+                if let Some(latency) = node.link_latency(to) {
+                    return latency;
+                }
+            }
+            _ => {
+                // Routers resolve their tree edges from the precomputed
+                // table; a miss falls through to the full lookup.
+                let links = &self.node_links[from as usize];
+                if let Ok(i) = links.binary_search_by_key(&to, |&(addr, _)| addr) {
+                    return links[i].1;
+                }
             }
         }
         let from_addr = self.addrs[from as usize];
@@ -322,13 +448,13 @@ impl System {
             ),
             Outcome::Resend(at) => self.push_event(
                 at,
-                EventKind::Resend {
+                EventKind::Resend(Box::new(crate::events::ResendEvent {
                     link: queue_key,
                     to,
                     payload,
                     latency,
                     attempt: attempt + 1,
-                },
+                })),
             ),
             Outcome::Abandoned => {}
         }
@@ -340,7 +466,6 @@ impl System {
     /// the report).
     fn route(&mut self, from: NodeId, message: hisq_core::OutboundMessage) {
         use hisq_core::OutboundMessage;
-        let from_addr = self.addrs[from as usize];
         match message {
             OutboundMessage::SyncPulse { to, sent_at } => {
                 let latency = self.link_latency(from, to);
@@ -354,11 +479,10 @@ impl System {
             } => {
                 // First hop: the sender's parent in the tree (or the
                 // target directly when no topology is attached).
-                let hop = self
-                    .topology
-                    .as_ref()
-                    .and_then(|t| t.parent_of(from_addr))
-                    .unwrap_or(target);
+                let hop = match self.tree_parent[from as usize] {
+                    NodeAddr::MAX => target,
+                    parent => parent,
+                };
                 let latency = self.link_latency(from, hop);
                 let Some(dest) = self.resolve(hop) else {
                     return;
@@ -381,75 +505,118 @@ impl System {
 
     /// Applies buffered gates with commit cycle ≤ `cycle` to the backend.
     fn apply_gates_through(&mut self, cycle: u64) {
-        while let Some(Reverse(top)) = self.gate_heap.peek() {
-            if top.cycle > cycle {
-                break;
+        while let Some((commit_cycle, gate_index)) = self.gate_queue.pop_through(cycle) {
+            // Disjoint field borrows: the store is read, the backend
+            // written — no per-gate clone of the qubit list.
+            match &self.gate_store[gate_index] {
+                ReplayAction::Gate(gate, qubits) => {
+                    self.backend.apply_gate(*gate, qubits.as_slice())
+                }
+                ReplayAction::Reset(qubit) => self.backend.reset(*qubit),
             }
-            let Reverse(pending) = self.gate_heap.pop().expect("peeked");
-            match self.gate_store[pending.gate_index].clone() {
-                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
-                ReplayAction::Reset(qubit) => self.backend.reset(qubit),
-            }
-            self.applied_through = self.applied_through.max(pending.cycle);
+            self.applied_through = self.applied_through.max(commit_cycle);
         }
     }
 
     /// Harvests commits a controller produced during its last step:
     /// exposure accounting, gate replay buffering, measurement triggers.
     fn harvest_commits(&mut self, id: NodeId) {
-        let new: Vec<hisq_core::CommitRecord> = {
+        let mut staged = mem::take(&mut self.commit_scratch);
+        staged.clear();
+        {
             let node = self.nodes[id as usize]
                 .as_controller_mut()
                 .expect("harvest targets a controller");
             let commits = node.ctrl.commits();
-            let new = commits[node.watermark..].to_vec();
+            if commits.len() == node.watermark {
+                // Nothing new since the last harvest — the common case
+                // for a step that merely advanced or blocked.
+                self.commit_scratch = staged;
+                return;
+            }
+            if node.bindings.is_empty() && node.meas_ports.is_empty() {
+                // No codeword is bound to any quantum action, so every
+                // new commit would fall through the binding lookup
+                // below untouched: advance the watermark and skip the
+                // staging copy. (The commits themselves stay on the
+                // controller for TELF extraction.)
+                node.watermark = commits.len();
+                self.commit_scratch = staged;
+                return;
+            }
+            staged.extend_from_slice(&commits[node.watermark..]);
             node.watermark = commits.len();
-            new
-        };
+        }
 
-        for commit in new {
+        // The bound action is copied out compactly (inline qubit list,
+        // no `Vec` clone) so the arena borrow ends before the `&mut
+        // self` accounting calls.
+        enum Bound {
+            Gate(hisq_quantum::Gate, QubitList),
+            Measure(usize),
+            Reset(usize),
+            MeasPort { qubit: usize, result_latency: u64 },
+            None,
+        }
+        for &commit in &staged {
             let node = self.nodes[id as usize]
                 .as_controller()
                 .expect("harvest targets a controller");
-            if let Some(action) = node.bindings.get(&(commit.port, commit.codeword)).cloned() {
-                match action {
-                    QuantumAction::Gate { gate, qubits } => {
-                        let duration = self.config.durations.gate_ns(gate);
-                        for &q in &qubits {
-                            self.exposure.record_span(
-                                q,
-                                commit.cycle * CYCLE_NS,
-                                commit.cycle * CYCLE_NS + duration,
-                            );
-                        }
-                        if gate.arity() == 1 {
-                            self.quantum_ops.gates_1q += 1;
-                        } else {
-                            self.quantum_ops.gates_2q += 1;
-                        }
-                        self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
-                    }
-                    QuantumAction::Measure { qubit } => {
-                        let latency = self.config.durations.measurement_ns / CYCLE_NS;
-                        self.schedule_measurement(id, qubit, commit.cycle, latency);
-                    }
-                    QuantumAction::Reset { qubit } => {
-                        let duration = self.config.durations.reset_ns;
+            let bound = match node.bindings.get(&(commit.port, commit.codeword)) {
+                Some(QuantumAction::Gate { gate, qubits }) => {
+                    Bound::Gate(*gate, QubitList::from_slice(qubits))
+                }
+                Some(QuantumAction::Measure { qubit }) => Bound::Measure(*qubit),
+                Some(QuantumAction::Reset { qubit }) => Bound::Reset(*qubit),
+                None => match node.meas_ports.get(&commit.port).copied() {
+                    Some(binding) => Bound::MeasPort {
+                        qubit: binding.qubit,
+                        result_latency: binding.result_latency,
+                    },
+                    None => Bound::None,
+                },
+            };
+            match bound {
+                Bound::Gate(gate, qubits) => {
+                    let duration = self.config.durations.gate_ns(gate);
+                    for &q in qubits.as_slice() {
                         self.exposure.record_span(
-                            qubit,
+                            q,
                             commit.cycle * CYCLE_NS,
                             commit.cycle * CYCLE_NS + duration,
                         );
-                        self.quantum_ops.resets += 1;
-                        self.replay(commit.cycle, ReplayAction::Reset(qubit));
                     }
+                    if gate.arity() == 1 {
+                        self.quantum_ops.gates_1q += 1;
+                    } else {
+                        self.quantum_ops.gates_2q += 1;
+                    }
+                    self.replay(commit.cycle, ReplayAction::Gate(gate, qubits));
                 }
-                continue;
-            }
-            if let Some(binding) = node.meas_ports.get(&commit.port).copied() {
-                self.schedule_measurement(id, binding.qubit, commit.cycle, binding.result_latency);
+                Bound::Measure(qubit) => {
+                    let latency = self.config.durations.measurement_ns / CYCLE_NS;
+                    self.schedule_measurement(id, qubit, commit.cycle, latency);
+                }
+                Bound::Reset(qubit) => {
+                    let duration = self.config.durations.reset_ns;
+                    self.exposure.record_span(
+                        qubit,
+                        commit.cycle * CYCLE_NS,
+                        commit.cycle * CYCLE_NS + duration,
+                    );
+                    self.quantum_ops.resets += 1;
+                    self.replay(commit.cycle, ReplayAction::Reset(qubit));
+                }
+                Bound::MeasPort {
+                    qubit,
+                    result_latency,
+                } => {
+                    self.schedule_measurement(id, qubit, commit.cycle, result_latency);
+                }
+                Bound::None => {}
             }
         }
+        self.commit_scratch = staged;
     }
 
     /// Buffers a backend operation for in-order replay; stragglers
@@ -458,20 +625,16 @@ impl System {
         if cycle < self.applied_through {
             self.causality_warnings += 1;
             match action {
-                ReplayAction::Gate(gate, qubits) => self.backend.apply_gate(gate, &qubits),
+                ReplayAction::Gate(gate, qubits) => {
+                    self.backend.apply_gate(gate, qubits.as_slice())
+                }
                 ReplayAction::Reset(qubit) => self.backend.reset(qubit),
             }
             return;
         }
         let gate_index = self.gate_store.len();
         self.gate_store.push(action);
-        let seq = self.seq;
-        self.seq += 1;
-        self.gate_heap.push(Reverse(PendingGate {
-            cycle,
-            seq,
-            gate_index,
-        }));
+        self.gate_queue.push(cycle, gate_index);
     }
 
     fn schedule_measurement(
@@ -500,7 +663,8 @@ impl System {
     /// Steps one controller until it blocks or halts, routing its
     /// messages and harvesting its commits.
     fn step_controller(&mut self, id: NodeId) {
-        let mut outbox = Vec::new();
+        let mut outbox = mem::take(&mut self.outbox_scratch);
+        outbox.clear();
         {
             let node = self.nodes[id as usize]
                 .as_controller_mut()
@@ -508,9 +672,10 @@ impl System {
             let _ = node.ctrl.step(&mut outbox);
         }
         self.harvest_commits(id);
-        for message in outbox {
+        for message in outbox.drain(..) {
             self.route(id, message);
         }
+        self.outbox_scratch = outbox;
     }
 
     fn deliver(
@@ -522,23 +687,38 @@ impl System {
     ) -> Result<(), SimError> {
         match &mut self.nodes[to as usize] {
             SimNode::Controller(node) => {
-                match payload {
-                    Payload::SyncPulse => node.ctrl.deliver_sync_pulse(from, deliver_at),
-                    Payload::MaxTime { t_m, target } => node.ctrl.deliver_max_time(target, t_m),
+                // The fused `offer_*` delivery completes a matching
+                // pending op in place (no inbox round trip) and gates
+                // the step: `false` means the input was banked for
+                // later — a non-matching delivery, or one to a halted
+                // controller — and stepping would be a no-op, so the
+                // whole step/harvest/route round trip is skipped.
+                let unblocks = match payload {
+                    Payload::SyncPulse => node.ctrl.offer_sync_pulse(from, deliver_at),
+                    Payload::MaxTime { t_m, target } => node.ctrl.offer_max_time(target, t_m),
                     Payload::Classical { value } => {
-                        node.ctrl.deliver_classical(from, value, deliver_at)
+                        node.ctrl.offer_classical(from, value, deliver_at)
                     }
                     Payload::BookTime { .. } => {
                         // Controllers never coordinate regions; drop.
                         return Ok(());
                     }
+                };
+                if unblocks {
+                    self.step_controller(to);
                 }
-                self.step_controller(to);
             }
-            SimNode::Hub(hub) => {
+            SimNode::Hub(_) => {
                 if let Payload::Classical { value } = payload {
-                    let down_latency = hub.down_latency;
-                    let subscribers = hub.subscriber_ids.clone();
+                    let mut fanout = mem::take(&mut self.fanout_scratch);
+                    fanout.clear();
+                    let down_latency = {
+                        let SimNode::Hub(hub) = &self.nodes[to as usize] else {
+                            unreachable!("matched Hub above")
+                        };
+                        fanout.extend_from_slice(&hub.subscriber_ids);
+                        hub.down_latency
+                    };
                     // The hub's downlink fan-out rides the link
                     // machinery through the hub's *shared* egress
                     // queue: the central port emits one copy per
@@ -546,7 +726,7 @@ impl System {
                     // broadcast serializes N copies back to back — the
                     // saturation the §6.4.3 baseline's constant-latency
                     // star assumption hides.
-                    for subscriber in subscribers {
+                    for &subscriber in &fanout {
                         self.send_via(
                             (to, to),
                             to,
@@ -556,28 +736,29 @@ impl System {
                             down_latency,
                         );
                     }
+                    self.fanout_scratch = fanout;
                 }
             }
             SimNode::Router(router) => {
-                let actions = match payload {
+                // Router actions are Copy and carry no child list, so
+                // the arena borrow ends here without any allocation.
+                let action = match payload {
                     Payload::BookTime { target, time_point } => {
                         router.deliver_book_time(from, target, time_point, deliver_at)?
                     }
-                    Payload::MaxTime { t_m, target } => router.deliver_max_time(t_m, target),
-                    Payload::SyncPulse | Payload::Classical { .. } => Vec::new(),
+                    Payload::MaxTime { t_m, target } => Some(router.deliver_max_time(t_m, target)),
+                    Payload::SyncPulse | Payload::Classical { .. } => None,
                 };
-                for action in actions {
-                    match action {
-                        RouterAction::ForwardUp {
-                            parent,
-                            target,
-                            time_point,
-                            sent_at,
-                        } => {
-                            let latency = self.link_latency(to, parent);
-                            let Some(dest) = self.resolve(parent) else {
-                                continue;
-                            };
+                match action {
+                    None => {}
+                    Some(RouterAction::ForwardUp {
+                        parent,
+                        target,
+                        time_point,
+                        sent_at,
+                    }) => {
+                        let latency = self.link_latency(to, parent);
+                        if let Some(dest) = self.resolve(parent) {
                             self.send(
                                 to,
                                 dest,
@@ -586,40 +767,48 @@ impl System {
                                 latency,
                             );
                         }
-                        RouterAction::Broadcast {
-                            children,
-                            t_m,
-                            target,
-                        } => {
-                            for child in children {
-                                let payload = Payload::MaxTime { t_m, target };
-                                if self.config.idealize_downlink {
-                                    // The §4.4 idealization bypasses the
-                                    // wire (and hence any contention).
-                                    let Some(dest) = self.resolve(child) else {
-                                        continue;
-                                    };
-                                    let router_addr = self.addrs[to as usize];
-                                    self.push_event(
-                                        deliver_at,
-                                        EventKind::Deliver {
-                                            from: router_addr,
-                                            to: dest,
-                                            payload,
-                                        },
-                                    );
-                                } else {
-                                    // Latency first: an unknown child
-                                    // must still count a routing
-                                    // warning before being dropped.
-                                    let latency = self.link_latency(to, child);
-                                    let Some(dest) = self.resolve(child) else {
-                                        continue;
-                                    };
-                                    self.send(to, dest, payload, deliver_at, latency);
-                                }
+                    }
+                    Some(RouterAction::Broadcast { t_m, target }) => {
+                        // The recipients are the router's own children;
+                        // stage them in the reused relay scratch so the
+                        // arena borrow ends before the sends.
+                        let mut relay = mem::take(&mut self.relay_scratch);
+                        relay.clear();
+                        {
+                            let SimNode::Router(router) = &self.nodes[to as usize] else {
+                                unreachable!("matched Router above")
+                            };
+                            relay.extend_from_slice(router.children());
+                        }
+                        for &child in &relay {
+                            let payload = Payload::MaxTime { t_m, target };
+                            if self.config.idealize_downlink {
+                                // The §4.4 idealization bypasses the
+                                // wire (and hence any contention).
+                                let Some(dest) = self.resolve(child) else {
+                                    continue;
+                                };
+                                let router_addr = self.addrs[to as usize];
+                                self.push_event(
+                                    deliver_at,
+                                    EventKind::Deliver {
+                                        from: router_addr,
+                                        to: dest,
+                                        payload,
+                                    },
+                                );
+                            } else {
+                                // Latency first: an unknown child
+                                // must still count a routing
+                                // warning before being dropped.
+                                let latency = self.link_latency(to, child);
+                                let Some(dest) = self.resolve(child) else {
+                                    continue;
+                                };
+                                self.send(to, dest, payload, deliver_at, latency);
                             }
                         }
+                        self.relay_scratch = relay;
                     }
                 }
             }
@@ -640,25 +829,29 @@ impl System {
         for id in ids {
             self.step_controller(id);
         }
-        while let Some(Reverse(event)) = self.queue.pop() {
+        while let Some((at, kind)) = self.queue.pop() {
             self.events_processed += 1;
             if self.events_processed > self.config.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.config.max_events,
                 });
             }
-            match event.kind {
+            if let Some(trace) = &mut self.trace {
+                trace.push((at, kind.fingerprint()));
+            }
+            match kind {
                 EventKind::Deliver { from, to, payload } => {
-                    self.deliver(from, to, payload, event.at)?;
+                    self.deliver(from, to, payload, at)?;
                 }
-                EventKind::Resend {
-                    link,
-                    to,
-                    payload,
-                    latency,
-                    attempt,
-                } => {
-                    self.transmit(link, to, payload, event.at, latency, attempt);
+                EventKind::Resend(resend) => {
+                    self.transmit(
+                        resend.link,
+                        resend.to,
+                        resend.payload,
+                        at,
+                        resend.latency,
+                        resend.attempt,
+                    );
                 }
                 EventKind::MeasResolve {
                     node,
@@ -668,11 +861,9 @@ impl System {
                     self.apply_gates_through(trigger_cycle);
                     let outcome = self.backend.measure(qubit);
                     if let Some(ctrl_node) = self.nodes[node as usize].as_controller_mut() {
-                        ctrl_node.ctrl.deliver_classical(
-                            MEAS_FIFO_ADDR,
-                            u32::from(outcome),
-                            event.at,
-                        );
+                        ctrl_node
+                            .ctrl
+                            .deliver_classical(MEAS_FIFO_ADDR, u32::from(outcome), at);
                     }
                     self.step_controller(node);
                 }
@@ -753,5 +944,53 @@ impl System {
             quantum_ops: self.quantum_ops,
             link_stats,
         }
+    }
+}
+
+impl Drop for System {
+    /// Retires the hot-loop buffers to the per-thread pool so the next
+    /// system built on this thread (the common [`SweepRunner`]
+    /// worker pattern) starts with pre-grown rings and scratch vectors.
+    /// Only the production calendar queues are pooled; a reference-queue
+    /// (differential oracle) system just drops its heaps.
+    ///
+    /// [`SweepRunner`]: crate::sweep::SweepRunner
+    fn drop(&mut self) {
+        let events = mem::replace(&mut self.queue, EngineQueue::Reference(HeapQueue::new()));
+        let gates = mem::replace(
+            &mut self.gate_queue,
+            EngineQueue::Reference(HeapQueue::new()),
+        );
+        let (EngineQueue::Calendar(mut events), EngineQueue::Calendar(mut gates)) = (events, gates)
+        else {
+            return;
+        };
+        events.clear();
+        gates.clear();
+        let mut gate_store = mem::take(&mut self.gate_store);
+        gate_store.clear();
+        let mut outbox = mem::take(&mut self.outbox_scratch);
+        outbox.clear();
+        let mut commits = mem::take(&mut self.commit_scratch);
+        commits.clear();
+        let mut fanout = mem::take(&mut self.fanout_scratch);
+        fanout.clear();
+        let mut relay = mem::take(&mut self.relay_scratch);
+        relay.clear();
+        let scratch = Scratch {
+            events,
+            gates,
+            outbox,
+            commits,
+            fanout,
+            relay,
+            gate_store,
+        };
+        SCRATCH_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(scratch);
+            }
+        });
     }
 }

@@ -1,8 +1,9 @@
-//! Internal event-queue, gate-replay, and link-queue plumbing: the
-//! ordered records the engine's two binary heaps hold, plus the
-//! per-link busy-until state of the contention model. Events order by
-//! `(cycle, seq)` with `seq` assigned at push — the deterministic
-//! tie-break the sweep engine's byte-identical JSON contract rests on.
+//! Internal event and link-queue plumbing: the event records the
+//! engine's [`crate::queue`] structures carry, plus the per-link
+//! busy-until state of the contention model. Events order by
+//! `(cycle, seq)` with `seq` assigned at push (inside the queue) — the
+//! deterministic tie-break the sweep engine's byte-identical JSON
+//! contract rests on.
 
 use hisq_core::NodeAddr;
 use hisq_net::Payload;
@@ -39,70 +40,116 @@ pub(crate) enum EventKind {
     /// retransmission as an event (instead of booking the future slot
     /// at loss time) keeps contended links work-conserving — traffic
     /// offered during the ack-wait window transmits on the idle wire.
-    Resend {
-        /// The serialization queue the message retransmits through.
-        link: (NodeId, NodeId),
-        /// Destination arena id.
-        to: NodeId,
-        /// The message content.
-        payload: Payload,
-        /// Wire latency of the link (cycles).
-        latency: u64,
-        /// 1-based attempt number of this retransmission.
-        attempt: u32,
-    },
+    ///
+    /// Boxed because retransmissions exist only on lossy links: the
+    /// wide resend record would otherwise double the size of every
+    /// slot in the event slab, and the loss-free hot path never pays
+    /// the allocation.
+    Resend(Box<ResendEvent>),
 }
 
+/// The retransmission record carried by [`EventKind::Resend`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct QueuedEvent {
-    /// Absolute delivery cycle.
-    pub at: u64,
-    /// Push-order tie-break.
-    pub seq: u64,
-    /// What happens at `at`.
-    pub kind: EventKind,
+pub(crate) struct ResendEvent {
+    /// The serialization queue the message retransmits through.
+    pub link: (NodeId, NodeId),
+    /// Destination arena id.
+    pub to: NodeId,
+    /// The message content.
+    pub payload: Payload,
+    /// Wire latency of the link (cycles).
+    pub latency: u64,
+    /// 1-based attempt number of this retransmission.
+    pub attempt: u32,
 }
 
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl EventKind {
+    /// A 64-bit content digest for pop-trace recording (see
+    /// [`System::record_event_trace`](crate::System::record_event_trace)):
+    /// two runs pop the same event sequence iff their `(cycle,
+    /// fingerprint)` traces match. Mixed with splitmix64 so distinct
+    /// events collide with negligible probability.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        fn mix(hash: u64, value: u64) -> u64 {
+            splitmix64(hash ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+        fn payload_digest(payload: &Payload) -> u64 {
+            match *payload {
+                Payload::SyncPulse => mix(0x51, 0),
+                Payload::BookTime { target, time_point } => {
+                    mix(mix(0x52, u64::from(target)), time_point)
+                }
+                Payload::MaxTime { t_m, target } => mix(mix(0x53, t_m), u64::from(target)),
+                Payload::Classical { value } => mix(0x54, u64::from(value)),
+            }
+        }
+        match *self {
+            EventKind::Deliver { from, to, payload } => mix(
+                mix(mix(0x01, u64::from(from)), u64::from(to)),
+                payload_digest(&payload),
+            ),
+            EventKind::MeasResolve {
+                node,
+                qubit,
+                trigger_cycle,
+            } => mix(mix(mix(0x02, u64::from(node)), qubit as u64), trigger_cycle),
+            EventKind::Resend(ref resend) => {
+                let link_key = (u64::from(resend.link.0) << 32) | u64::from(resend.link.1);
+                mix(
+                    mix(
+                        mix(
+                            mix(mix(0x03, link_key), u64::from(resend.to)),
+                            payload_digest(&resend.payload),
+                        ),
+                        resend.latency,
+                    ),
+                    u64::from(resend.attempt),
+                )
+            }
+        }
     }
 }
 
 /// A backend operation to replay in commit-cycle order.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum ReplayAction {
-    Gate(Gate, Vec<usize>),
+    Gate(Gate, QubitList),
     Reset(usize),
 }
 
-/// A pending gate waiting to be replayed into the quantum backend in
-/// commit-cycle order.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct PendingGate {
-    /// Commit cycle of the buffered operation.
-    pub cycle: u64,
-    /// Push-order tie-break.
-    pub seq: u64,
-    /// Index into the engine's gate store.
-    pub gate_index: usize,
+/// A gate's target qubits, stored inline when they fit (real gates
+/// touch one or two qubits) so buffering a commit for replay never
+/// allocates on the engine's hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum QubitList {
+    /// Up to four qubits, inline: `qs[..len]`.
+    Inline { len: u8, qs: [usize; 4] },
+    /// Oversized bindings spill to the heap (never hit by arity-checked
+    /// gate bindings; kept so malformed specs stay well-defined).
+    Heap(Vec<usize>),
 }
 
-impl Ord for PendingGate {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+impl QubitList {
+    /// Copies a qubit slice, inline when it fits.
+    pub(crate) fn from_slice(qubits: &[usize]) -> QubitList {
+        if qubits.len() <= 4 {
+            let mut qs = [0usize; 4];
+            qs[..qubits.len()].copy_from_slice(qubits);
+            QubitList::Inline {
+                len: qubits.len() as u8,
+                qs,
+            }
+        } else {
+            QubitList::Heap(qubits.to_vec())
+        }
     }
-}
 
-impl PartialOrd for PendingGate {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// The qubits as a slice.
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        match self {
+            QubitList::Inline { len, qs } => &qs[..usize::from(*len)],
+            QubitList::Heap(qubits) => qubits,
+        }
     }
 }
 

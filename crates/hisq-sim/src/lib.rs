@@ -99,6 +99,7 @@ pub mod engine;
 pub mod events;
 pub mod json;
 pub mod nodes;
+pub mod queue;
 pub mod spec;
 pub mod sweep;
 pub mod telf;
@@ -112,6 +113,7 @@ pub use engine::System;
 pub use hisq_net::{DropPolicy, LinkModel, RouterError};
 pub use hisq_quantum::{NoiseModel, OpCounts};
 pub use nodes::{Hub, MeasBinding, QuantumAction};
+pub use queue::{CalendarQueue, EngineQueue, EventQueue, HeapQueue};
 pub use spec::{BackendSpec, SystemSpec};
 pub use sweep::{Metric, MetricSummary, SweepGrid, SweepRecord, SweepReport, SweepRunner};
 pub use telf::{Telf, TelfRecord};

@@ -1,0 +1,221 @@
+//! Differential oracle for the calendar-queue event core: the
+//! production [`CalendarQueue`] must pop the exact `(cycle, item)`
+//! sequence of the retained [`HeapQueue`] reference (the historical
+//! `BinaryHeap<Reverse<(at, seq)>>` ordering) over proptest-generated
+//! push/pop streams and over adversarial hand-built cases — same-cycle
+//! bursts, the far-future overflow rung, horizon wrap-around, pushes
+//! behind the pop frontier, and cycles at the very top of `u64`.
+//!
+//! The second half pins the satellite bugfix: the `seq` tie-break
+//! counter uses checked arithmetic, so exhausting it panics loudly
+//! instead of silently reordering same-cycle events.
+
+use proptest::prelude::*;
+
+use hisq_sim::queue::{CalendarQueue, EventQueue, HeapQueue};
+
+/// One generated operation against both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push the next item id at this cycle.
+    Push(u64),
+    /// Pop once from both queues and compare.
+    Pop,
+}
+
+/// Drives the same operation stream through wheel and heap, asserting
+/// identical observable behaviour after every step, then drains both.
+fn run_differential(ops: &[Op]) {
+    let mut wheel: CalendarQueue<u32> = CalendarQueue::new();
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    let mut next_item = 0u32;
+    for op in ops {
+        match *op {
+            Op::Push(cycle) => {
+                wheel.push(cycle, next_item);
+                heap.push(cycle, next_item);
+                next_item += 1;
+            }
+            Op::Pop => {
+                assert_eq!(
+                    wheel.pop(),
+                    heap.pop(),
+                    "pop diverged after {next_item} pushes"
+                );
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len diverged");
+        assert_eq!(wheel.next_at(), heap.next_at(), "next_at diverged");
+    }
+    loop {
+        let (w, h) = (wheel.pop(), heap.pop());
+        assert_eq!(w, h, "drain diverged");
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+/// Cycles drawn from the regimes that exercise every rung: the bucket
+/// window, multiples of the horizon (wrap-around), the far future
+/// (overflow), and the top of `u64`.
+fn cycle_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        0u64..5_000,
+        500u64..530,
+        1_000_000u64..1_001_000,
+        (u64::MAX - 600)..u64::MAX,
+    ]
+}
+
+/// `(cycle, pop_after)` pairs: push at `cycle`, then pop `pop_after`
+/// times — interleaving advances the wheel's window mid-stream.
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((cycle_strategy(), 0usize..3), 0..200).prop_map(|pairs| {
+        let mut ops = Vec::new();
+        for (cycle, pops) in pairs {
+            ops.push(Op::Push(cycle));
+            for _ in 0..pops {
+                ops.push(Op::Pop);
+            }
+        }
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The oracle: any interleaving of pushes (across all cycle
+    /// regimes) and pops produces identical pop sequences.
+    #[test]
+    fn wheel_matches_heap_on_random_streams(ops in ops_strategy()) {
+        run_differential(&ops);
+    }
+}
+
+#[test]
+fn same_cycle_burst_pops_in_push_order() {
+    let mut ops = Vec::new();
+    for _ in 0..300 {
+        ops.push(Op::Push(42));
+    }
+    for _ in 0..300 {
+        ops.push(Op::Pop);
+    }
+    run_differential(&ops);
+}
+
+#[test]
+fn far_future_overflow_rung_merges_with_window_cycles() {
+    // Same cycle lands in overflow first, then (after the window
+    // advances) directly in a bucket — overflow entries must still pop
+    // before later window pushes at the same cycle.
+    let mut ops = vec![Op::Push(10_000), Op::Push(10_000), Op::Push(3), Op::Pop];
+    // After popping cycle 3, push 10_000 again: now in-window.
+    ops.push(Op::Push(10_000));
+    ops.extend([Op::Pop, Op::Pop, Op::Pop]);
+    run_differential(&ops);
+}
+
+#[test]
+fn horizon_wrap_around_keeps_cycle_order() {
+    // Cycles straddling multiples of the 512-cycle horizon map to
+    // nearby ring indices; popping between pushes advances the window
+    // across several wraps.
+    let mut ops = Vec::new();
+    for lap in 0u64..6 {
+        for offset in [0, 1, 255, 511] {
+            ops.push(Op::Push(lap * 512 + offset));
+        }
+        ops.push(Op::Pop);
+    }
+    for _ in 0..24 {
+        ops.push(Op::Pop);
+    }
+    run_differential(&ops);
+}
+
+#[test]
+fn pushes_behind_the_pop_frontier_still_pop_first() {
+    // Popping cycle 1000 advances the wheel's window; a later push at
+    // cycle 5 is "late" and must come out immediately, as the heap
+    // reference would order it.
+    run_differential(&[
+        Op::Push(1_000),
+        Op::Pop,
+        Op::Push(5),
+        Op::Push(900),
+        Op::Push(5),
+        Op::Pop,
+        Op::Pop,
+        Op::Pop,
+    ]);
+}
+
+#[test]
+fn max_u64_cycles_do_not_wrap_bucket_arithmetic() {
+    // The window math uses subtraction (`at - current`), so cycles at
+    // the very top of u64 must neither overflow nor misfile.
+    run_differential(&[
+        Op::Push(u64::MAX),
+        Op::Push(0),
+        Op::Push(u64::MAX - 1),
+        Op::Push(u64::MAX),
+        Op::Pop,
+        Op::Push(u64::MAX - 511),
+        Op::Pop,
+        Op::Pop,
+        Op::Pop,
+        Op::Pop,
+    ]);
+}
+
+#[test]
+fn seq_boundary_last_value_still_usable() {
+    // Seq u64::MAX - 1 is assignable; the *next* assignment would need
+    // to advance the counter past u64::MAX and panics instead.
+    let mut wheel: CalendarQueue<u32> = CalendarQueue::with_seq_base(u64::MAX - 1);
+    wheel.push(7, 1);
+    assert_eq!(wheel.pop(), Some((7, 1)));
+}
+
+#[test]
+#[should_panic(expected = "seq counter exhausted")]
+fn wheel_seq_overflow_panics_instead_of_reordering() {
+    let mut wheel: CalendarQueue<u32> = CalendarQueue::with_seq_base(u64::MAX - 1);
+    wheel.push(7, 1);
+    wheel.push(7, 2); // counter would wrap: must panic, not reorder
+}
+
+#[test]
+#[should_panic(expected = "seq counter exhausted")]
+fn heap_seq_overflow_panics_instead_of_reordering() {
+    let mut heap: HeapQueue<u32> = HeapQueue::with_seq_base(u64::MAX - 1);
+    heap.push(7, 1);
+    heap.push(7, 2);
+}
+
+#[test]
+fn clear_resets_seq_for_cross_run_determinism() {
+    // Pooled queues are cleared between runs; a reused queue must
+    // replay the same seq stream as a fresh one.
+    let mut reused: CalendarQueue<u32> = CalendarQueue::new();
+    reused.push(900, 1);
+    reused.pop();
+    reused.clear();
+    let mut fresh: CalendarQueue<u32> = CalendarQueue::new();
+    for q in [&mut reused, &mut fresh] {
+        q.push(10, 1);
+        q.push(10, 2);
+        q.push(5, 3);
+    }
+    loop {
+        let (r, f) = (reused.pop(), fresh.pop());
+        assert_eq!(r, f, "reused queue diverged from fresh");
+        if r.is_none() {
+            break;
+        }
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod runner;
 pub mod scenario;
+pub mod testing;
 
 pub use hisq_analog as analog;
 pub use hisq_compiler as compiler;

@@ -57,7 +57,7 @@ use hisq_sim::{
     BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
     SweepRunner, System, SystemSpec,
 };
-use hisq_workloads::WorkloadSpec;
+use hisq_workloads::{BuiltWorkload, WorkloadSpec};
 
 /// The measured outcome of one executed scenario (a flat metric bag
 /// keyed by the scenario's stable id — see [`run_scenario`] for the
@@ -823,6 +823,84 @@ impl Scenario {
 /// — all reported with the scenario id for context.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
+    let (mut system, built, p) = build_scenario(scenario)?;
+    let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
+
+    let coherence = CoherenceParams::uniform(scenario.t1_us);
+    let scored_exposure: ExposureLedger = if built.data_sites.is_empty() {
+        system.exposure().clone()
+    } else {
+        // Output data qubits stay coherent from circuit start until the
+        // whole dynamic circuit completes (the Figure 16 scoring).
+        built
+            .data_sites
+            .iter()
+            .map(|&q| (q, 0, report.makespan_ns))
+            .collect()
+    };
+    let infidelity = scored_exposure.infidelity(coherence);
+
+    let mut record = SweepRecord::new(id)
+        .with("makespan_cycles", report.makespan_cycles)
+        .with("makespan_ns", report.makespan_ns)
+        .with("instructions", report.total_instructions)
+        .with("syncs", report.total_syncs)
+        .with("stall_cycles", report.total_stall_cycles)
+        .with("messages", report.events_processed)
+        .with("infidelity", infidelity)
+        .with("all_halted", report.all_halted);
+    if p.link_model != LinkModel::default() {
+        let messages: u64 = report.link_stats.iter().map(|l| l.messages).sum();
+        record.set("link_messages", messages);
+        record.set("link_retransmits", report.total_retransmits());
+        record.set("link_dropped", report.total_dropped());
+        record.set(
+            "link_peak_occupancy",
+            u64::from(report.peak_link_occupancy()),
+        );
+    }
+    if !p.noise.is_noiseless() {
+        // Analytic gate-error scoring: expected infidelity from the
+        // committed operation counts plus per-nanosecond idle error
+        // charged from the same exposure ledger the T1/T2 metric reads.
+        record.set(
+            "noise_infidelity",
+            p.noise.infidelity(&report.quantum_ops, &scored_exposure),
+        );
+        record.set("gates_1q", report.quantum_ops.gates_1q);
+        record.set("gates_2q", report.quantum_ops.gates_2q);
+        record.set("measurements", report.quantum_ops.measurements);
+    }
+    if report.routing_warnings > 0 {
+        record.set("routing_warnings", report.routing_warnings);
+    }
+    Ok(record)
+}
+
+/// Builds the ready-to-run [`System`] a scenario describes — surgery,
+/// workload, topology, compilation, backend and link-model selection —
+/// without running it: [`run_scenario`] up to (but excluding) the
+/// `run()` call.
+///
+/// Exposed so test harnesses can instrument the engine before the run —
+/// e.g. record a pop trace ([`System::record_event_trace`]) or select
+/// the reference event queue ([`System::use_reference_queue`]) for the
+/// wheel-vs-heap differential oracle in `tests/queue_trace_replay.rs`.
+///
+/// # Errors
+///
+/// As [`run_scenario`], minus simulation-time failures.
+pub fn scenario_system(scenario: &Scenario) -> Result<System, RunnerError> {
+    build_scenario(scenario).map(|(system, _, _)| system)
+}
+
+/// The shared scenario-to-[`System`] pipeline behind [`run_scenario`]
+/// and [`scenario_system`]; also returns the built workload and the
+/// post-surgery parameters the metric distillation needs.
+fn build_scenario(
+    scenario: &Scenario,
+) -> Result<(System, BuiltWorkload, SystemParams), RunnerError> {
+    let id = scenario.id();
     // Scenario-level surgery first: the effective workload and
     // parameters feed everything downstream (topology, compiler,
     // backend choice, metric gating).
@@ -908,58 +986,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> 
     });
     // The lock-step star has no topology to inherit the model from.
     spec.link_model(p.link_model);
-    let mut system = spec.build().map_err(|e| RunnerError::sim(e).with_id(&id))?;
-    let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
-
-    let coherence = CoherenceParams::uniform(scenario.t1_us);
-    let scored_exposure: ExposureLedger = if built.data_sites.is_empty() {
-        system.exposure().clone()
-    } else {
-        // Output data qubits stay coherent from circuit start until the
-        // whole dynamic circuit completes (the Figure 16 scoring).
-        built
-            .data_sites
-            .iter()
-            .map(|&q| (q, 0, report.makespan_ns))
-            .collect()
-    };
-    let infidelity = scored_exposure.infidelity(coherence);
-
-    let mut record = SweepRecord::new(id)
-        .with("makespan_cycles", report.makespan_cycles)
-        .with("makespan_ns", report.makespan_ns)
-        .with("instructions", report.total_instructions)
-        .with("syncs", report.total_syncs)
-        .with("stall_cycles", report.total_stall_cycles)
-        .with("messages", report.events_processed)
-        .with("infidelity", infidelity)
-        .with("all_halted", report.all_halted);
-    if p.link_model != LinkModel::default() {
-        let messages: u64 = report.link_stats.iter().map(|l| l.messages).sum();
-        record.set("link_messages", messages);
-        record.set("link_retransmits", report.total_retransmits());
-        record.set("link_dropped", report.total_dropped());
-        record.set(
-            "link_peak_occupancy",
-            u64::from(report.peak_link_occupancy()),
-        );
-    }
-    if !p.noise.is_noiseless() {
-        // Analytic gate-error scoring: expected infidelity from the
-        // committed operation counts plus per-nanosecond idle error
-        // charged from the same exposure ledger the T1/T2 metric reads.
-        record.set(
-            "noise_infidelity",
-            p.noise.infidelity(&report.quantum_ops, &scored_exposure),
-        );
-        record.set("gates_1q", report.quantum_ops.gates_1q);
-        record.set("gates_2q", report.quantum_ops.gates_2q);
-        record.set("measurements", report.quantum_ops.measurements);
-    }
-    if report.routing_warnings > 0 {
-        record.set("routing_warnings", report.routing_warnings);
-    }
-    Ok(record)
+    let system = spec.build().map_err(|e| RunnerError::sim(e).with_id(&id))?;
+    Ok((system, built, p))
 }
 
 /// Runs a batch of scenarios on `threads` workers and aggregates their

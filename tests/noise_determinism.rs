@@ -56,6 +56,22 @@ proptest! {
     }
 }
 
+/// The noisy-sweep JSON at a fixed seed is additionally pinned
+/// byte-for-byte (shared-helper pin; see
+/// `distributed_hisq::testing::assert_pinned`), so engine-internal
+/// work — e.g. the calendar-queue event core — cannot drift noisy
+/// reports even in ways that stay thread-count-stable.
+#[test]
+fn noisy_sweep_json_is_pinned_byte_for_byte() {
+    let json = run_sweep(&noisy_grid(15), 2).expect("grid runs").to_json();
+    distributed_hisq::testing::assert_pinned(
+        "noisy quick JSON",
+        &json,
+        2335,
+        0x16e7_e333_388a_8bfc,
+    );
+}
+
 #[test]
 fn noisy_scenario_ids_are_unique_along_the_noise_axis() {
     let scenarios = noisy_grid(1);

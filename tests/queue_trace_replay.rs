@@ -1,0 +1,83 @@
+//! End-to-end differential oracle over real golden-corpus scenarios:
+//! the engine's pop sequence under the retained `BinaryHeap` reference
+//! queue is captured as a `(cycle, fingerprint)` trace, and the
+//! production calendar queue must replay it exactly — event for event,
+//! in order. This guards the FIFO-within-cycle `seq` contract end to
+//! end, through routing, contention, retransmission, and measurement
+//! resolution, not just at the queue-API level
+//! (`crates/hisq-sim/tests/queue_equivalence.rs` covers that).
+
+use distributed_hisq::runner::{scenario_system, Scenario};
+use distributed_hisq::scenario::ScenarioFile;
+
+/// Expands a committed scenario file into its scenario list.
+fn corpus(text: &str) -> Vec<Scenario> {
+    ScenarioFile::parse(text)
+        .expect("committed corpus files parse")
+        .expand(None)
+}
+
+/// One `(cycle, fingerprint)` pop trace.
+type Trace = Vec<(u64, u64)>;
+
+/// Runs `scenario` once under the heap reference queue and once under
+/// the calendar queue, returning both pop traces.
+fn traces(scenario: &Scenario) -> (Trace, Trace) {
+    let mut reference = scenario_system(scenario).expect("corpus scenario builds");
+    reference.use_reference_queue();
+    reference.record_event_trace();
+    reference.run().expect("corpus scenario runs (reference)");
+
+    let mut wheel = scenario_system(scenario).expect("corpus scenario builds");
+    wheel.record_event_trace();
+    wheel.run().expect("corpus scenario runs (wheel)");
+
+    (
+        reference.event_trace().to_vec(),
+        wheel.event_trace().to_vec(),
+    )
+}
+
+/// Asserts the wheel replays the reference trace exactly for every
+/// scenario of the file, and that the traces actually carried events.
+fn assert_file_replays(name: &str, text: &str) {
+    let scenarios = corpus(text);
+    assert!(!scenarios.is_empty(), "{name}: corpus expands to scenarios");
+    let mut events = 0usize;
+    for scenario in &scenarios {
+        let (reference, wheel) = traces(scenario);
+        assert_eq!(
+            reference,
+            wheel,
+            "{name}: scenario {} popped a different event order under \
+             the calendar queue",
+            scenario.id()
+        );
+        events += reference.len();
+    }
+    assert!(events > 0, "{name}: traces must carry events");
+}
+
+#[test]
+fn bisp_vs_lockstep_corpus_replays_exactly() {
+    assert_file_replays(
+        "bisp_vs_lockstep",
+        include_str!("../scenarios/bisp_vs_lockstep.json"),
+    );
+}
+
+#[test]
+fn contended_links_corpus_replays_exactly() {
+    assert_file_replays(
+        "contended_links",
+        include_str!("../scenarios/contended_links.json"),
+    );
+}
+
+#[test]
+fn noisy_backends_corpus_replays_exactly() {
+    assert_file_replays(
+        "noisy_backends",
+        include_str!("../scenarios/noisy_backends.json"),
+    );
+}

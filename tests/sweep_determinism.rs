@@ -9,6 +9,7 @@
 use distributed_hisq::compiler::Scheme;
 use distributed_hisq::runner::{run_sweep, Scenario};
 use distributed_hisq::sim::SweepGrid;
+use distributed_hisq::testing::assert_pinned;
 use distributed_hisq::workloads::{SuiteScale, WorkloadSpec};
 
 /// The full quick suite under both schemes at three seeds:
@@ -67,16 +68,6 @@ fn scenario_ids_are_unique_and_stable() {
     assert_eq!(ids.len(), scenarios.len(), "scenario ids must be unique");
 }
 
-/// FNV-1a 64 over the report bytes (dependency-free byte pin).
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// With `LinkModel::default()` the engine must reproduce the
 /// pre-link-model (PR-3) figure JSON byte-for-byte. The pinned hash is
 /// the FNV-1a of `fig15 --quick --threads 2 --json` captured on the
@@ -94,10 +85,5 @@ fn default_link_model_reproduces_pr3_fig15_json_byte_for_byte() {
             })
             .into_points();
     let json = run_sweep(&scenarios, 2).expect("grid runs").to_json();
-    assert_eq!(json.len(), 3303, "fig15 quick JSON length drifted");
-    assert_eq!(
-        fnv1a64(json.as_bytes()),
-        0x4949_f6c3_c624_03d5,
-        "fig15 quick JSON bytes drifted from the PR-3 baseline"
-    );
+    assert_pinned("fig15 quick JSON", &json, 3303, 0x4949_f6c3_c624_03d5);
 }

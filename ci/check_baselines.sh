@@ -8,10 +8,15 @@
 # are left under $DIFF_DIR (default target/baseline-diff/) for CI to
 # upload as an artifact.
 #
-# After the figure baselines, the event-engine regression gate runs:
+# After the figure baselines, the wall-clock regression gates run:
 # `event_engine --gate` re-measures the simulator hot loop and fails if
 # any row of the committed BENCH_event_engine.json regressed by more
-# than 15% ns/event.
+# than 15% ns/event, and `fig_sweep_throughput --gate` re-times the
+# full cached sweep grid and fails if any thread-count row's
+# scenarios/sec fell more than 15% below the committed
+# BENCH_sweep_throughput.json. Both reports carry wall time, so they
+# are gated — never byte-compared like the deterministic figure
+# baselines above.
 #
 # Usage: ci/check_baselines.sh           (uses cargo run --release)
 set -euo pipefail
@@ -50,6 +55,16 @@ if cargo bench -p hisq-bench --bench event_engine -- --gate; then
     echo "ok   event_engine (ns/event gate)"
 else
     echo "FAIL event_engine: ns/event regressed past the committed gate" >&2
+    status=1
+fi
+
+# The sweep-throughput regression gate: full-sweep scenarios/sec with
+# the shared compile cache, gated against BENCH_sweep_throughput.json
+# (reads the committed baseline, never rewrites it).
+if cargo run --release -p hisq-bench --bin fig_sweep_throughput -- --gate; then
+    echo "ok   fig_sweep_throughput (scenarios/sec gate)"
+else
+    echo "FAIL fig_sweep_throughput: sweep throughput regressed past the committed gate" >&2
     status=1
 fi
 

@@ -14,6 +14,7 @@
 //! | Figures 12/13 (electronics sync) | [`figures::fig13_waveforms`] | `fig13` |
 //! | Figure 15 (runtime vs baseline) | [`figures::fig15_scenarios`] | `fig15` |
 //! | Figure 16 (infidelity vs T1) | [`figures::fig16_scenarios`] | `fig16` |
+//! | Sweep throughput (beyond the paper) | [`sweep_throughput::throughput_scenarios`] | `fig_sweep_throughput` |
 //!
 //! Every binary shares the [`cli::FigArgs`] flag surface
 //! (`--threads N`, `--json`, `--quick`); the scenario-driven harnesses
@@ -26,3 +27,4 @@ pub mod cli;
 pub mod figures;
 pub mod resources;
 pub mod scale;
+pub mod sweep_throughput;

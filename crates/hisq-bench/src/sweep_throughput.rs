@@ -1,0 +1,194 @@
+//! The sweep-throughput benchmark: grid builder and measurement core
+//! for `fig_sweep_throughput`, the harness that times full-sweep
+//! wall-clock (scenarios/second) with the shared [`CompileCache`] on
+//! and off.
+//!
+//! The grid is shaped like the repo's real experiment sweeps
+//! (`fig_noise`, the golden-corpus scenario files): a few compiled
+//! programs fanned out over many run-stage points. Workload × scheme
+//! are the compile axes; seed × gate-error-rate are run-stage axes
+//! that never split a [`CompileKey`](distributed_hisq::runner::CompileKey),
+//! so a cached sweep compiles each
+//! (workload, scheme) pair once and replays the artifact across the
+//! whole seed×noise plane. The uncached reference compiles every grid
+//! point from scratch — exactly what `run_sweep` did before the cache
+//! existed — which is what the headline speedup is measured against.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use distributed_hisq::compiler::Scheme;
+use distributed_hisq::runner::{
+    run_sweep_cached, run_sweep_uncached, CompileCache, Scenario, SystemParams,
+};
+use distributed_hisq::workloads::WorkloadSpec;
+use hisq_sim::SweepGrid;
+
+use crate::figures::fig_noise_model;
+
+/// Worker-thread counts the harness measures by default.
+pub const THREAD_AXIS: [usize; 3] = [1, 4, 8];
+
+/// Per-gate error rates of the run-stage noise axis (a
+/// [`fig_noise_model`] family; noise is folded in after compilation,
+/// so the axis shares compiled artifacts).
+const NOISE_AXIS: [f64; 3] = [1e-5, 1e-4, 1e-3];
+
+/// Expands the throughput grid: quick-suite workloads × both schemes
+/// (the compile axes) × seeds × gate-error rates (the run-stage axes).
+///
+/// Full shape: 2 workloads × 2 schemes × 6 seeds × 3 error rates =
+/// 72 scenarios over 4 compile keys. `--quick` trims every axis:
+/// 1 × 2 × 2 × 1 = 4 scenarios over 2 keys.
+pub fn throughput_scenarios(quick: bool) -> Vec<Scenario> {
+    let suites: &[&str] = if quick {
+        &["w_state_n12"]
+    } else {
+        &["w_state_n12", "qft_n10"]
+    };
+    let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3, 4, 5, 6] };
+    let noise: &[f64] = if quick { &[1e-4] } else { &NOISE_AXIS };
+    let mut scenarios = Vec::new();
+    for &suite in suites {
+        let base = Scenario::new(WorkloadSpec::suite(suite), Scheme::Bisp)
+            .with_params(SystemParams::default());
+        scenarios.extend(
+            SweepGrid::new(base)
+                .axis([Scheme::Bisp, Scheme::Lockstep], |s, &scheme| {
+                    s.scheme = scheme
+                })
+                .axis(seeds.iter().copied(), |s, &seed| s.seed = seed)
+                .axis(noise.iter().copied(), |s, &p| {
+                    s.params.noise = fig_noise_model(p)
+                })
+                .into_points(),
+        );
+    }
+    scenarios
+}
+
+/// Number of distinct [`CompileKey`]s in a grid — the compiles a
+/// cached sweep pays, versus one per scenario uncached.
+///
+/// [`CompileKey`]: distributed_hisq::runner::CompileKey
+pub fn compile_keys(scenarios: &[Scenario]) -> usize {
+    scenarios
+        .iter()
+        .map(Scenario::compile_key)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+/// One measured thread-count row of the throughput benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputRow {
+    /// Sweep worker threads.
+    pub threads: usize,
+    /// Grid points per sweep.
+    pub scenarios: usize,
+    /// Compiles the cached sweep paid (cache misses; the uncached
+    /// reference pays one per scenario).
+    pub compiles: u64,
+    /// Compile-cache hit rate of the cached sweep (hits / lookups).
+    pub hit_rate: f64,
+    /// Best cached full-sweep wall time, seconds.
+    pub cached_s: f64,
+    /// Best uncached full-sweep wall time, seconds.
+    pub uncached_s: f64,
+    /// Cached throughput: scenarios / [`cached_s`].
+    ///
+    /// [`cached_s`]: ThroughputRow::cached_s
+    pub scenarios_per_sec: f64,
+    /// Uncached throughput: scenarios / [`uncached_s`].
+    ///
+    /// [`uncached_s`]: ThroughputRow::uncached_s
+    pub uncached_scenarios_per_sec: f64,
+    /// Cached-over-uncached wall-clock speedup.
+    pub speedup: f64,
+}
+
+/// Times the grid cached and uncached at one thread count.
+///
+/// The statistic is the **minimum** wall time over `iters` sweeps of
+/// each flavor (the sweeps are deterministic and identical, so the
+/// minimum estimates uncontended cost; the mean smears in machine
+/// noise the regression gate would trip on). Every cached iteration
+/// starts from a fresh [`CompileCache`] so it pays the full
+/// compile-key set, never a warm cache from the previous iteration.
+///
+/// # Panics
+///
+/// Panics if a sweep fails or the cached report drifts from the
+/// uncached one (the differential suite's invariant, spot-checked
+/// here so the benchmark can never time two different computations).
+pub fn measure_throughput(scenarios: &[Scenario], threads: usize, iters: u32) -> ThroughputRow {
+    assert!(iters > 0, "at least one iteration");
+    let mut cached_best = f64::INFINITY;
+    let mut uncached_best = f64::INFINITY;
+    let mut compiles = 0;
+    let mut hit_rate = 0.0;
+    let mut reference = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let uncached = run_sweep_uncached(scenarios, threads).expect("uncached sweep runs");
+        uncached_best = uncached_best.min(start.elapsed().as_secs_f64());
+
+        let cache = CompileCache::new();
+        let start = Instant::now();
+        let cached = run_sweep_cached(scenarios, threads, &cache).expect("cached sweep runs");
+        cached_best = cached_best.min(start.elapsed().as_secs_f64());
+
+        compiles = cache.misses();
+        let lookups = cache.hits() + cache.misses();
+        hit_rate = cache.hits() as f64 / lookups.max(1) as f64;
+
+        let cached = cached.to_json();
+        match &reference {
+            None => {
+                assert_eq!(
+                    cached,
+                    uncached.to_json(),
+                    "cached sweep drifted from the uncached reference"
+                );
+                reference = Some(cached);
+            }
+            Some(reference) => assert_eq!(&cached, reference, "iterations must be identical"),
+        }
+    }
+    ThroughputRow {
+        threads,
+        scenarios: scenarios.len(),
+        compiles,
+        hit_rate,
+        cached_s: cached_best,
+        uncached_s: uncached_best,
+        scenarios_per_sec: scenarios.len() as f64 / cached_best,
+        uncached_scenarios_per_sec: scenarios.len() as f64 / uncached_best,
+        speedup: uncached_best / cached_best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grid_amortizes_compiles_over_run_stage_axes() {
+        let full = throughput_scenarios(false);
+        assert_eq!(full.len(), 72);
+        assert_eq!(compile_keys(&full), 4, "workload x scheme only");
+        let quick = throughput_scenarios(true);
+        assert_eq!(quick.len(), 4);
+        assert_eq!(compile_keys(&quick), 2);
+    }
+
+    #[test]
+    fn a_measured_row_reports_the_cache_economics() {
+        let scenarios = throughput_scenarios(true);
+        let row = measure_throughput(&scenarios, 2, 1);
+        assert_eq!(row.scenarios, 4);
+        assert_eq!(row.compiles, 2, "one compile per (workload, scheme)");
+        assert!((row.hit_rate - 0.5).abs() < 1e-9, "2 of 4 lookups hit");
+        assert!(row.scenarios_per_sec > 0.0 && row.speedup > 0.0);
+    }
+}

@@ -161,6 +161,44 @@ impl CompiledSystem {
     pub fn total_instructions(&self) -> u64 {
         self.stats.instructions
     }
+
+    /// FNV-1a fingerprint of the compiled *machine code*: the scheme
+    /// tag plus, per controller in address order, the address and the
+    /// encoded program words. Two compilations fingerprinting equal
+    /// therefore emitted bit-identical programs for the same
+    /// controllers — the property the sweep compile cache's
+    /// equivalence suite checks (equal cache keys ⇒ equal
+    /// fingerprints). Instructions outside the encodable ISA (none are
+    /// compiler-emitted today) hash a sentinel plus their debug form
+    /// instead of a word, keeping the fingerprint total.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&[match self.scheme {
+            Scheme::Bisp => 0u8,
+            Scheme::Lockstep => 1u8,
+        }]);
+        for (&addr, program) in &self.programs {
+            eat(&addr.to_le_bytes());
+            for inst in program.insts() {
+                match hisq_isa::encode::encode(inst) {
+                    Ok(word) => eat(&word.to_le_bytes()),
+                    Err(_) => {
+                        eat(&[0xff]);
+                        eat(format!("{inst:?}").as_bytes());
+                    }
+                }
+            }
+        }
+        hash
+    }
 }
 
 /// Compilation failures.

@@ -162,15 +162,30 @@ impl<T> Inbox<T> {
     }
 }
 
+/// The controller state the per-event hot loop never touches, boxed
+/// out of [`Controller`]'s inline stride (the SoA-style cold split):
+/// data memory only matters to the rare load/store instructions, and
+/// the configuration is consumed at construction (its links flatten
+/// into `link_table`; the two scalars the execute path reads, `addr`
+/// and `pipeline_headroom`, are copied into the hot struct). Keeping
+/// the memory behind one pointer shrinks the inline controller
+/// footprint, so the arena's per-event line fills stay on
+/// fetch/execute state.
+#[derive(Debug, Clone)]
+struct ColdState {
+    mem: Memory,
+}
+
 /// A single HISQ controller node (see the crate-level docs).
 ///
 /// `repr(C)` with the hottest fields first: a simulation arena holds
 /// hundreds of controllers and touches one per delivered event, so
 /// every access starts cold. Packing the fetch/execute state
 /// (`status`, `pc`, clocks, `program`) into the leading cache lines —
-/// ahead of the register file and the cold configuration maps — keeps
-/// the per-event working set to a couple of line fills instead of a
-/// walk across the whole struct.
+/// ahead of the register file and the inbox lanes — keeps the
+/// per-event working set to a couple of line fills instead of a walk
+/// across the whole struct; the data memory the hot loop never reads
+/// lives behind the trailing `ColdState` box.
 #[derive(Debug, Clone)]
 #[repr(C)]
 pub struct Controller {
@@ -192,11 +207,18 @@ pub struct Controller {
     /// Classical mailboxes: (arrival_cycle, value), per source.
     mailboxes: Inbox<(u64, u32)>,
     commits: Vec<CommitRecord>,
-    /// The calibrated links of `config`, flattened to a sorted slice so
-    /// the per-`sync` lookup is a binary search instead of a tree walk.
+    /// The calibrated links of the configuration, flattened to a sorted
+    /// slice so the per-`sync` lookup is a binary search instead of a
+    /// tree walk.
     link_table: Vec<(NodeAddr, Link)>,
-    mem: Memory,
-    config: NodeConfig,
+    /// Hot copy of the configured network address (TELF attribution on
+    /// every commit).
+    addr: NodeAddr,
+    /// Hot copy of the queue-decoupling margin (read on every
+    /// non-deterministic grid rebase).
+    pipeline_headroom: u64,
+    /// Everything the per-event path never reads, one pointer away.
+    cold: Box<ColdState>,
 }
 
 impl Controller {
@@ -211,12 +233,13 @@ impl Controller {
             .map(|(&addr, &link)| (addr, link))
             .collect();
         Controller {
-            config,
+            addr: config.addr,
+            pipeline_headroom: config.pipeline_headroom,
+            cold: Box::new(ColdState { mem }),
             link_table,
             program,
             pc: 0,
             regs: RegFile::new(),
-            mem,
             pipe_cycle: 0,
             grid_raw,
             timeline: Timeline::new(),
@@ -231,7 +254,7 @@ impl Controller {
 
     /// This node's network address.
     pub fn addr(&self) -> NodeAddr {
-        self.config.addr
+        self.addr
     }
 
     /// Current status.
@@ -439,9 +462,7 @@ impl Controller {
     fn rebase_grid(&mut self) {
         let floor = self.pipe_cycle.saturating_sub(1);
         if self.timeline.effective(self.grid_raw) < floor {
-            self.grid_raw = self
-                .timeline
-                .raw_for_wall(floor + self.config.pipeline_headroom);
+            self.grid_raw = self.timeline.raw_for_wall(floor + self.pipeline_headroom);
             self.stats.grid_slips += 1;
         }
     }
@@ -517,14 +538,14 @@ impl Controller {
                 let addr = self.regs.read(rs1).wrapping_add(offset as u32);
                 let value = match op {
                     LoadOp::Byte => {
-                        sign_extend(self.mem.load(addr, 1).map_err(|e| e.to_string())?, 8)
+                        sign_extend(self.cold.mem.load(addr, 1).map_err(|e| e.to_string())?, 8)
                     }
                     LoadOp::Half => {
-                        sign_extend(self.mem.load(addr, 2).map_err(|e| e.to_string())?, 16)
+                        sign_extend(self.cold.mem.load(addr, 2).map_err(|e| e.to_string())?, 16)
                     }
-                    LoadOp::Word => self.mem.load(addr, 4).map_err(|e| e.to_string())?,
-                    LoadOp::ByteU => self.mem.load(addr, 1).map_err(|e| e.to_string())?,
-                    LoadOp::HalfU => self.mem.load(addr, 2).map_err(|e| e.to_string())?,
+                    LoadOp::Word => self.cold.mem.load(addr, 4).map_err(|e| e.to_string())?,
+                    LoadOp::ByteU => self.cold.mem.load(addr, 1).map_err(|e| e.to_string())?,
+                    LoadOp::HalfU => self.cold.mem.load(addr, 2).map_err(|e| e.to_string())?,
                 };
                 self.regs.write(rd, value);
                 self.pc += 1;
@@ -542,7 +563,8 @@ impl Controller {
                     StoreOp::Half => 2,
                     StoreOp::Word => 4,
                 };
-                self.mem
+                self.cold
+                    .mem
                     .store(addr, width, value)
                     .map_err(|e| e.to_string())?;
                 self.pc += 1;

@@ -34,7 +34,7 @@ use crate::telf::Telf;
 /// thousands of scenarios without re-growing the calendar rings or the
 /// step/commit scratch vectors each time.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// The production event queue (pre-sized ring buckets + slab).
     events: CalendarQueue<EventKind>,
     /// The gate-replay queue (items index `gate_store`).
@@ -49,6 +49,31 @@ struct Scratch {
     relay: Vec<NodeAddr>,
     /// Backend operations buffered for in-order replay.
     gate_store: Vec<ReplayAction>,
+    /// Arena-side vectors, recycled across built systems.
+    pub(crate) arena: ArenaBuffers,
+}
+
+/// The arena vectors a retired [`System`] hands back through the
+/// scratch pool, so [`SystemSpec::build`](crate::SystemSpec::build) on
+/// the same thread re-fills already-grown allocations instead of
+/// re-growing the address table, node arena, and link tables for every
+/// sweep scenario. All vectors come back *cleared* — only capacity is
+/// recycled, never contents.
+#[derive(Default)]
+pub(crate) struct ArenaBuffers {
+    /// address → id interning table (`NodeId::MAX` sentinel filled).
+    pub(crate) addr_to_id: Vec<NodeId>,
+    /// id → address.
+    pub(crate) addrs: Vec<NodeAddr>,
+    /// The node arena itself (elements are dropped on retire; the
+    /// backing allocation is what survives).
+    pub(crate) nodes: Vec<SimNode>,
+    /// Controller ids in stepping order.
+    pub(crate) controller_ids: Vec<NodeId>,
+    /// Per-node tree parent.
+    pub(crate) tree_parent: Vec<NodeAddr>,
+    /// Per-node direct-link fast path.
+    pub(crate) node_links: Vec<Vec<(NodeAddr, u64)>>,
 }
 
 /// How many retired [`Scratch`] sets a thread keeps. Sweep workers run
@@ -58,8 +83,19 @@ const SCRATCH_POOL_CAP: usize = 4;
 
 thread_local! {
     /// Retired scratch sets, reused by the next [`System`] built on
-    /// this thread (see [`System::from_parts`] / [`Drop`]).
+    /// this thread (see [`take_scratch`] / [`Drop`]).
     static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops a retired scratch set off this thread's pool (or starts a
+/// fresh one). Called at the head of
+/// [`SystemSpec::build`](crate::SystemSpec::build) so the arena
+/// buffers are available while the spec lowers, then handed whole to
+/// [`System::from_parts`].
+pub(crate) fn take_scratch() -> Scratch {
+    SCRATCH_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default()
 }
 
 /// The full Distributed-HISQ system under simulation, built from a
@@ -142,35 +178,34 @@ impl System {
         topology: Option<Topology>,
         backend: Box<dyn QuantumBackend>,
         link_model: LinkModel,
+        mut scratch: Scratch,
     ) -> System {
-        let scratch = SCRATCH_POOL
-            .with(|pool| pool.borrow_mut().pop())
-            .unwrap_or_default();
-        let tree_parent: Vec<NodeAddr> = match &topology {
-            Some(topo) => arena
-                .addrs
-                .iter()
-                .map(|&addr| topo.parent_of(addr).unwrap_or(NodeAddr::MAX))
-                .collect(),
-            None => vec![NodeAddr::MAX; arena.addrs.len()],
-        };
-        let node_links: Vec<Vec<(NodeAddr, u64)>> = arena
-            .nodes
-            .iter()
-            .map(|node| match (node, &topology) {
-                (SimNode::Router(router), Some(topo)) => {
-                    let mut links: Vec<(NodeAddr, u64)> = router
-                        .children()
-                        .iter()
-                        .chain(router.parent().as_ref())
-                        .map(|&addr| (addr, topo.router_latency()))
-                        .collect();
-                    links.sort_unstable_by_key(|&(addr, _)| addr);
-                    links
-                }
-                _ => Vec::new(),
-            })
-            .collect();
+        let mut tree_parent = mem::take(&mut scratch.arena.tree_parent);
+        debug_assert!(tree_parent.is_empty());
+        match &topology {
+            Some(topo) => tree_parent.extend(
+                arena
+                    .addrs
+                    .iter()
+                    .map(|&addr| topo.parent_of(addr).unwrap_or(NodeAddr::MAX)),
+            ),
+            None => tree_parent.resize(arena.addrs.len(), NodeAddr::MAX),
+        }
+        let mut node_links = mem::take(&mut scratch.arena.node_links);
+        debug_assert!(node_links.is_empty());
+        node_links.extend(arena.nodes.iter().map(|node| match (node, &topology) {
+            (SimNode::Router(router), Some(topo)) => {
+                let mut links: Vec<(NodeAddr, u64)> = router
+                    .children()
+                    .iter()
+                    .chain(router.parent().as_ref())
+                    .map(|&addr| (addr, topo.router_latency()))
+                    .collect();
+                links.sort_unstable_by_key(|&(addr, _)| addr);
+                links
+            }
+            _ => Vec::new(),
+        }));
         System {
             config,
             nodes: arena.nodes,
@@ -977,6 +1012,20 @@ impl Drop for System {
         fanout.clear();
         let mut relay = mem::take(&mut self.relay_scratch);
         relay.clear();
+        let mut arena = ArenaBuffers {
+            addr_to_id: mem::take(&mut self.addr_to_id),
+            addrs: mem::take(&mut self.addrs),
+            nodes: mem::take(&mut self.nodes),
+            controller_ids: mem::take(&mut self.controller_ids),
+            tree_parent: mem::take(&mut self.tree_parent),
+            node_links: mem::take(&mut self.node_links),
+        };
+        arena.addr_to_id.clear();
+        arena.addrs.clear();
+        arena.nodes.clear();
+        arena.controller_ids.clear();
+        arena.tree_parent.clear();
+        arena.node_links.clear();
         let scratch = Scratch {
             events,
             gates,
@@ -985,6 +1034,7 @@ impl Drop for System {
             fanout,
             relay,
             gate_store,
+            arena,
         };
         SCRATCH_POOL.with(|pool| {
             let mut pool = pool.borrow_mut();

@@ -158,6 +158,18 @@ pub struct CalendarQueue<T> {
     late: BTreeMap<(u64, u64), T>,
     /// Next sequence number to assign.
     seq: u64,
+    /// Head of the detached same-cycle batch chain (`NIL` = no active
+    /// batch). The first pop of a cycle detaches the *whole* bucket
+    /// chain here, so the remaining same-cycle pops walk the chain
+    /// directly — no bucket-head reload, no occupancy update per event
+    /// (the bit clears once, at detach). Batch items stay counted in
+    /// `near_len` and live in the slab; they are only ahead of the
+    /// bucket in pop order.
+    batch_head: u32,
+    /// Tail of the detached batch chain (valid while `batch_head != NIL`;
+    /// needed to splice the remainder back in front of the bucket when a
+    /// late push interrupts the batch).
+    batch_tail: u32,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -188,6 +200,8 @@ impl<T> CalendarQueue<T> {
             overflow_min: u64::MAX,
             late: BTreeMap::new(),
             seq: 0,
+            batch_head: NIL,
+            batch_tail: NIL,
         }
     }
 
@@ -363,6 +377,41 @@ impl<T> CalendarQueue<T> {
         self.overflow_min = self.overflow.keys().next().copied().unwrap_or(u64::MAX);
     }
 
+    /// Unlinks and retires the head of the active batch chain, moving
+    /// its event out (the batched twin of [`CalendarQueue::pop_head`]:
+    /// one `next` load instead of a bucket-head reload plus an
+    /// occupancy branch).
+    fn batch_pop_head(&mut self) -> T {
+        let head = self.batch_head;
+        debug_assert_ne!(head, NIL);
+        self.batch_head = self.slots[head as usize].next;
+        self.near_len -= 1;
+        self.free_slot(head)
+    }
+
+    /// Splices the unconsumed remainder of the active batch back in
+    /// front of its bucket (cycle `current`), restoring the exact
+    /// pre-detach pop order. Needed when a late push interrupts the
+    /// batch: the late rung pops first, and whatever ran so far may
+    /// have appended *new* `current`-cycle events to the (re-claimed)
+    /// bucket — those carry younger seqs than the detached remainder,
+    /// so the remainder goes in ahead of them.
+    fn reattach_batch(&mut self) {
+        debug_assert_ne!(self.batch_head, NIL);
+        let index = (self.current & MASK) as usize;
+        if self.heads[index] == NIL {
+            self.cycles[index] = self.current;
+            self.occupancy[index / 64] |= 1 << (index % 64);
+            self.tails[index] = self.batch_tail;
+        } else {
+            debug_assert_eq!(self.cycles[index], self.current);
+            self.slots[self.batch_tail as usize].next = self.heads[index];
+        }
+        self.heads[index] = self.batch_head;
+        self.batch_head = NIL;
+        self.batch_tail = NIL;
+    }
+
     /// Advances the window until the earliest bucket-or-overflow event
     /// sits in a ring bucket, returning its cycle (`None` when both
     /// rungs are empty; the late rung is the caller's business).
@@ -405,22 +454,36 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
     }
 
     fn pop(&mut self) -> Option<(u64, T)> {
-        // Fast path: the window's own bucket still holds events. That
-        // bucket can only hold cycle `current` (the one in-window cycle
-        // congruent to its index), the overflow minimum is strictly
-        // above `current` whenever the rung is non-empty (pushes land
-        // `>= current + HORIZON` and migration advances past every
-        // in-window cycle), and an empty late rung means nothing
-        // precedes the window — so the chain head is the global
-        // minimum and the bitmap scan can be skipped entirely.
+        // Fast path: an active batch, or the window's own bucket still
+        // holding events. That bucket can only hold cycle `current`
+        // (the one in-window cycle congruent to its index), the
+        // overflow minimum is strictly above `current` whenever the
+        // rung is non-empty (pushes land `>= current + HORIZON` and
+        // migration advances past every in-window cycle), and an empty
+        // late rung means nothing precedes the window — so the whole
+        // chain is the global minimum run, and the first pop of the
+        // cycle detaches it in one batch: the occupancy bit clears
+        // once, and the remaining same-cycle pops walk the detached
+        // chain without touching the bucket arrays at all.
         if self.late.is_empty() {
+            if self.batch_head != NIL {
+                return Some((self.current, self.batch_pop_head()));
+            }
             let index = (self.current & MASK) as usize;
             let head = self.heads[index];
             if head != NIL {
                 debug_assert_eq!(self.cycles[index], self.current);
                 debug_assert!(self.overflow_len == 0 || self.overflow_min > self.current);
-                return Some((self.current, self.pop_head(index, head)));
+                self.batch_head = head;
+                self.batch_tail = self.tails[index];
+                self.heads[index] = NIL;
+                self.occupancy[index / 64] &= !(1 << (index % 64));
+                return Some((self.current, self.batch_pop_head()));
             }
+        } else if self.batch_head != NIL {
+            // A late push interrupted the batch: restore the remainder
+            // to its bucket so ordering falls back to the rung logic.
+            self.reattach_batch();
         }
         // Late events are strictly behind `current`, hence behind every
         // bucket and overflow cycle: always the global minimum.
@@ -438,6 +501,11 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
     fn next_at(&mut self) -> Option<u64> {
         if let Some((&(at, _), _)) = self.late.first_key_value() {
             return Some(at);
+        }
+        if self.batch_head != NIL {
+            // The detached batch is the earliest run (no late events),
+            // and it always sits at the window's lower bound.
+            return Some(self.current);
         }
         self.settle()
     }
@@ -459,6 +527,8 @@ impl<T> EventQueue<T> for CalendarQueue<T> {
         self.overflow_min = u64::MAX;
         self.late.clear();
         self.seq = 0;
+        self.batch_head = NIL;
+        self.batch_tail = NIL;
     }
 }
 
@@ -652,6 +722,61 @@ mod tests {
     }
 
     #[test]
+    fn late_push_interrupts_a_batched_drain_in_heap_order() {
+        // First pop of cycle 10 detaches the whole 4-event chain as a
+        // batch; the late push behind the window must still pop before
+        // the batch remainder, exactly as the heap orders it.
+        let mut wheel = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for (at, v) in [(10u64, 0u32), (10, 1), (10, 2), (10, 3)] {
+            wheel.push(at, v);
+            heap.push(at, v);
+        }
+        assert_eq!(wheel.pop(), Some((10, 0)));
+        assert_eq!(heap.pop(), Some((10, 0)));
+        wheel.push(4, 99);
+        heap.push(4, 99);
+        assert_eq!(wheel.len(), heap.len());
+        assert_drain_equal(wheel, heap);
+    }
+
+    #[test]
+    fn same_cycle_pushes_during_a_batch_pop_after_the_batch() {
+        // Events pushed at the batch's own cycle mid-drain carry
+        // younger seqs: they re-claim the bucket and pop after the
+        // detached chain, preserving FIFO-within-cycle.
+        let mut wheel = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for v in 0..3u32 {
+            wheel.push(20, v);
+            heap.push(20, v);
+        }
+        assert_eq!(wheel.pop(), Some((20, 0)));
+        assert_eq!(heap.pop(), Some((20, 0)));
+        wheel.push(20, 7);
+        heap.push(20, 7);
+        // A late interruption *after* same-cycle pushes exercises the
+        // splice-ahead-of-the-bucket reattach path.
+        wheel.push(3, 8);
+        heap.push(3, 8);
+        assert_eq!(wheel.next_at(), Some(3));
+        assert_drain_equal(wheel, heap);
+    }
+
+    #[test]
+    fn next_at_reports_the_batch_cycle_mid_drain() {
+        let mut wheel: CalendarQueue<u32> = CalendarQueue::new();
+        wheel.push(12, 1);
+        wheel.push(12, 2);
+        wheel.push(500_000, 3);
+        assert_eq!(wheel.pop(), Some((12, 1)));
+        assert_eq!(wheel.next_at(), Some(12));
+        assert_eq!(wheel.pop(), Some((12, 2)));
+        assert_eq!(wheel.pop(), Some((500_000, 3)));
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
     fn clear_resets_the_window_and_the_seq_counter() {
         let mut wheel: CalendarQueue<u32> = CalendarQueue::new();
         wheel.push(1_000_000, 1);
@@ -662,5 +787,12 @@ mod tests {
         // After clear, cycle 0 is schedulable again (window re-anchored).
         wheel.push(0, 9);
         assert_eq!(wheel.pop(), Some((0, 9)));
+        // Clearing mid-batch discards the detached remainder too.
+        wheel.push(5, 1);
+        wheel.push(5, 2);
+        assert_eq!(wheel.pop(), Some((5, 1)));
+        wheel.clear();
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop(), None);
     }
 }

@@ -296,7 +296,11 @@ impl SystemSpec {
     ///   measurement port names an address that is not a controller.
     pub fn build(self) -> Result<System, SimError> {
         // Intern addresses in registration order: routers, hubs,
-        // controllers.
+        // controllers. The arena vectors come from this thread's
+        // retired-scratch pool (see [`crate::engine`]) so a sweep
+        // worker lowering thousands of specs re-fills already-grown
+        // allocations instead of reallocating per scenario.
+        let mut scratch = crate::engine::take_scratch();
         let max_addr = self
             .routers
             .iter()
@@ -305,11 +309,15 @@ impl SystemSpec {
             .chain(self.controllers.iter().map(|(c, _)| c.addr))
             .max();
         let table_len = max_addr.map_or(0, |a| a as usize + 1);
+        let mut addr_table = std::mem::take(&mut scratch.arena.addr_to_id);
+        addr_table.clear();
+        addr_table.resize(table_len, NodeId::MAX);
         let mut arena = Arena {
-            addr_to_id: vec![NodeId::MAX; table_len],
-            addrs: Vec::new(),
-            nodes: Vec::new(),
+            addr_to_id: addr_table,
+            addrs: std::mem::take(&mut scratch.arena.addrs),
+            nodes: std::mem::take(&mut scratch.arena.nodes),
         };
+        debug_assert!(arena.addrs.is_empty() && arena.nodes.is_empty());
 
         for router in self.routers {
             let addr = router.addr();
@@ -369,12 +377,15 @@ impl SystemSpec {
 
         // Controllers step in ascending address order (the engine's
         // deterministic scheduling contract).
-        let mut controller_ids: Vec<NodeId> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.as_controller().is_some())
-            .map(|(i, _)| i as NodeId)
-            .collect();
+        let mut controller_ids = std::mem::take(&mut scratch.arena.controller_ids);
+        debug_assert!(controller_ids.is_empty());
+        controller_ids.extend(
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.as_controller().is_some())
+                .map(|(i, _)| i as NodeId),
+        );
         controller_ids.sort_by_key(|&id| addrs[id as usize]);
 
         Ok(System::from_parts(
@@ -388,6 +399,7 @@ impl SystemSpec {
             self.topology,
             self.backend.instantiate(),
             self.link_model,
+            scratch,
         ))
     }
 }

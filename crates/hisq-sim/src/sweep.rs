@@ -488,13 +488,36 @@ impl SweepRunner {
         let workers = self.threads.min(items.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut batch: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Chunked self-scheduling: claim a contiguous
+                        // run of indices per fetch instead of one, so
+                        // the cursor is touched O(threads · log n)
+                        // times rather than once per scenario. The
+                        // chunk shrinks as the sweep drains (quarter
+                        // of a fair share of what's left), which keeps
+                        // the tail balanced when scenario costs are
+                        // uneven.
+                        let claim_base = cursor.load(Ordering::Relaxed);
+                        let remaining = items.len().saturating_sub(claim_base);
+                        let chunk = (remaining / (workers * 4)).max(1);
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        batch.clear();
+                        batch.extend((start..end).map(|i| (i, run(i, &items[i]))));
+                        // One lock round per chunk; every record still
+                        // lands at its scenario's own index, so result
+                        // order is input order regardless of which
+                        // worker claimed which chunk.
+                        let mut slots = slots.lock().expect("result lock");
+                        for (index, result) in batch.drain(..) {
+                            slots[index] = Some(result);
+                        }
                     }
-                    let result = run(index, &items[index]);
-                    slots.lock().expect("result lock")[index] = Some(result);
                 });
             }
         });
@@ -559,6 +582,30 @@ mod tests {
         for threads in [2, 4, 8] {
             let multi = SweepRunner::new(threads).run(&scenarios, run);
             assert_eq!(single.to_json(), multi.to_json(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_claiming_lands_records_in_input_order() {
+        // Sizes chosen to exercise the chunk-size ramp: large enough
+        // that early fetches claim multi-index chunks, awkward enough
+        // (odd count, more than threads·4 items) that the final chunks
+        // shrink to single indices and the last claim is partial.
+        for (len, threads) in [(1usize, 4usize), (7, 2), (97, 3), (256, 8)] {
+            let items: Vec<usize> = (0..len).collect();
+            let results = SweepRunner::new(threads).map(&items, |i, &s| {
+                assert_eq!(i, s, "worker received the wrong scenario");
+                // Uneven work so chunks finish out of claim order.
+                let mut acc = s as u64;
+                for _ in 0..(s % 5) * 400 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                (i, acc)
+            });
+            assert_eq!(results.len(), len, "len={len} threads={threads}");
+            for (slot, (index, _)) in results.iter().enumerate() {
+                assert_eq!(slot, *index, "len={len} threads={threads}");
+            }
         }
     }
 

@@ -41,8 +41,12 @@
 //! assert_eq!(report.summary()["all_halted"].sum, 4.0, "every run halts");
 //! ```
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use hisq_compiler::{
     compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
@@ -57,7 +61,7 @@ use hisq_sim::{
     BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
     SweepRunner, System, SystemSpec,
 };
-use hisq_workloads::{BuiltWorkload, WorkloadSpec};
+use hisq_workloads::WorkloadSpec;
 
 /// The measured outcome of one executed scenario (a flat metric bag
 /// keyed by the scenario's stable id — see [`run_scenario`] for the
@@ -122,17 +126,20 @@ impl RunnerError {
         }
     }
 
+    /// Re-attributes the error to scenario `id` (every variant): the
+    /// compile stage produces errors without a scenario context —
+    /// including *cached* errors replayed for a different scenario of
+    /// the same [`CompileKey`] — and the caller stamps its own id on,
+    /// so cached and fresh failures render identically.
     fn with_id(self, id: &str) -> RunnerError {
+        let id = id.to_string();
         match self {
-            RunnerError::Sim { source, .. } => RunnerError::Sim {
-                id: id.to_string(),
-                source,
-            },
-            RunnerError::MissingTopology { .. } => {
-                RunnerError::MissingTopology { id: id.to_string() }
-            }
-            RunnerError::MissingHub { .. } => RunnerError::MissingHub { id: id.to_string() },
-            other => other,
+            RunnerError::UnknownWorkload { .. } => RunnerError::UnknownWorkload { id },
+            RunnerError::Compile { message, .. } => RunnerError::Compile { id, message },
+            RunnerError::MissingTopology { .. } => RunnerError::MissingTopology { id },
+            RunnerError::MissingHub { .. } => RunnerError::MissingHub { id },
+            RunnerError::Sim { source, .. } => RunnerError::Sim { id, source },
+            RunnerError::Surgery { message, .. } => RunnerError::Surgery { id, message },
         }
     }
 }
@@ -798,6 +805,215 @@ impl Scenario {
         obj.reject_unknown()?;
         Ok(scenario)
     }
+
+    /// The scenario's compile-stage identity: every input the
+    /// **compile → place → describe** pipeline stage reads, and nothing
+    /// it does not. Two scenarios with equal keys compile to
+    /// bit-identical programs and system descriptions (the
+    /// `compile_cache_equivalence` suite asserts exactly this), so a
+    /// sweep's [`CompileCache`] shares one [`CompiledArtifact`] across
+    /// grid points that differ only in seed, noise, coherence time, or
+    /// link model — the axes the paper figures actually sweep.
+    pub fn compile_key(&self) -> CompileKey {
+        // Scenario-level surgery folds into the effective inputs the
+        // same way `compile_scenario` applies it: the last workload
+        // swap wins; link-model and noise overrides are run-stage
+        // parameters the compiler never sees.
+        let mut workload = self.workload.clone();
+        for op in &self.surgery {
+            if let SurgeryOp::SwapWorkload { workload: w } = op {
+                workload = w.clone();
+            }
+        }
+        let topology_surgery = self
+            .surgery
+            .iter()
+            .filter_map(|op| match op {
+                SurgeryOp::DropRouterLevel => Some(TopologySurgeryKey::DropRouterLevel),
+                SurgeryOp::RewireSubtree {
+                    subtree,
+                    new_parent,
+                } => Some(TopologySurgeryKey::RewireSubtree {
+                    subtree: *subtree,
+                    new_parent: *new_parent,
+                }),
+                _ => None,
+            })
+            .collect();
+        // The lock-step compiler is the only reader of the star
+        // latencies; zeroing them under BISP lets BISP grid points
+        // that sweep the baseline's star share one artifact.
+        let star_latencies = match self.scheme {
+            Scheme::Bisp => (0, 0),
+            Scheme::Lockstep => (self.params.star_up_latency, self.params.star_down_latency),
+        };
+        CompileKey {
+            workload_json: workload.to_json().to_string_compact(),
+            scheme: match self.scheme {
+                Scheme::Bisp => 0,
+                Scheme::Lockstep => 1,
+            },
+            shots: self.shots,
+            neighbor_latency: self.params.neighbor_latency,
+            router_latency: self.params.router_latency,
+            router_arity: self.params.router_arity,
+            star_latencies,
+            topology_surgery,
+        }
+    }
+}
+
+/// The hashable identity of a scenario's compile stage (see
+/// [`Scenario::compile_key`]). Deliberately *excludes* the run-stage
+/// axes — backend seed, noise model, coherence time, and the link
+/// contention model: the compiler never reads them (the topology's
+/// embedded link model is overridden per scenario after the cached
+/// description is cloned), so scenarios differing only along those
+/// axes hash and compare equal and share one compiled artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    /// Effective workload (post scenario surgery), in its canonical
+    /// JSON form — the only total encoding [`WorkloadSpec`] has.
+    workload_json: String,
+    /// Scheme tag (0 = BISP, 1 = lock-step).
+    scheme: u8,
+    /// Shot count (compiled into the program: BISP loops shots against
+    /// the region tree; lock-step unrolls them).
+    shots: u32,
+    neighbor_latency: u64,
+    router_latency: u64,
+    router_arity: usize,
+    /// Star up/down latencies; zeroed under BISP (unread there).
+    star_latencies: (u64, u64),
+    /// Topology surgery ops in application order (validity and effect
+    /// both depend on the tree they apply to, so they are part of the
+    /// compile identity even when a later op fails).
+    topology_surgery: Vec<TopologySurgeryKey>,
+}
+
+/// Hashable mirror of the topology-mutating [`SurgeryOp`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TopologySurgeryKey {
+    DropRouterLevel,
+    RewireSubtree {
+        subtree: NodeAddr,
+        new_parent: NodeAddr,
+    },
+}
+
+/// The reusable output of a scenario's compile stage: the validated
+/// system description (backend and link model still unset — those are
+/// run-stage), plus the metric inputs [`run_scenario`] needs from the
+/// built workload. Shared behind an [`Arc`] by every grid point of a
+/// sweep whose [`CompileKey`] matches.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    /// The compiled system as a declarative spec (cloned, then given
+    /// its backend + link model, per consuming scenario).
+    spec: SystemSpec,
+    /// Output data qubits of the workload (Figure-16 scoring).
+    data_sites: Vec<usize>,
+    /// Machine-code fingerprint of the compiled programs (see
+    /// [`CompiledSystem::fingerprint`]).
+    fingerprint: u64,
+}
+
+impl CompiledArtifact {
+    /// FNV-1a fingerprint of the compiled program words (scheme +
+    /// per-controller machine code) — equal fingerprints mean the
+    /// compiler emitted bit-identical programs.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Number of independently-locked shards of a [`CompileCache`]. Eight
+/// comfortably exceeds the sweep pool's typical thread counts, so two
+/// workers only contend when their keys land in one shard *and* both
+/// are in the (brief) lookup critical section — compilation itself
+/// runs outside the shard lock.
+const CACHE_SHARDS: usize = 8;
+
+/// One cache slot: a leader-computes cell. The first worker to claim
+/// the key compiles inside [`OnceLock::get_or_init`]; concurrent
+/// workers with the same key block on the cell (not the shard lock)
+/// and wake to the shared result. Errors are cached too — a failing
+/// compile fails every scenario of the key identically, each
+/// re-attributed to its own id.
+type CacheCell = Arc<OnceLock<Result<Arc<CompiledArtifact>, RunnerError>>>;
+
+/// A lock-sharded, leader-computes cache of compile-stage artifacts,
+/// shared across the grid points of a sweep (see [`run_sweep_cached`];
+/// [`run_sweep`] threads one through automatically). Grid points
+/// differing only in seed, noise, shots-independent scoring inputs, or
+/// link model hit the same [`CompileKey`] and reuse one compiled
+/// program — byte-identical results to compiling fresh per point,
+/// pinned by the determinism FNV tests and the
+/// `compile_cache_equivalence` suite.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    shards: [Mutex<HashMap<CompileKey, CacheCell>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Lookups that reused an already-compiled (or in-flight) artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled their key (the leader of each cell).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The artifact for `scenario`'s compile key, compiling it on this
+    /// thread if no worker has yet. Errors come back *without* a
+    /// scenario id (the caller stamps its own via `with_id`).
+    fn get_or_compile(&self, scenario: &Scenario) -> Result<Arc<CompiledArtifact>, RunnerError> {
+        let key = scenario.compile_key();
+        let mut hasher = std::hash::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[hasher.finish() as usize % CACHE_SHARDS];
+        let cell = shard
+            .lock()
+            .expect("compile-cache shard lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        let mut compiled_here = false;
+        let result = cell.get_or_init(|| {
+            compiled_here = true;
+            compile_stage(scenario).map(Arc::new)
+        });
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+}
+
+/// Runs `scenario`'s compile stage fresh (no cache): surgery fold,
+/// workload build, topology construction + surgery, compilation, and
+/// the system description — everything [`run_scenario`] does before
+/// seeding a backend. Exposed for the cache-equivalence suite; sweep
+/// callers get this transparently through [`run_sweep`].
+///
+/// # Errors
+///
+/// The compile-time subset of [`run_scenario`]'s errors (unknown
+/// workload, invalid surgery, compile failure, incomplete description),
+/// attributed to the scenario's id.
+pub fn compile_scenario(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
+    compile_stage(scenario).map_err(|e| e.with_id(&scenario.id()))
 }
 
 /// Executes one scenario end to end — build circuit, build topology,
@@ -822,17 +1038,39 @@ impl Scenario {
 /// compilation fails, node addresses collide, or the simulation faults
 /// — all reported with the scenario id for context.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> {
+    run_scenario_with(scenario, None)
+}
+
+/// [`run_scenario`] with the compile stage served from `cache` — the
+/// per-point body of [`run_sweep_cached`]. Results are byte-identical
+/// to the uncached path; only the compile work is shared.
+///
+/// # Errors
+///
+/// As [`run_scenario`] (cached compile errors included, re-attributed
+/// to this scenario's id).
+pub fn run_scenario_cached(
+    scenario: &Scenario,
+    cache: &CompileCache,
+) -> Result<ScenarioReport, RunnerError> {
+    run_scenario_with(scenario, Some(cache))
+}
+
+fn run_scenario_with(
+    scenario: &Scenario,
+    cache: Option<&CompileCache>,
+) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
-    let (mut system, built, p) = build_scenario(scenario)?;
+    let (mut system, artifact, p) = build_scenario_with(scenario, cache)?;
     let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
 
     let coherence = CoherenceParams::uniform(scenario.t1_us);
-    let scored_exposure: ExposureLedger = if built.data_sites.is_empty() {
+    let scored_exposure: ExposureLedger = if artifact.data_sites.is_empty() {
         system.exposure().clone()
     } else {
         // Output data qubits stay coherent from circuit start until the
         // whole dynamic circuit completes (the Figure 16 scoring).
-        built
+        artifact
             .data_sites
             .iter()
             .map(|&q| (q, 0, report.makespan_ns))
@@ -891,37 +1129,37 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, RunnerError> 
 ///
 /// As [`run_scenario`], minus simulation-time failures.
 pub fn scenario_system(scenario: &Scenario) -> Result<System, RunnerError> {
-    build_scenario(scenario).map(|(system, _, _)| system)
+    build_scenario_with(scenario, None).map(|(system, _, _)| system)
 }
 
-/// The shared scenario-to-[`System`] pipeline behind [`run_scenario`]
-/// and [`scenario_system`]; also returns the built workload and the
-/// post-surgery parameters the metric distillation needs.
-fn build_scenario(
-    scenario: &Scenario,
-) -> Result<(System, BuiltWorkload, SystemParams), RunnerError> {
-    let id = scenario.id();
-    // Scenario-level surgery first: the effective workload and
-    // parameters feed everything downstream (topology, compiler,
-    // backend choice, metric gating).
+/// The pure compile stage: everything a scenario's pipeline does
+/// before seed, noise, or link model matter. Reads exactly the inputs
+/// [`Scenario::compile_key`] hashes; errors carry no scenario id (the
+/// consumer stamps its own on, so cached errors replay verbatim).
+fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
+    // Scenario-level surgery first: the effective workload feeds
+    // everything downstream (link-model/noise overrides are run-stage
+    // and folded by `build_scenario_with` instead).
     let mut workload = scenario.workload.clone();
-    let mut p = scenario.params;
     for op in &scenario.surgery {
-        match op {
-            SurgeryOp::SwapWorkload { workload: w } => workload = w.clone(),
-            SurgeryOp::OverrideLinkModel { link_model } => p.link_model = *link_model,
-            SurgeryOp::OverrideNoise { noise } => p.noise = *noise,
-            SurgeryOp::DropRouterLevel | SurgeryOp::RewireSubtree { .. } => {}
+        if let SurgeryOp::SwapWorkload { workload: w } = op {
+            workload = w.clone();
         }
     }
     let built = workload
         .build()
-        .ok_or_else(|| RunnerError::UnknownWorkload { id: id.clone() })?;
+        .ok_or_else(|| RunnerError::UnknownWorkload { id: String::new() })?;
+    let p = scenario.params;
+    // The topology is built with the *default* link model even when the
+    // scenario runs a contended one: neither compiler reads the model,
+    // and the spec-level override below the cache seam
+    // (`build_scenario_with`) replaces whatever the description
+    // inherited — so scenarios differing only in link model share this
+    // stage, and results stay byte-identical either way.
     let mut topology = TopologyBuilder::grid(built.grid.0, built.grid.1)
         .neighbor_latency(p.neighbor_latency)
         .router_latency(p.router_latency)
         .router_arity(p.router_arity)
-        .link_model(p.link_model)
         .build();
     // Topology surgery second, so the compiler places region syncs
     // against the surgered tree.
@@ -935,7 +1173,7 @@ fn build_scenario(
             _ => Ok(()),
         };
         result.map_err(|message| RunnerError::Surgery {
-            id: id.clone(),
+            id: String::new(),
             message,
         })?;
     }
@@ -947,7 +1185,7 @@ fn build_scenario(
             };
             let compiled = compile_bisp(&built.circuit, &topology, &options).map_err(|e| {
                 RunnerError::Compile {
-                    id: id.clone(),
+                    id: String::new(),
                     message: format!("BISP: {e}"),
                 }
             })?;
@@ -962,13 +1200,47 @@ fn build_scenario(
             };
             let compiled =
                 compile_lockstep(&built.circuit, &options).map_err(|e| RunnerError::Compile {
-                    id: id.clone(),
+                    id: String::new(),
                     message: format!("lock-step: {e}"),
                 })?;
             (compiled, None)
         }
     };
-    let mut spec = system_spec(&compiled, topology).map_err(|e| e.with_id(&id))?;
+    let fingerprint = compiled.fingerprint();
+    let spec = system_spec(&compiled, topology)?;
+    Ok(CompiledArtifact {
+        spec,
+        data_sites: built.data_sites,
+        fingerprint,
+    })
+}
+
+/// The shared scenario-to-[`System`] pipeline behind [`run_scenario`]
+/// and [`scenario_system`]: the (possibly cached) compile stage, then
+/// the per-scenario tail — clone the description, seed the backend,
+/// install the link model, build. Also returns the artifact and the
+/// post-surgery parameters the metric distillation needs.
+fn build_scenario_with(
+    scenario: &Scenario,
+    cache: Option<&CompileCache>,
+) -> Result<(System, Arc<CompiledArtifact>, SystemParams), RunnerError> {
+    let id = scenario.id();
+    let mut p = scenario.params;
+    for op in &scenario.surgery {
+        match op {
+            SurgeryOp::OverrideLinkModel { link_model } => p.link_model = *link_model,
+            SurgeryOp::OverrideNoise { noise } => p.noise = *noise,
+            SurgeryOp::SwapWorkload { .. }
+            | SurgeryOp::DropRouterLevel
+            | SurgeryOp::RewireSubtree { .. } => {}
+        }
+    }
+    let artifact = match cache {
+        Some(cache) => cache.get_or_compile(scenario),
+        None => compile_stage(scenario).map(Arc::new),
+    }
+    .map_err(|e| e.with_id(&id))?;
+    let mut spec = artifact.spec.clone();
     // Noiseless scenarios keep the historical random backend (and its
     // byte-identical outcome stream); a noisy model samples leakage so
     // sticky readouts steer the feedback branches.
@@ -984,10 +1256,12 @@ fn build_scenario(
             noise: p.noise,
         }
     });
-    // The lock-step star has no topology to inherit the model from.
+    // The run-stage link model: overrides whatever the description
+    // inherited (the lock-step star has no topology to inherit from,
+    // and the cached BISP description carries the default).
     spec.link_model(p.link_model);
     let system = spec.build().map_err(|e| RunnerError::sim(e).with_id(&id))?;
-    Ok((system, built, p))
+    Ok((system, artifact, p))
 }
 
 /// Runs a batch of scenarios on `threads` workers and aggregates their
@@ -997,11 +1271,52 @@ fn build_scenario(
 /// their scenario's index and statistics fold in that order. See the
 /// module docs for an end-to-end example.
 ///
+/// The compile stage is served from a sweep-scoped [`CompileCache`],
+/// so grid points differing only in seed, noise, coherence time, or
+/// link model compile once — byte-identical results to compiling
+/// fresh per point ([`run_sweep_uncached`] is the differential
+/// reference).
+///
 /// # Errors
 ///
 /// Returns the first failing scenario's [`RunnerError`], in *scenario*
 /// order (deterministic regardless of worker scheduling).
 pub fn run_sweep(scenarios: &[Scenario], threads: usize) -> Result<SweepReport, RunnerError> {
+    run_sweep_cached(scenarios, threads, &CompileCache::new())
+}
+
+/// [`run_sweep`] against a caller-owned [`CompileCache`] — for reuse
+/// across successive sweeps over the same workloads, and for reading
+/// the hit/miss counters afterwards (`fig_sweep_throughput` reports
+/// the hit rate).
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_cached(
+    scenarios: &[Scenario],
+    threads: usize,
+    cache: &CompileCache,
+) -> Result<SweepReport, RunnerError> {
+    let results = SweepRunner::new(threads).map(scenarios, |_, scenario| {
+        run_scenario_cached(scenario, cache)
+    });
+    let records = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SweepReport::from_records(records))
+}
+
+/// [`run_sweep`] with a fresh compile per grid point (the pre-cache
+/// behavior): the differential reference the
+/// `compile_cache_equivalence` suite and the `fig_sweep_throughput`
+/// uncached baseline run against.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_uncached(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Result<SweepReport, RunnerError> {
     let results = SweepRunner::new(threads).map(scenarios, |_, scenario| run_scenario(scenario));
     let records = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SweepReport::from_records(records))

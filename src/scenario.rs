@@ -422,6 +422,21 @@ impl ScenarioFile {
         }
         scenarios
     }
+
+    /// The `--quick` expansion (`hisq run --quick`, mirroring the
+    /// `fig*` binaries' flag): one repetition, every scenario clamped
+    /// to a single shot, and grid points that collapse onto the same
+    /// id (e.g. along a `shots` axis) deduplicated in grid order — a
+    /// smoke pass over the file's structure at a fraction of the work.
+    pub fn expand_quick(&self) -> Vec<Scenario> {
+        let mut scenarios = self.expand(Some(1));
+        for scenario in &mut scenarios {
+            scenario.shots = 1;
+        }
+        let mut seen = std::collections::HashSet::new();
+        scenarios.retain(|s| seen.insert(s.id()));
+        scenarios
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +487,24 @@ mod tests {
         assert_eq!(seeds, [1, 2, 3, 1, 2, 3]);
         // The flag overrides the file.
         assert_eq!(file.expand(Some(1)).len(), 2);
+    }
+
+    #[test]
+    fn quick_expansion_clamps_shots_and_reps_and_dedups() {
+        let mut file = quick_file();
+        file.repetitions = 5;
+        file.axes.push(Axis::Shots(vec![1, 8]));
+        // Full expansion: 2 schemes × 2 seeds × 2 shots × 5 reps.
+        assert_eq!(file.expand(None).len(), 40);
+        let quick = file.expand_quick();
+        // Quick: one rep, shots clamped to 1, and the collapsed shots
+        // axis deduplicated — back to the 2×2 core grid.
+        assert_eq!(quick.len(), 4);
+        assert!(quick.iter().all(|s| s.shots == 1));
+        let ids: Vec<String> = quick.iter().map(Scenario::id).collect();
+        let mut unique = ids.clone();
+        unique.dedup();
+        assert_eq!(ids, unique, "quick ids stay unique");
     }
 
     #[test]

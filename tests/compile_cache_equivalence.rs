@@ -1,0 +1,162 @@
+//! The compile-cache differential suite: a sweep served from the
+//! shared [`CompileCache`] must be **byte-identical** to one that
+//! compiles every grid point fresh — on one thread and on four — and
+//! equal [`CompileKey`]s must mean the compiler emitted bit-identical
+//! program words.
+//!
+//! The scenario inputs are the committed golden corpus
+//! (`scenarios/*.json`), so the cache is exercised against exactly the
+//! grids the byte-replay CI gate runs: scheme twins, seed repetitions,
+//! link-model axes, noise axes, and surgery axes.
+
+use proptest::prelude::*;
+
+use distributed_hisq::runner::{
+    compile_scenario, run_sweep_cached, run_sweep_uncached, CompileCache, Scenario, SurgeryOp,
+    SystemParams,
+};
+use distributed_hisq::scenario::ScenarioFile;
+use distributed_hisq::workloads::WorkloadSpec;
+use hisq_compiler::Scheme;
+
+/// Workspace-root path of the committed scenario corpus.
+const CORPUS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+
+/// Every committed golden-corpus scenario file, expanded.
+fn corpus_grids() -> Vec<(String, Vec<Scenario>)> {
+    let mut names: Vec<String> = std::fs::read_dir(CORPUS_DIR)
+        .expect("scenarios/ exists")
+        .filter_map(|entry| {
+            let name = entry.expect("corpus entry").file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.ends_with(".json").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "golden corpus is populated");
+    names
+        .into_iter()
+        .map(|name| {
+            let text =
+                std::fs::read_to_string(format!("{CORPUS_DIR}/{name}")).expect("corpus file reads");
+            let file = ScenarioFile::parse(&text).expect("corpus file parses");
+            (name, file.expand(None))
+        })
+        .collect()
+}
+
+#[test]
+fn cached_sweeps_are_byte_identical_to_uncached_on_1_and_4_threads() {
+    for (name, scenarios) in corpus_grids() {
+        let reference = run_sweep_uncached(&scenarios, 1)
+            .unwrap_or_else(|e| panic!("{name}: uncached sweep: {e}"))
+            .to_json();
+        for threads in [1usize, 4] {
+            let cache = CompileCache::new();
+            let cached = run_sweep_cached(&scenarios, threads, &cache)
+                .unwrap_or_else(|e| panic!("{name}: cached sweep ({threads} threads): {e}"))
+                .to_json();
+            assert_eq!(
+                cached, reference,
+                "{name}: cached sweep on {threads} thread(s) drifted from fresh compiles"
+            );
+            assert_eq!(
+                cache.hits() + cache.misses(),
+                scenarios.len() as u64,
+                "{name}: every grid point consults the cache"
+            );
+            assert!(
+                cache.misses() <= scenarios.len() as u64,
+                "{name}: at most one compile per grid point"
+            );
+        }
+    }
+}
+
+#[test]
+fn seed_repetitions_share_one_compile() {
+    // A seed×noise-style grid: 6 seeds over one compiled program.
+    let base = Scenario::new(WorkloadSpec::suite("w_state_n12"), Scheme::Bisp);
+    let scenarios: Vec<Scenario> = (1..=6u64)
+        .map(|seed| base.clone().with_seed(seed))
+        .collect();
+    let cache = CompileCache::new();
+    run_sweep_cached(&scenarios, 2, &cache).expect("sweep runs");
+    assert_eq!(cache.misses(), 1, "one compile for the whole seed axis");
+    assert_eq!(cache.hits(), 5, "every other grid point reuses it");
+}
+
+#[test]
+fn cached_compile_errors_replay_with_each_scenarios_own_id() {
+    // An invalid surgery op fails the compile stage; both seeds of the
+    // key must report the error under their *own* ids, cached or not.
+    let bad = Scenario::new(WorkloadSpec::suite("w_state_n12"), Scheme::Bisp).with_surgery(
+        SurgeryOp::RewireSubtree {
+            subtree: 0,
+            new_parent: 0,
+        },
+    );
+    let scenarios = [bad.clone().with_seed(1), bad.with_seed(2)];
+    let uncached = run_sweep_uncached(&scenarios, 1).expect_err("surgery is invalid");
+    let cached =
+        run_sweep_cached(&scenarios, 1, &CompileCache::new()).expect_err("surgery is invalid");
+    assert_eq!(cached, uncached, "cached errors replay verbatim");
+    assert!(
+        cached.to_string().contains("seed1"),
+        "first failure in scenario order carries its id: {cached}"
+    );
+}
+
+/// Strategy over scenarios that share a handful of compile-relevant
+/// knobs, so random pairs collide on their [`CompileKey`]s often
+/// enough to exercise the implication in both directions.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![Just("w_state_n12"), Just("qft_n10")],
+        prop_oneof![Just(Scheme::Bisp), Just(Scheme::Lockstep)],
+        1..3u32,
+        prop_oneof![Just((5u64, 10u64)), Just((7, 14))],
+        0..100u64,
+        prop_oneof![Just(25u64), Just(40)],
+    )
+        .prop_map(|(suite, scheme, shots, (neighbor, router), seed, star)| {
+            let mut scenario = Scenario::new(WorkloadSpec::suite(suite), scheme).with_shots(shots);
+            scenario.seed = seed;
+            scenario.params = SystemParams {
+                neighbor_latency: neighbor,
+                router_latency: router,
+                star_up_latency: star,
+                star_down_latency: star,
+                ..SystemParams::default()
+            };
+            scenario
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equal compile keys ⇒ the compiler emitted bit-identical program
+    /// words (per-controller machine code, compared via the compiled
+    /// artifact's FNV fingerprint).
+    #[test]
+    fn equal_compile_keys_mean_identical_program_words(
+        a in scenario_strategy(),
+        b in scenario_strategy(),
+    ) {
+        if a.compile_key() == b.compile_key() {
+            let fp_a = compile_scenario(&a).expect("a compiles").fingerprint();
+            let fp_b = compile_scenario(&b).expect("b compiles").fingerprint();
+            prop_assert_eq!(fp_a, fp_b, "key-equal scenarios compiled differently");
+        }
+    }
+
+    /// A scenario's key is insensitive to its run-stage axes: varying
+    /// seed (above) — and here t1 — never changes the key, so those
+    /// sweeps always share one artifact.
+    #[test]
+    fn run_stage_axes_do_not_split_the_key(scenario in scenario_strategy(), t1 in 1.0..500.0f64) {
+        let retimed = scenario.clone().with_t1_us(t1).with_seed(scenario.seed ^ 0xffff);
+        prop_assert_eq!(scenario.compile_key(), retimed.compile_key());
+    }
+}

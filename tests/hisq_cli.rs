@@ -1,0 +1,59 @@
+//! CLI-contract regression tests for the `hisq` binary, run against
+//! the real executable (`CARGO_BIN_EXE_hisq`): unknown flags and flag
+//! conflicts must exit 2 with a usage message — never run a sweep with
+//! a silently ignored option — and `--quick` must execute the reduced
+//! grid successfully.
+
+use std::process::Command;
+
+/// Workspace-root path of a committed golden-corpus scenario file.
+const SCENARIO: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/scenarios/bisp_vs_lockstep.json"
+);
+
+fn hisq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hisq"))
+        .args(args)
+        .output()
+        .expect("hisq binary runs")
+}
+
+#[test]
+fn unknown_run_flag_exits_2_with_usage() {
+    let out = hisq(&["run", SCENARIO, "--turbo"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flags are an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag `--turbo`"), "{stderr}");
+    assert!(stderr.contains("usage: hisq"), "{stderr}");
+    assert!(
+        out.stdout.is_empty(),
+        "a rejected invocation must not produce a report"
+    );
+}
+
+#[test]
+fn quick_conflicts_with_repetitions() {
+    let out = hisq(&["run", SCENARIO, "--quick", "--repetitions", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--quick conflicts with --repetitions"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn quick_run_executes_the_reduced_grid() {
+    let out = hisq(&["run", SCENARIO, "--quick", "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The quick pass of the 2×2 corpus grid is the grid itself (it is
+    // already single-shot, single-repetition).
+    assert!(stdout.starts_with("{\"scenarios\":4,"), "{stdout}");
+}

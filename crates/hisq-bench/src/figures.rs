@@ -7,7 +7,7 @@
 
 use distributed_hisq::compiler::{compile_bisp, BispOptions, Scheme};
 use distributed_hisq::quantum::Circuit;
-use distributed_hisq::runner::{run_sweep, Scenario, SystemParams};
+use distributed_hisq::runner::{run_sweep, LinkOverride, NoiseOverride, Scenario, SystemParams};
 use distributed_hisq::workloads::{SuiteScale, WorkloadSpec};
 use hisq_core::NodeConfig;
 use hisq_isa::Assembler;
@@ -767,9 +767,242 @@ pub fn fig_noise_points(scenarios: &[Scenario], report: &SweepReport) -> Vec<Fig
         .collect()
 }
 
+/// The backend seed of the heterogeneous-fabric comparison.
+const FIG_HETERO_SEED: u64 = 23;
+
+/// The heated mesh edge of the hot-edge grids (as a low-site pair;
+/// both directions of the cable are heated): the adder's ripple-carry
+/// traffic crosses physical edge 4–5 more than three times as often as
+/// its mirror image, so the line reversal is a strict win for an
+/// aware placement.
+pub const FIG_HETERO_HOT_EDGE: (u16, u16) = (4, 5);
+
+/// The heated device site of the hot-qubit grids: the adder's physical
+/// site 5 absorbs 80 operations where its mirror site 19 absorbs 25,
+/// so the reversal moves most of the error-prone work onto a healthy
+/// site.
+pub const FIG_HETERO_HOT_QUBIT: usize = 5;
+
+/// The link model of a heated edge: 128× the base serialization plus a
+/// 30 % drop rate, so oblivious placements pay both queueing delay and
+/// retransmission round trips on every crossing. (Ten attempts keep
+/// the permanent-drop probability below 1e-5 per message, so heated
+/// runs still halt.)
+pub fn fig_hetero_hot_link() -> LinkModel {
+    LinkModel::serialized(512).with_drop(hisq_sim::DropPolicy {
+        loss_ppm: 300_000,
+        seed: 7,
+        max_attempts: 10,
+    })
+}
+
+/// One grid of the heterogeneous-fabric comparison: a workload with
+/// exactly one heated element (edge or qubit), run oblivious and
+/// fabric-aware, scored on one metric.
+#[derive(Debug, Clone)]
+pub struct FigHeteroGrid {
+    /// Display label (names the workload and the heated element).
+    pub name: &'static str,
+    /// `"edge"` or `"qubit"` — which fabric element is heated.
+    pub kind: &'static str,
+    /// The scored record metric (`makespan_ns` for hot-edge grids,
+    /// `noise_infidelity` for hot-qubit grids).
+    pub metric: &'static str,
+    /// The oblivious scenario; the aware twin differs only in
+    /// `params.fabric_aware`.
+    pub base: Scenario,
+}
+
+/// The heterogeneous-fabric grids: hot-edge grids scored on makespan
+/// (routing traffic off the heated link saves serialization and
+/// retransmissions) and hot-qubit grids scored on expected infidelity
+/// (moving work off the heated device site saves error budget).
+/// `--quick` keeps one grid of each kind.
+pub fn fig_hetero_grids(quick: bool) -> Vec<FigHeteroGrid> {
+    let (hot_a, hot_b) = FIG_HETERO_HOT_EDGE;
+    let hot_edge = |s: &mut Scenario| {
+        s.params.link_model = LinkModel::serialized(4);
+        s.params.link_overrides = vec![
+            LinkOverride {
+                from: hot_a,
+                to: hot_b,
+                link_model: fig_hetero_hot_link(),
+            },
+            LinkOverride {
+                from: hot_b,
+                to: hot_a,
+                link_model: fig_hetero_hot_link(),
+            },
+        ];
+    };
+    let hot_qubit = |s: &mut Scenario, qubit: usize| {
+        s.params.noise = fig_noise_model(1e-5);
+        s.params.noise_overrides = vec![NoiseOverride {
+            qubit,
+            noise: fig_noise_model(3e-3),
+        }];
+    };
+    let mut grids = Vec::new();
+    let mut base =
+        Scenario::new(WorkloadSpec::suite("adder_n13"), Scheme::Bisp).with_seed(FIG_HETERO_SEED);
+    hot_edge(&mut base);
+    grids.push(FigHeteroGrid {
+        name: "adder_n13 / heated link 4-5",
+        kind: "edge",
+        metric: "makespan_ns",
+        base,
+    });
+    let mut base =
+        Scenario::new(WorkloadSpec::suite("adder_n13"), Scheme::Bisp).with_seed(FIG_HETERO_SEED);
+    hot_qubit(&mut base, FIG_HETERO_HOT_QUBIT);
+    grids.push(FigHeteroGrid {
+        name: "adder_n13 / heated qubit 5",
+        kind: "qubit",
+        metric: "noise_infidelity",
+        base,
+    });
+    if !quick {
+        // The span-7 long-range gadget's heated ancilla is a
+        // *declined* swap: site 12 hosts more operations than its
+        // mirror, but they are cheap 1q corrections — the mirror's
+        // measure would cost more on the heated site, so the aware
+        // planner keeps the identity and the gain is exactly 1.
+        let mut base = Scenario::new(
+            WorkloadSpec::LongRangeCnots {
+                parallel: 1,
+                span: 7,
+            },
+            Scheme::Bisp,
+        )
+        .with_seed(FIG_HETERO_SEED);
+        hot_qubit(&mut base, 12);
+        grids.push(FigHeteroGrid {
+            name: "longrange p1 s7 / heated qubit 12",
+            kind: "qubit",
+            metric: "noise_infidelity",
+            base,
+        });
+        // Compound heat: the same reversal dodges the heated link
+        // *and* the heated site at once, scored on the error budget.
+        let mut base = Scenario::new(WorkloadSpec::suite("adder_n13"), Scheme::Bisp)
+            .with_seed(FIG_HETERO_SEED);
+        hot_edge(&mut base);
+        hot_qubit(&mut base, FIG_HETERO_HOT_QUBIT);
+        grids.push(FigHeteroGrid {
+            name: "adder_n13 / heated link + qubit",
+            kind: "qubit",
+            metric: "noise_infidelity",
+            base,
+        });
+    }
+    grids
+}
+
+/// Expands the heterogeneous-fabric grids into sweep scenarios: each
+/// grid contributes an oblivious/aware twin (aware varies fastest, so
+/// records pair up per grid exactly like the other paired sweeps).
+pub fn fig_hetero_scenarios(quick: bool) -> Vec<Scenario> {
+    fig_hetero_grids(quick)
+        .into_iter()
+        .flat_map(|grid| {
+            [false, true].into_iter().map(move |aware| {
+                let mut s = grid.base.clone();
+                s.params.fabric_aware = aware;
+                s
+            })
+        })
+        .collect()
+}
+
+/// One row of the heterogeneous-fabric comparison: a grid's metric
+/// under oblivious and fabric-aware compilation.
+#[derive(Debug, Clone)]
+pub struct FigHeteroPoint {
+    /// Grid label.
+    pub name: &'static str,
+    /// `"edge"` or `"qubit"`.
+    pub kind: &'static str,
+    /// The scored metric name.
+    pub metric: &'static str,
+    /// Metric under oblivious (identity) placement.
+    pub oblivious: f64,
+    /// Metric under fabric-aware placement.
+    pub aware: f64,
+    /// `oblivious / aware` — above 1 when fabric-awareness wins.
+    pub improvement: f64,
+}
+
+/// Distills an executed heterogeneous-fabric sweep back into
+/// comparison rows.
+///
+/// # Panics
+///
+/// Panics if the report does not hold [`fig_hetero_scenarios`]-shaped
+/// records (oblivious/aware twins per grid) or a run did not halt.
+pub fn fig_hetero_points(grids: &[FigHeteroGrid], report: &SweepReport) -> Vec<FigHeteroPoint> {
+    assert_eq!(
+        report.records().len(),
+        2 * grids.len(),
+        "one oblivious/aware record pair per grid"
+    );
+    grids
+        .iter()
+        .zip(report.records().chunks(2))
+        .map(|(grid, records)| {
+            let [oblivious, aware] = records else {
+                panic!("records must pair up per grid");
+            };
+            for record in records {
+                assert_eq!(
+                    record.value("all_halted"),
+                    Some(1.0),
+                    "{}: run blocked",
+                    record.id
+                );
+            }
+            let fetch = |record: &SweepRecord| match grid.metric {
+                "makespan_ns" => record.counter("makespan_ns").expect("standard metrics") as f64,
+                metric => record.value(metric).expect("noise metrics"),
+            };
+            let (oblivious, aware) = (fetch(oblivious), fetch(aware));
+            FigHeteroPoint {
+                name: grid.name,
+                kind: grid.kind,
+                metric: grid.metric,
+                oblivious,
+                aware,
+                improvement: oblivious / aware,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig_hetero_quick_aware_beats_oblivious_on_both_grids() {
+        let scenarios = fig_hetero_scenarios(true);
+        let report = run_sweep(&scenarios, 2).expect("hetero sweep runs");
+        let points = fig_hetero_points(&fig_hetero_grids(true), &report);
+        let edge = points
+            .iter()
+            .find(|p| p.kind == "edge")
+            .expect("a hot-edge grid");
+        let qubit = points
+            .iter()
+            .find(|p| p.kind == "qubit")
+            .expect("a hot-qubit grid");
+        assert!(
+            edge.improvement > 1.05,
+            "routing off the heated link must pay: {edge:?}"
+        );
+        assert!(
+            qubit.improvement > 1.1,
+            "moving work off the heated site must pay: {qubit:?}"
+        );
+    }
 
     #[test]
     fn fig05_nearby_zero_overhead() {

@@ -1,0 +1,407 @@
+//! Fabric-aware placement: choosing where circuit qubits live on a
+//! heterogeneous grid *before* BISP compilation.
+//!
+//! The oblivious pipeline places circuit qubit `i` on controller `i`
+//! unconditionally. On a uniform fabric that is as good as any other
+//! placement — every mesh edge costs the same and every qubit errs the
+//! same — but on a heterogeneous fabric (one heated link, one lossy
+//! transmon) the identity placement can route the workload's hottest
+//! traffic straight through the worst edge, or park an output data
+//! qubit on the worst device site.
+//!
+//! This module scores the mesh automorphisms of the compilation grid
+//! (the placements that preserve adjacency, so every compiled
+//! two-qubit gate stays nearest-neighbour and the program structure is
+//! unchanged) against a [`FabricCosts`] summary of the per-edge link
+//! models and per-qubit noise models, and picks the cheapest:
+//!
+//! - **edge cost** — expected nanoseconds a classical message pays to
+//!   cross the edge: serialization time scaled by the expected
+//!   transmission count of the drop policy, plus the retransmission
+//!   round trips themselves;
+//! - **qubit error** — the site's noise-model rates charged per
+//!   operation exactly as the runtime per-qubit infidelity accounting
+//!   charges them (1q gates pay `p_gate_1q`, 2q-gate operands pay
+//!   `p_gate_2q + p_leak`, measurements pay `p_meas`), plus a summed
+//!   standing cost per instruction for workload data sites (which hold
+//!   live state for the whole run).
+//!
+//! The search is exact and deterministic: a grid has at most eight
+//! mesh automorphisms (the dihedral group of the rectangle), candidates
+//! are enumerated identity-first, and ties keep the earlier candidate —
+//! so a flat fabric always plans the identity and fabric-aware
+//! compilation of a uniform scenario is byte-identical to oblivious.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hisq_core::NodeAddr;
+use hisq_isa::CYCLE_NS;
+use hisq_net::{FabricMap, LinkModel, Topology};
+use hisq_quantum::{Circuit, Instruction, NoiseMap, NoiseModel, Operation};
+
+/// Idle-exposure proxy: nanoseconds of idle error a data site is
+/// charged per circuit instruction when comparing placements (the real
+/// exposure is makespan-dependent, which placement cannot know yet).
+const IDLE_PROXY_NS: f64 = 1_000.0;
+
+/// Score slack under which two placements count as tied (ties keep the
+/// earlier — identity-first — candidate).
+const TIE_EPS: f64 = 1e-9;
+
+/// Scalar cost summary of a heterogeneous fabric, as placement sees
+/// it: one expected-delay figure per overridden directed mesh edge
+/// (plus the uniform default), and one error figure per controller
+/// site.
+#[derive(Debug, Clone)]
+pub struct FabricCosts {
+    edge_costs: BTreeMap<(NodeAddr, NodeAddr), f64>,
+    default_edge_cost: f64,
+    qubit_models: Vec<NoiseModel>,
+    flat: bool,
+}
+
+impl FabricCosts {
+    /// Distills `fabric` and `noise` into placement costs for
+    /// `topology`'s grid.
+    pub fn from_maps(topology: &Topology, fabric: &FabricMap, noise: &NoiseMap) -> FabricCosts {
+        let retry_ns = 2 * topology.neighbor_latency() * CYCLE_NS;
+        let default_edge_cost = link_cost(&fabric.default_model(), retry_ns);
+        let edge_costs = fabric
+            .overrides()
+            .map(|(from, to, model)| ((from, to), link_cost(&model, retry_ns)))
+            .collect();
+        let qubit_models = (0..topology.num_controllers())
+            .map(|q| noise.model_for(q))
+            .collect();
+        FabricCosts {
+            edge_costs,
+            default_edge_cost,
+            qubit_models,
+            flat: fabric.is_uniform() && noise.is_uniform(),
+        }
+    }
+
+    /// Expected per-message cost (ns) of the directed edge `from → to`.
+    pub fn edge_cost(&self, from: NodeAddr, to: NodeAddr) -> f64 {
+        self.edge_costs
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_edge_cost)
+    }
+
+    /// The noise model of controller site `site` (noiseless when the
+    /// site is beyond the scored grid).
+    fn site_model(&self, site: usize) -> NoiseModel {
+        self.qubit_models
+            .get(site)
+            .copied()
+            .unwrap_or(NoiseModel::NOISELESS)
+    }
+
+    /// Summed per-operation error figure of controller site `site` (0
+    /// when the site is beyond the scored grid) — the conservative
+    /// standing-cost proxy data sites are charged: a data qubit holds
+    /// live state for the whole run, so *any* elevated rate on its site
+    /// is a reason to move it, even rates the circuit's own operations
+    /// never trigger there.
+    pub fn qubit_error(&self, site: usize) -> f64 {
+        qubit_error(&self.site_model(site))
+    }
+
+    /// `true` when both maps were uniform: every placement scores
+    /// identically, so the search is pointless and the identity wins.
+    pub fn is_flat(&self) -> bool {
+        self.flat
+    }
+}
+
+/// Expected per-message delay (ns) of one directed link: serialization
+/// scaled by the expected transmission count of the drop policy, plus
+/// the retransmission round trips (`retry_ns` per extra attempt).
+fn link_cost(model: &LinkModel, retry_ns: u64) -> f64 {
+    let serialization = model.serialization_ns as f64;
+    match model.drop {
+        None => serialization,
+        Some(drop) => {
+            let p = (drop.loss_ppm as f64 / 1e6).min(0.999_999);
+            let expected_attempts = (1.0 / (1.0 - p)).min(drop.max_attempts.max(1) as f64);
+            serialization * expected_attempts + (expected_attempts - 1.0) * retry_ns as f64
+        }
+    }
+}
+
+/// Per-operation error figure of one site's noise model: the summed
+/// gate/measurement/leakage rates plus a fixed idle-exposure proxy.
+fn qubit_error(model: &NoiseModel) -> f64 {
+    model.p_gate_1q
+        + model.p_gate_2q
+        + model.p_meas
+        + model.p_leak
+        + model.p_idle_per_ns * IDLE_PROXY_NS
+}
+
+/// Plans a placement of circuit qubits onto `topology`'s controllers:
+/// the mesh automorphism of the grid minimizing the fabric-weighted
+/// cost of `circuit` (two-qubit-gate traffic over heated edges, every
+/// operation's site error, and `data_sites`' standing exposure).
+///
+/// Returns the permutation as `placement[qubit] = controller index`.
+/// Identity-first enumeration plus a strict improvement threshold make
+/// the result deterministic and the identity the tie-winner, so a flat
+/// fabric (or an over-subscribed circuit the compiler will reject
+/// anyway) always plans the identity.
+pub fn plan_placement(
+    circuit: &Circuit,
+    data_sites: &[usize],
+    topology: &Topology,
+    costs: &FabricCosts,
+) -> Vec<usize> {
+    let n = topology.num_controllers().max(circuit.num_qubits());
+    let identity: Vec<usize> = (0..n).collect();
+    if costs.is_flat() || circuit.num_qubits() > topology.num_controllers() {
+        return identity;
+    }
+    let mut best = identity;
+    let mut best_score = f64::INFINITY;
+    for candidate in grid_automorphisms(topology) {
+        let score = placement_score(circuit, data_sites, costs, &candidate);
+        if score < best_score - TIE_EPS {
+            best_score = score;
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// Rebuilds `circuit` (and remaps `data_sites`) with every qubit `q`
+/// relocated to `placement[q]` — the concrete application of a
+/// [`plan_placement`] result. Classical bits, conditions, and
+/// instruction order are untouched, so the dataflow (and therefore the
+/// feedback structure the compiler lowers) is preserved exactly.
+pub fn apply_placement(
+    circuit: &Circuit,
+    data_sites: &[usize],
+    placement: &[usize],
+) -> (Circuit, Vec<usize>) {
+    let num_qubits = circuit
+        .num_qubits()
+        .max(placement.iter().map(|&c| c + 1).max().unwrap_or(0));
+    let mut placed = Circuit::named(circuit.name(), num_qubits, circuit.num_clbits());
+    for instruction in circuit.instructions() {
+        let op = match &instruction.op {
+            Operation::Gate { gate, qubits } => Operation::Gate {
+                gate: *gate,
+                qubits: qubits.iter().map(|&q| placement[q]).collect(),
+            },
+            Operation::Measure { qubit, clbit } => Operation::Measure {
+                qubit: placement[*qubit],
+                clbit: *clbit,
+            },
+            Operation::Reset { qubit } => Operation::Reset {
+                qubit: placement[*qubit],
+            },
+            Operation::Barrier { qubits } => Operation::Barrier {
+                qubits: qubits.iter().map(|&q| placement[q]).collect(),
+            },
+            Operation::Delay { qubit, duration_ns } => Operation::Delay {
+                qubit: placement[*qubit],
+                duration_ns: *duration_ns,
+            },
+        };
+        placed
+            .push(Instruction {
+                op,
+                condition: instruction.condition.clone(),
+            })
+            .expect("an automorphism placement preserves circuit validity");
+    }
+    let sites = data_sites.iter().map(|&q| placement[q]).collect();
+    (placed, sites)
+}
+
+/// Fabric-weighted cost of running `circuit` under `placement`.
+fn placement_score(
+    circuit: &Circuit,
+    data_sites: &[usize],
+    costs: &FabricCosts,
+    placement: &[usize],
+) -> f64 {
+    let mut score = 0.0;
+    // Operation error terms mirror the runtime per-qubit accounting
+    // (`NoiseMap::survival`) rate for rate: 1q gates pay `p_gate_1q`,
+    // each 2q-gate operand pays `p_gate_2q + p_leak`, measurements pay
+    // `p_meas`, and resets are free — so minimizing the score
+    // minimizes the `noise_infidelity` the run will report.
+    for instruction in circuit.instructions() {
+        match &instruction.op {
+            Operation::Gate { qubits, .. } if qubits.len() == 2 => {
+                let a = placement[qubits[0]] as NodeAddr;
+                let b = placement[qubits[1]] as NodeAddr;
+                // Each synchronized two-qubit gate exchanges one
+                // booking message in each direction.
+                score += costs.edge_cost(a, b) + costs.edge_cost(b, a);
+                for &q in qubits {
+                    let m = costs.site_model(placement[q]);
+                    score += m.p_gate_2q + m.p_leak;
+                }
+            }
+            Operation::Gate { qubits, .. } => {
+                for &q in qubits {
+                    score += costs.site_model(placement[q]).p_gate_1q;
+                }
+            }
+            Operation::Measure { qubit, .. } => {
+                score += costs.site_model(placement[*qubit]).p_meas;
+            }
+            Operation::Reset { .. } | Operation::Barrier { .. } | Operation::Delay { .. } => {}
+        }
+    }
+    // Output data sites stay exposed from circuit start to finish, so
+    // their site error is charged once per instruction as a standing
+    // cost — parking a data qubit on a heated site must hurt more than
+    // routing one gate through it.
+    let standing = circuit.instructions().len().max(1) as f64;
+    for &site in data_sites {
+        score += standing * costs.qubit_error(placement[site]);
+    }
+    score
+}
+
+/// The mesh automorphisms of the compilation grid, as controller
+/// permutations (`perm[q] = image controller`): the four rectangle
+/// symmetries, plus the four diagonal ones when the grid is square,
+/// deduplicated (a 1×N line yields exactly identity and reversal).
+/// The identity is always first.
+fn grid_automorphisms(topology: &Topology) -> Vec<Vec<usize>> {
+    type CoordMap = Box<dyn Fn(usize, usize) -> (usize, usize)>;
+    let (w, h) = (topology.width(), topology.height());
+    let mut transforms: Vec<CoordMap> = vec![
+        Box::new(|x, y| (x, y)),
+        Box::new(move |x, y| (w - 1 - x, y)),
+        Box::new(move |x, y| (x, h - 1 - y)),
+        Box::new(move |x, y| (w - 1 - x, h - 1 - y)),
+    ];
+    if w == h {
+        transforms.push(Box::new(|x, y| (y, x)));
+        transforms.push(Box::new(move |x, y| (h - 1 - y, x)));
+        transforms.push(Box::new(move |x, y| (y, w - 1 - x)));
+        transforms.push(Box::new(move |x, y| (w - 1 - y, h - 1 - x)));
+    }
+    let n = topology.num_controllers();
+    let mut seen = BTreeSet::new();
+    let mut perms = Vec::new();
+    for transform in transforms {
+        let perm: Vec<usize> = (0..n)
+            .map(|q| {
+                let (x, y) = topology.coords(q as NodeAddr);
+                let (tx, ty) = transform(x, y);
+                usize::from(topology.controller_at(tx, ty))
+            })
+            .collect();
+        if seen.insert(perm.clone()) {
+            perms.push(perm);
+        }
+    }
+    perms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hisq_net::TopologyBuilder;
+
+    fn line(n: usize) -> Topology {
+        TopologyBuilder::linear(n).build()
+    }
+
+    fn hot_edge_fabric(from: NodeAddr, to: NodeAddr) -> FabricMap {
+        let mut fabric = FabricMap::default();
+        fabric.set_edge(from, to, LinkModel::serialized(64));
+        fabric
+    }
+
+    #[test]
+    fn line_automorphisms_are_identity_and_reversal() {
+        let topology = line(4);
+        let perms = grid_automorphisms(&topology);
+        assert_eq!(perms, [vec![0, 1, 2, 3], vec![3, 2, 1, 0]]);
+    }
+
+    #[test]
+    fn square_has_eight_automorphisms() {
+        let topology = TopologyBuilder::grid(3, 3).build();
+        let perms = grid_automorphisms(&topology);
+        assert_eq!(perms.len(), 8);
+        assert_eq!(perms[0], (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_fabric_plans_identity() {
+        let topology = line(4);
+        let costs = FabricCosts::from_maps(&topology, &FabricMap::default(), &NoiseMap::default());
+        assert!(costs.is_flat());
+        let mut circuit = Circuit::new(4, 0);
+        circuit.cx(0, 1);
+        let plan = plan_placement(&circuit, &[], &topology, &costs);
+        assert_eq!(plan, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn placement_routes_traffic_off_a_heated_edge() {
+        // All two-qubit traffic sits on the 0-1 end of a 4-line; heat
+        // the 0→1 edge and the reversal (traffic moves to the 3-2 end)
+        // must win.
+        let topology = line(4);
+        let costs = FabricCosts::from_maps(&topology, &hot_edge_fabric(0, 1), &NoiseMap::default());
+        assert!(!costs.is_flat());
+        let mut circuit = Circuit::new(4, 0);
+        circuit.cx(0, 1);
+        circuit.cx(1, 0);
+        let plan = plan_placement(&circuit, &[], &topology, &costs);
+        assert_eq!(plan, [3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn placement_parks_data_sites_away_from_a_heated_qubit() {
+        // Data site at qubit 0; heat physical qubit 0 — the reversal
+        // moves the data site to site 3.
+        let topology = line(4);
+        let mut noise = NoiseMap::default();
+        noise.set_qubit(
+            0,
+            NoiseModel {
+                p_meas: 0.05,
+                ..NoiseModel::NOISELESS
+            },
+        );
+        let costs = FabricCosts::from_maps(&topology, &FabricMap::default(), &noise);
+        let mut circuit = Circuit::new(4, 1);
+        circuit.h(0);
+        circuit.cx(0, 1);
+        let plan = plan_placement(&circuit, &[0], &topology, &costs);
+        assert_eq!(plan, [3, 2, 1, 0]);
+        let (placed, sites) = apply_placement(&circuit, &[0], &plan);
+        assert_eq!(sites, [3]);
+        assert_eq!(placed.num_qubits(), 4);
+        assert_eq!(placed.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn apply_placement_preserves_conditions_and_clbits() {
+        use hisq_quantum::Condition;
+        let mut circuit = Circuit::new(2, 1);
+        circuit.h(0);
+        circuit.measure(0, 0);
+        circuit.x_if(1, Condition::bit(0, true));
+        let (placed, _) = apply_placement(&circuit, &[], &[1, 0]);
+        assert_eq!(placed.num_clbits(), 1);
+        assert_eq!(placed.feedback_count(), 1);
+        // The measure moved to qubit 1, the conditioned X to qubit 0.
+        let qubits: Vec<Vec<usize>> = placed
+            .instructions()
+            .iter()
+            .map(|inst| inst.qubits())
+            .collect();
+        assert_eq!(qubits, [vec![1], vec![1], vec![0]]);
+    }
+}

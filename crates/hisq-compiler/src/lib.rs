@@ -42,6 +42,7 @@ pub mod codegen_bisp;
 pub mod codegen_lockstep;
 pub mod codewords;
 pub mod emit;
+pub mod fabric;
 pub mod longrange;
 
 use std::collections::BTreeMap;
@@ -56,6 +57,7 @@ pub use codegen_bisp::{compile_bisp, BispOptions};
 pub use codegen_lockstep::{compile_lockstep, LockstepOptions};
 pub use codewords::{Binding, BindingAction, CodewordTable, PORT_GATE, PORT_READOUT};
 pub use emit::StreamBuilder;
+pub use fabric::{apply_placement, plan_placement, FabricCosts};
 pub use longrange::{map_to_physical, LongRangeConfig, LongRangeStats, PhysicalCircuit};
 
 /// Operation durations quantized to TCU cycles.

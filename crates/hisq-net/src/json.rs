@@ -21,7 +21,7 @@ use hisq_core::NodeAddr;
 use hisq_json::{Json, JsonError, ObjReader};
 
 use crate::router::Router;
-use crate::topology::{grid_mesh, DropPolicy, LinkModel, Topology};
+use crate::topology::{grid_mesh, DropPolicy, FabricMap, LinkModel, Topology};
 
 impl DropPolicy {
     /// Serializes the loss model.
@@ -111,6 +111,83 @@ impl LinkModel {
     }
 }
 
+/// Serializes one per-edge override as
+/// `{"from": a, "to": b, "model": {...}}`.
+pub fn edge_override_to_json(from: NodeAddr, to: NodeAddr, model: &LinkModel) -> Json {
+    Json::Object(vec![
+        ("from".into(), from.into()),
+        ("to".into(), to.into()),
+        ("model".into(), model.to_json()),
+    ])
+}
+
+/// Parses one per-edge override serialized by [`edge_override_to_json`].
+pub fn edge_override_from_json(
+    value: &Json,
+    path: &str,
+) -> Result<(NodeAddr, NodeAddr, LinkModel), JsonError> {
+    let mut obj = ObjReader::new(value, path)?;
+    let from = obj.required("from")?.as_u16(&obj.field_path("from"))?;
+    let to = obj.required("to")?.as_u16(&obj.field_path("to"))?;
+    let model = LinkModel::from_json(obj.required("model")?, &obj.field_path("model"))?;
+    obj.reject_unknown()?;
+    Ok((from, to, model))
+}
+
+impl FabricMap {
+    /// Serializes the fabric map. The `overrides` field is omitted when
+    /// the map is uniform, so a uniform fabric renders exactly as
+    /// `{"default": <link model>}`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("default".into(), self.default_model().to_json())];
+        if !self.is_uniform() {
+            fields.push((
+                "overrides".into(),
+                Json::Array(
+                    self.overrides()
+                        .map(|(f, t, m)| edge_override_to_json(f, t, &m))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Object(fields)
+    }
+
+    /// Parses a fabric map serialized by [`FabricMap::to_json`]. An
+    /// omitted `default` is the transparent model; an omitted
+    /// `overrides` list is a uniform map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields, wrong
+    /// types, a malformed model, or two overrides naming the same
+    /// directed edge.
+    pub fn from_json(value: &Json, path: &str) -> Result<FabricMap, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let mut fabric = FabricMap::default();
+        if let Some(v) = obj.optional("default") {
+            fabric.set_default(LinkModel::from_json(v, &obj.field_path("default"))?);
+        }
+        if let Some(v) = obj.optional("overrides") {
+            let list_path = obj.field_path("overrides");
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let (from, to, model) = edge_override_from_json(entry, &entry_path)?;
+                if !seen.insert((from, to)) {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate override for edge {from} -> {to}"),
+                    ));
+                }
+                fabric.set_edge(from, to, model);
+            }
+        }
+        obj.reject_unknown()?;
+        Ok(fabric)
+    }
+}
+
 impl Router {
     /// Serializes the router's tree position (its dynamic session state
     /// is not part of a scenario and is not serialized).
@@ -183,15 +260,30 @@ impl Topology {
                 ])
             })
             .collect();
-        Json::Object(vec![
+        let mut fields = vec![
             ("width".into(), self.width.into()),
             ("height".into(), self.height.into()),
             ("neighbor_latency".into(), self.neighbor_latency.into()),
             ("router_latency".into(), self.router_latency.into()),
             ("pipeline_headroom".into(), self.pipeline_headroom.into()),
-            ("link_model".into(), self.link_model.to_json()),
-            ("routers".into(), Json::Array(tree)),
-        ])
+            ("link_model".into(), self.fabric.default_model().to_json()),
+        ];
+        // Per-edge overrides are emitted only when present, so a
+        // uniform-fabric topology serializes byte-identically to the
+        // single-model era.
+        if !self.fabric.is_uniform() {
+            fields.push((
+                "link_overrides".into(),
+                Json::Array(
+                    self.fabric
+                        .overrides()
+                        .map(|(f, t, m)| edge_override_to_json(f, t, &m))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("routers".into(), Json::Array(tree)));
+        Json::Object(fields)
     }
 
     /// Parses a topology serialized by [`Topology::to_json`],
@@ -229,6 +321,22 @@ impl Topology {
             .as_u64(&obj.field_path("pipeline_headroom"))?;
         let link_model =
             LinkModel::from_json(obj.required("link_model")?, &obj.field_path("link_model"))?;
+        let mut fabric = FabricMap::uniform(link_model);
+        if let Some(v) = obj.optional("link_overrides") {
+            let list_path = obj.field_path("link_overrides");
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let (from, to, model) = edge_override_from_json(entry, &entry_path)?;
+                if !seen.insert((from, to)) {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate override for edge {from} -> {to}"),
+                    ));
+                }
+                fabric.set_edge(from, to, model);
+            }
+        }
 
         let routers_path = obj.field_path("routers");
         let entries = obj.required("routers")?;
@@ -315,7 +423,7 @@ impl Topology {
             neighbor_latency,
             router_latency,
             pipeline_headroom,
-            link_model,
+            fabric,
             parent,
             children,
             routers,
@@ -381,6 +489,61 @@ mod tests {
         let text = topo.to_json().to_string_compact();
         let back = Topology::from_json(&Json::parse(&text).unwrap(), "topo").unwrap();
         assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn fabric_map_round_trips_and_rejects_bad_input() {
+        let mut fabric = crate::FabricMap::uniform(LinkModel::serialized(8));
+        // Uniform maps render exactly as {"default": ...}.
+        assert_eq!(
+            fabric.to_json().to_string_compact(),
+            r#"{"default":{"serialization_ns":8,"capacity":1}}"#
+        );
+        fabric.set_edge(0, 1, LinkModel::serialized(64).with_capacity(2));
+        let text = fabric.to_json().to_string_compact();
+        let back = crate::FabricMap::from_json(&Json::parse(&text).unwrap(), "fm").unwrap();
+        assert_eq!(fabric, back, "{text}");
+
+        for (text, needle) in [
+            (
+                r#"{"default": {}, "overrides": [{"from": 0, "to": 1, "model": {}},
+                    {"from": 0, "to": 1, "model": {"serialization_ns": 4}}]}"#,
+                "duplicate override for edge 0 -> 1",
+            ),
+            (
+                r#"{"overrides": [{"from": 0, "model": {}}]}"#,
+                "missing field `to`",
+            ),
+            (r#"{"edges": []}"#, "unknown field `edges`"),
+            (
+                r#"{"overrides": [{"from": 0, "to": 1, "model": {"lanes": 2}}]}"#,
+                "unknown field `lanes`",
+            ),
+        ] {
+            let err = crate::FabricMap::from_json(&Json::parse(text).unwrap(), "fm").unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_topology_round_trips() {
+        let topo = TopologyBuilder::grid(4, 4)
+            .link_model(LinkModel::serialized(8))
+            .link_model_for(5, 6, LinkModel::serialized(64))
+            .link_model_for(6, 5, LinkModel::serialized(64))
+            .build();
+        let text = topo.to_json().to_string_compact();
+        assert!(text.contains("\"link_overrides\""), "{text}");
+        let back = Topology::from_json(&Json::parse(&text).unwrap(), "topo").unwrap();
+        assert_eq!(topo, back);
+
+        // A uniform topology never emits the overrides field, keeping
+        // single-model-era documents byte-identical.
+        let uniform = TopologyBuilder::grid(4, 4).build();
+        assert!(!uniform
+            .to_json()
+            .to_string_compact()
+            .contains("link_overrides"));
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod topology;
 
 pub use message::{Envelope, Payload};
 pub use router::{Router, RouterAction, RouterError};
-pub use topology::{DropPolicy, LinkModel, Topology, TopologyBuilder};
+pub use topology::{DropPolicy, FabricMap, LinkModel, Topology, TopologyBuilder};
 
 pub use hisq_core::NodeAddr;

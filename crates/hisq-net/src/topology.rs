@@ -114,6 +114,88 @@ impl LinkModel {
     }
 }
 
+/// Per-directed-edge link contention models with a uniform default —
+/// the heterogeneous-fabric generalization of the single topology-wide
+/// [`LinkModel`].
+///
+/// Resolution order is *default → per-edge override*: every directed
+/// edge `(from, to)` runs the default model unless an override was
+/// registered for exactly that edge ([`FabricMap::set_edge`]). A map
+/// with no overrides behaves byte-identically to the legacy single
+/// model; overrides equal to the default are normalized away, so
+/// [`FabricMap::is_uniform`] is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FabricMap {
+    /// The model every edge runs unless overridden.
+    default: LinkModel,
+    /// Per-directed-edge overrides (never storing the default).
+    overrides: BTreeMap<(NodeAddr, NodeAddr), LinkModel>,
+}
+
+impl FabricMap {
+    /// A uniform fabric: every edge runs `default`, no overrides.
+    pub fn uniform(default: LinkModel) -> FabricMap {
+        FabricMap {
+            default,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// The uniform default model.
+    pub fn default_model(&self) -> LinkModel {
+        self.default
+    }
+
+    /// Replaces the uniform default (overrides are kept).
+    pub fn set_default(&mut self, default: LinkModel) {
+        self.default = default;
+        let keep_default = self.default;
+        self.overrides.retain(|_, m| *m != keep_default);
+    }
+
+    /// Overrides the model of the directed edge `from → to`. Setting
+    /// an edge back to the default removes the override.
+    pub fn set_edge(&mut self, from: NodeAddr, to: NodeAddr, model: LinkModel) {
+        if model == self.default {
+            self.overrides.remove(&(from, to));
+        } else {
+            self.overrides.insert((from, to), model);
+        }
+    }
+
+    /// The model the directed edge `from → to` runs (the override if
+    /// one exists, the default otherwise).
+    pub fn resolve(&self, from: NodeAddr, to: NodeAddr) -> LinkModel {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// The per-edge overrides in ascending `(from, to)` order.
+    pub fn overrides(&self) -> impl Iterator<Item = (NodeAddr, NodeAddr, LinkModel)> + '_ {
+        self.overrides.iter().map(|(&(f, t), &m)| (f, t, m))
+    }
+
+    /// `true` when no edge deviates from the default.
+    pub fn is_uniform(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// `true` when no edge of the fabric can affect delivery (default
+    /// and every override transparent) — the engine's fast-path
+    /// condition, byte-identical to the pure-latency engine.
+    pub fn is_transparent(&self) -> bool {
+        self.default.is_transparent() && self.overrides.values().all(LinkModel::is_transparent)
+    }
+}
+
+impl From<LinkModel> for FabricMap {
+    fn from(default: LinkModel) -> FabricMap {
+        FabricMap::uniform(default)
+    }
+}
+
 /// Builder for [`Topology`].
 #[derive(Debug, Clone)]
 pub struct TopologyBuilder {
@@ -123,7 +205,7 @@ pub struct TopologyBuilder {
     router_arity: usize,
     router_latency: u64,
     pipeline_headroom: u64,
-    link_model: LinkModel,
+    fabric: FabricMap,
 }
 
 impl TopologyBuilder {
@@ -140,7 +222,7 @@ impl TopologyBuilder {
             router_arity: 4,
             router_latency: 10,
             pipeline_headroom: 32,
-            link_model: LinkModel::default(),
+            fabric: FabricMap::default(),
         }
     }
 
@@ -174,10 +256,26 @@ impl TopologyBuilder {
         self
     }
 
-    /// Sets the contention model every link of this topology carries
-    /// (default: the transparent pure-latency model).
+    /// Sets the *default* contention model of this topology's fabric —
+    /// the model every link runs unless overridden per edge via
+    /// [`TopologyBuilder::link_model_for`] (default: the transparent
+    /// pure-latency model).
     pub fn link_model(mut self, model: LinkModel) -> TopologyBuilder {
-        self.link_model = model;
+        self.fabric.set_default(model);
+        self
+    }
+
+    /// Overrides the contention model of the single directed edge
+    /// `from → to` (a hot link in an otherwise uniform fabric). The
+    /// uniform default stays whatever [`TopologyBuilder::link_model`]
+    /// set.
+    pub fn link_model_for(
+        mut self,
+        from: NodeAddr,
+        to: NodeAddr,
+        model: LinkModel,
+    ) -> TopologyBuilder {
+        self.fabric.set_edge(from, to, model);
         self
     }
 
@@ -216,7 +314,7 @@ impl TopologyBuilder {
             neighbor_latency: self.neighbor_latency,
             router_latency: self.router_latency,
             pipeline_headroom: self.pipeline_headroom,
-            link_model: self.link_model,
+            fabric: self.fabric,
             parent,
             children,
             routers,
@@ -235,7 +333,7 @@ pub struct Topology {
     pub(crate) neighbor_latency: u64,
     pub(crate) router_latency: u64,
     pub(crate) pipeline_headroom: u64,
-    pub(crate) link_model: LinkModel,
+    pub(crate) fabric: FabricMap,
     /// Child → parent router, for controllers and non-root routers.
     pub(crate) parent: BTreeMap<NodeAddr, NodeAddr>,
     /// Router → children (controllers or routers).
@@ -277,10 +375,23 @@ impl Topology {
         self.router_latency
     }
 
-    /// The contention model this topology's links carry (transparent
-    /// unless set via [`TopologyBuilder::link_model`]).
+    /// The *uniform default* contention model of this topology's
+    /// fabric.
+    ///
+    /// Kept as a compatibility shim from the single-model era: per-edge
+    /// overrides are invisible through this accessor. New callers
+    /// should read the full per-edge map via [`Topology::fabric`]
+    /// (resolution order: default → per-edge override).
     pub fn link_model(&self) -> LinkModel {
-        self.link_model
+        self.fabric.default_model()
+    }
+
+    /// The per-directed-edge fabric map this topology's links carry
+    /// (uniform and transparent unless set via
+    /// [`TopologyBuilder::link_model`] /
+    /// [`TopologyBuilder::link_model_for`]).
+    pub fn fabric(&self) -> &FabricMap {
+        &self.fabric
     }
 
     /// The controller address at grid position `(x, y)`.
@@ -667,6 +778,46 @@ mod tests {
         let parent = topo.parent_of(0).unwrap();
         assert_eq!(topo.latency(0, parent), Some(10));
         assert_eq!(topo.latency(parent, 0), Some(10));
+    }
+
+    #[test]
+    fn fabric_map_resolves_default_then_override() {
+        let mut fabric = FabricMap::uniform(LinkModel::serialized(8));
+        fabric.set_edge(0, 1, LinkModel::serialized(64));
+        assert_eq!(fabric.resolve(0, 1), LinkModel::serialized(64));
+        // The reverse direction and every other edge run the default.
+        assert_eq!(fabric.resolve(1, 0), LinkModel::serialized(8));
+        assert_eq!(fabric.resolve(2, 3), LinkModel::serialized(8));
+        assert!(!fabric.is_uniform());
+        assert!(!fabric.is_transparent());
+        // Setting an edge back to the default removes the override.
+        fabric.set_edge(0, 1, LinkModel::serialized(8));
+        assert!(fabric.is_uniform());
+    }
+
+    #[test]
+    fn transparent_fabric_requires_every_edge_transparent() {
+        let mut fabric = FabricMap::default();
+        assert!(fabric.is_transparent());
+        fabric.set_edge(3, 4, LinkModel::serialized(16));
+        assert!(
+            !fabric.is_transparent(),
+            "one hot edge breaks the fast path"
+        );
+    }
+
+    #[test]
+    fn builder_link_model_for_overrides_one_edge() {
+        let topo = TopologyBuilder::linear(4)
+            .link_model(LinkModel::serialized(4))
+            .link_model_for(1, 2, LinkModel::serialized(32))
+            .build();
+        // The shim accessor reports the uniform default...
+        assert_eq!(topo.link_model(), LinkModel::serialized(4));
+        // ...while the fabric map carries the per-edge override.
+        assert_eq!(topo.fabric().resolve(1, 2), LinkModel::serialized(32));
+        assert_eq!(topo.fabric().resolve(2, 1), LinkModel::serialized(4));
+        assert_eq!(topo.fabric().overrides().count(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use hisq_json::{Json, JsonError, ObjReader};
 
 use crate::gate::Gate;
-use crate::noise::NoiseModel;
+use crate::noise::{NoiseMap, NoiseModel};
 use crate::timing::GateDurations;
 
 impl NoiseModel {
@@ -64,6 +64,77 @@ impl NoiseModel {
         model.p_leak = rate(&mut obj, "p_leak", 0.0)?;
         obj.reject_unknown()?;
         Ok(model)
+    }
+}
+
+impl NoiseMap {
+    /// Serializes the map. A uniform map emits **exactly** the
+    /// [`NoiseModel::to_json`] shape (no `overrides` key), so scenario
+    /// files that never touch per-qubit noise are byte-identical to the
+    /// historical format; overrides append an
+    /// `"overrides": [{"qubit": q, "noise": {...}}]` array in ascending
+    /// qubit order.
+    pub fn to_json(&self) -> Json {
+        let mut json = self.default_model().to_json();
+        if !self.is_uniform() {
+            let overrides: Vec<Json> = self
+                .overrides()
+                .map(|(qubit, noise)| {
+                    Json::Object(vec![
+                        ("qubit".into(), (qubit as u64).into()),
+                        ("noise".into(), noise.to_json()),
+                    ])
+                })
+                .collect();
+            if let Json::Object(fields) = &mut json {
+                fields.push(("overrides".into(), Json::Array(overrides)));
+            }
+        }
+        json
+    }
+
+    /// Parses a map serialized by [`NoiseMap::to_json`]. The plain
+    /// [`NoiseModel`] shape parses as a uniform map, so every
+    /// historical noise field remains valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for unknown fields, wrong
+    /// types, rates outside `[0, 1]`, or duplicate qubit overrides.
+    pub fn from_json(value: &Json, path: &str) -> Result<NoiseMap, JsonError> {
+        let Json::Object(fields) = value else {
+            // Delegate for the uniform error message ("expected an
+            // object, got ...").
+            return Ok(NoiseMap::uniform(NoiseModel::from_json(value, path)?));
+        };
+        let model_fields: Vec<(String, Json)> = fields
+            .iter()
+            .filter(|(name, _)| name != "overrides")
+            .cloned()
+            .collect();
+        let default = NoiseModel::from_json(&Json::Object(model_fields), path)?;
+        let mut map = NoiseMap::uniform(default);
+        let Some((_, overrides)) = fields.iter().find(|(name, _)| name == "overrides") else {
+            return Ok(map);
+        };
+        let overrides_path = format!("{path}.overrides");
+        let entries = overrides.as_array(&overrides_path)?;
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let entry_path = format!("{overrides_path}[{i}]");
+            let mut obj = ObjReader::new(entry, &entry_path)?;
+            let qubit = obj.required("qubit")?.as_u64(&obj.field_path("qubit"))? as usize;
+            let noise = NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?;
+            obj.reject_unknown()?;
+            if !seen.insert(qubit) {
+                return Err(JsonError::decode(
+                    entry_path,
+                    format!("duplicate override for qubit {qubit}"),
+                ));
+            }
+            map.set_qubit(qubit, noise);
+        }
+        Ok(map)
     }
 }
 
@@ -241,6 +312,51 @@ mod tests {
         let err =
             NoiseModel::from_json(&Json::parse(r#"{"p_mea": 0.1}"#).unwrap(), "noise").unwrap_err();
         assert_eq!(err.to_string(), "noise: unknown field `p_mea`");
+    }
+
+    #[test]
+    fn noise_map_round_trips_and_uniform_matches_model_shape() {
+        let default = NoiseModel::NOISELESS.with_gate_errors(1e-3, 1e-2);
+        let hot = NoiseModel::NOISELESS.with_gate_errors(5e-2, 1e-1);
+        // Uniform maps emit exactly the NoiseModel shape.
+        let uniform = NoiseMap::uniform(default);
+        assert_eq!(
+            uniform.to_json().to_string_compact(),
+            default.to_json().to_string_compact()
+        );
+        // And the NoiseModel shape parses as a uniform map.
+        let back = NoiseMap::from_json(&default.to_json(), "noise").unwrap();
+        assert_eq!(back, uniform);
+        // Overrides round-trip.
+        let mut map = uniform.clone();
+        map.set_qubit(2, hot);
+        map.set_qubit(7, NoiseModel::NOISELESS);
+        let text = map.to_json().to_string_compact();
+        assert!(text.contains(r#""overrides":[{"qubit":2,"#), "{text}");
+        let back = NoiseMap::from_json(&Json::parse(&text).unwrap(), "noise").unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn noise_map_rejects_bad_overrides() {
+        let dup = r#"{"p_gate_1q": 0.001, "p_gate_2q": 0.0, "p_meas": 0.0,
+                      "p_idle_per_ns": 0.0, "p_leak": 0.0,
+                      "overrides": [{"qubit": 1, "noise": {}},
+                                    {"qubit": 1, "noise": {"p_meas": 0.1}}]}"#;
+        let err = NoiseMap::from_json(&Json::parse(dup).unwrap(), "noise").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "noise.overrides[1]: duplicate override for qubit 1"
+        );
+        let unknown = r#"{"overrides": [{"qubit": 0, "noise": {}, "p_one": 0.5}]}"#;
+        let err = NoiseMap::from_json(&Json::parse(unknown).unwrap(), "noise").unwrap_err();
+        assert_eq!(err.to_string(), "noise.overrides[0]: unknown field `p_one`");
+        let missing = r#"{"overrides": [{"noise": {}}]}"#;
+        let err = NoiseMap::from_json(&Json::parse(missing).unwrap(), "noise").unwrap_err();
+        assert_eq!(err.to_string(), "noise.overrides[0]: missing field `qubit`");
+        let bad_rate = r#"{"overrides": [{"qubit": 0, "noise": {"p_meas": 2.0}}]}"#;
+        let err = NoiseMap::from_json(&Json::parse(bad_rate).unwrap(), "noise").unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
     }
 
     #[test]

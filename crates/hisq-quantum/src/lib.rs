@@ -49,7 +49,7 @@ pub use circuit::{Circuit, CircuitError, Condition, Instruction, Operation};
 pub use complex::C64;
 pub use fidelity::{CoherenceParams, ExposureLedger};
 pub use gate::Gate;
-pub use noise::{NoiseModel, NoiseStream, OpCounts};
+pub use noise::{NoiseMap, NoiseModel, NoiseStream, OpCounts};
 pub use stabilizer::Stabilizer;
 pub use statevector::StateVector;
 pub use timing::GateDurations;

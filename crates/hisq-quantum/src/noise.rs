@@ -47,6 +47,7 @@
 //! assert_eq!(NoiseModel::default().infidelity(&ops, &ledger), 0.0);
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::fidelity::ExposureLedger;
@@ -196,6 +197,123 @@ impl OpCounts {
     /// Total quantum operations.
     pub fn total(&self) -> u64 {
         self.gates_1q + self.gates_2q + self.measurements + self.resets
+    }
+}
+
+/// A per-qubit noise assignment: a uniform default [`NoiseModel`] plus
+/// sparse per-qubit overrides — the qubit-side counterpart of
+/// `hisq-net`'s per-edge fabric map.
+///
+/// The map normalizes itself: an override equal to the current default
+/// is never stored, so `is_uniform` is exactly "no overrides" and two
+/// maps describing the same physics compare equal. Harness layers keep
+/// uniform maps byte-identical to the historical single-model path by
+/// delegating to [`NoiseModel::survival`] on the global operation
+/// counts whenever [`NoiseMap::is_uniform`] holds; the per-qubit
+/// product below is only reached when at least one override exists
+/// (f64 multiplication is not associative, so the two factorings are
+/// not bit-equal in general).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NoiseMap {
+    default: NoiseModel,
+    overrides: BTreeMap<usize, NoiseModel>,
+}
+
+impl NoiseMap {
+    /// A map where every qubit uses `default`.
+    pub fn uniform(default: NoiseModel) -> NoiseMap {
+        NoiseMap {
+            default,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// The uniform default model (what [`NoiseMap::model_for`] returns
+    /// for any qubit without an override).
+    pub fn default_model(&self) -> NoiseModel {
+        self.default
+    }
+
+    /// Replaces the uniform default; overrides that now equal the new
+    /// default are dropped.
+    pub fn set_default(&mut self, default: NoiseModel) {
+        self.default = default;
+        self.overrides.retain(|_, m| *m != default);
+    }
+
+    /// Overrides one qubit's model. Setting a qubit back to the default
+    /// removes the override.
+    pub fn set_qubit(&mut self, qubit: usize, model: NoiseModel) {
+        if model == self.default {
+            self.overrides.remove(&qubit);
+        } else {
+            self.overrides.insert(qubit, model);
+        }
+    }
+
+    /// The model governing `qubit`: its override if present, else the
+    /// default.
+    pub fn model_for(&self, qubit: usize) -> NoiseModel {
+        self.overrides.get(&qubit).copied().unwrap_or(self.default)
+    }
+
+    /// The per-qubit overrides in ascending qubit order.
+    pub fn overrides(&self) -> impl Iterator<Item = (usize, NoiseModel)> + '_ {
+        self.overrides.iter().map(|(&q, &m)| (q, m))
+    }
+
+    /// `true` when no qubit deviates from the default — the contract
+    /// under which callers delegate to the legacy single-model scoring
+    /// path.
+    pub fn is_uniform(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// `true` when every qubit is exactly noiseless. Because overrides
+    /// never equal the default, this is "noiseless default and no
+    /// overrides".
+    pub fn is_noiseless(&self) -> bool {
+        self.default.is_noiseless() && self.overrides.is_empty()
+    }
+
+    /// Expected circuit survival from **per-qubit** operation counts:
+    /// `ops_by_qubit[q]` charges qubit `q`'s rates, then each qubit's
+    /// idle exposure charges its own `p_idle_per_ns`.
+    ///
+    /// Unlike the global [`OpCounts`] fed to [`NoiseModel::survival`],
+    /// the per-qubit `gates_2q` field counts **operand occurrences**
+    /// (a CX increments both operands' counters by one, so the sum over
+    /// qubits is `2 ·` the global gate count) — the exponent is used
+    /// as-is, not doubled.
+    pub fn survival(&self, ops_by_qubit: &[OpCounts], exposure: &ExposureLedger) -> f64 {
+        let gates: f64 = ops_by_qubit
+            .iter()
+            .enumerate()
+            .map(|(q, ops)| {
+                let m = self.model_for(q);
+                (1.0 - m.p_gate_1q).powi(saturating_i32(ops.gates_1q))
+                    * (1.0 - m.p_gate_2q).powi(saturating_i32(ops.gates_2q))
+                    * (1.0 - m.p_meas).powi(saturating_i32(ops.measurements))
+                    * (1.0 - m.p_leak).powi(saturating_i32(ops.gates_2q))
+            })
+            .product();
+        let idle: f64 = exposure
+            .exposures_ns()
+            .map(|(q, t_ns)| self.model_for(q).idle_survival(t_ns))
+            .product();
+        gates * idle
+    }
+
+    /// Expected circuit infidelity `1 − survival` over per-qubit
+    /// operation counts (see [`NoiseMap::survival`]).
+    pub fn infidelity(&self, ops_by_qubit: &[OpCounts], exposure: &ExposureLedger) -> f64 {
+        1.0 - self.survival(ops_by_qubit, exposure)
+    }
+}
+
+impl From<NoiseModel> for NoiseMap {
+    fn from(default: NoiseModel) -> NoiseMap {
+        NoiseMap::uniform(default)
     }
 }
 
@@ -360,6 +478,80 @@ mod tests {
         assert_eq!(s.draws(), 0);
         let _ = s.bernoulli(0.5);
         assert_eq!(s.draws(), 1);
+    }
+
+    #[test]
+    fn noise_map_resolves_default_then_override() {
+        let default = NoiseModel::default().with_gate_errors(1e-4, 1e-3);
+        let hot = NoiseModel::default().with_gate_errors(1e-2, 1e-1);
+        let mut map = NoiseMap::uniform(default);
+        assert!(map.is_uniform());
+        assert!(!map.is_noiseless());
+        map.set_qubit(3, hot);
+        assert!(!map.is_uniform());
+        assert_eq!(map.model_for(3), hot);
+        assert_eq!(map.model_for(0), default);
+        assert_eq!(map.overrides().collect::<Vec<_>>(), vec![(3, hot)]);
+        // Setting a qubit back to the default removes the override.
+        map.set_qubit(3, default);
+        assert!(map.is_uniform());
+        // Changing the default drops overrides that now match it.
+        map.set_qubit(5, hot);
+        map.set_default(hot);
+        assert!(map.is_uniform());
+        assert_eq!(map.default_model(), hot);
+        assert_eq!(NoiseMap::from(default).model_for(7), default);
+        assert!(NoiseMap::default().is_noiseless());
+    }
+
+    #[test]
+    fn noise_map_survival_charges_per_qubit_rates() {
+        let default = NoiseModel::default().with_gate_errors(1e-4, 1e-3);
+        let hot = NoiseModel::default().with_gate_errors(1e-2, 1e-1);
+        let per_qubit = [
+            OpCounts {
+                gates_1q: 4,
+                gates_2q: 2, // operand occurrences, not global gate count
+                measurements: 1,
+                ..OpCounts::default()
+            },
+            OpCounts {
+                gates_1q: 4,
+                gates_2q: 2,
+                measurements: 1,
+                ..OpCounts::default()
+            },
+        ];
+        let ledger: ExposureLedger = [(0, 0, 1_000), (1, 0, 1_000)].into_iter().collect();
+        let uniform = NoiseMap::uniform(default);
+        let mut heated = uniform.clone();
+        heated.set_qubit(1, hot);
+        let s_uniform = uniform.survival(&per_qubit, &ledger);
+        let s_heated = heated.survival(&per_qubit, &ledger);
+        assert!(s_heated < s_uniform, "{s_heated} vs {s_uniform}");
+        assert!(heated.infidelity(&per_qubit, &ledger) > uniform.infidelity(&per_qubit, &ledger));
+        // A heated qubit with zero activity and zero exposure changes
+        // nothing.
+        let idle_heat = {
+            let mut m = uniform.clone();
+            m.set_qubit(9, hot);
+            m
+        };
+        assert_eq!(idle_heat.survival(&per_qubit, &ledger), s_uniform);
+        // The per-qubit factoring matches the global closed form when
+        // every term is charged at the same rate (same powers, grouped
+        // per qubit).
+        let global = OpCounts {
+            gates_1q: 8,
+            gates_2q: 2,
+            measurements: 2,
+            ..OpCounts::default()
+        };
+        let expected = default.survival(&global, &ledger);
+        assert!(
+            (s_uniform - expected).abs() < 1e-12,
+            "{s_uniform} vs {expected}"
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! measurement results are quantum-mechanically consistent.
 //!
 //! The noise-aware variants extend both families with a declarative
-//! [`NoiseModel`]: [`NoisyStabilizerBackend`] samples Pauli channels
+//! per-qubit [`NoiseMap`]: [`NoisyStabilizerBackend`] samples Pauli
+//! channels
 //! after each Clifford gate and flips readouts, and
 //! [`LeakyRandomBackend`] adds sticky leakage to the statistical
 //! backend. Both draw from a seeded counter-based
@@ -21,7 +22,7 @@ use std::collections::BTreeSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hisq_quantum::{Gate, NoiseModel, NoiseStream, Stabilizer, StateVector};
+use hisq_quantum::{Gate, NoiseMap, NoiseStream, Stabilizer, StateVector};
 
 /// A source of measurement outcomes that optionally tracks gates.
 pub trait QuantumBackend {
@@ -186,7 +187,7 @@ impl QuantumBackend for StateVectorBackend {
 ///
 /// Channel sampling draws from a seeded [`NoiseStream`] that is
 /// independent of the tableau's measurement RNG, so with
-/// [`NoiseModel::default()`] (no draws at all) this backend's outcome
+/// [`NoiseMap::default()`] (no draws at all) this backend's outcome
 /// sequence is byte-identical to [`StabilizerBackend`] at the same
 /// seed.
 ///
@@ -205,7 +206,7 @@ impl QuantumBackend for StateVectorBackend {
 pub struct NoisyStabilizerBackend {
     tableau: Stabilizer,
     rng: StdRng,
-    noise: NoiseModel,
+    noise: NoiseMap,
     stream: NoiseStream,
     sampled_errors: u64,
 }
@@ -214,12 +215,14 @@ impl NoisyStabilizerBackend {
     /// Creates a seeded noisy tableau over `num_qubits` qubits in
     /// |0…0⟩. The measurement RNG and the noise stream both derive
     /// from `seed` (by different generators, so the streams are
-    /// independent).
-    pub fn new(num_qubits: usize, seed: u64, noise: NoiseModel) -> NoisyStabilizerBackend {
+    /// independent). `noise` accepts a plain
+    /// [`NoiseModel`](hisq_quantum::NoiseModel) (a uniform map) or a
+    /// [`NoiseMap`] with per-qubit overrides.
+    pub fn new(num_qubits: usize, seed: u64, noise: impl Into<NoiseMap>) -> NoisyStabilizerBackend {
         NoisyStabilizerBackend {
             tableau: Stabilizer::new(num_qubits),
             rng: StdRng::seed_from_u64(seed),
-            noise,
+            noise: noise.into(),
             stream: NoiseStream::new(seed),
             sampled_errors: 0,
         }
@@ -230,9 +233,9 @@ impl NoisyStabilizerBackend {
         &self.tableau
     }
 
-    /// The configured noise model.
-    pub fn noise(&self) -> NoiseModel {
-        self.noise
+    /// The configured per-qubit noise map.
+    pub fn noise(&self) -> &NoiseMap {
+        &self.noise
     }
 
     /// Number of error events sampled so far (Pauli injections plus
@@ -264,19 +267,21 @@ impl QuantumBackend for NoisyStabilizerBackend {
     /// Panics on non-Clifford gates, like [`StabilizerBackend`].
     fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
         self.tableau.apply_gate(gate, qubits);
-        let p = if gate.arity() == 1 {
-            self.noise.p_gate_1q
-        } else {
-            self.noise.p_gate_2q
-        };
+        let single = gate.arity() == 1;
         for &q in qubits {
+            let model = self.noise.model_for(q);
+            let p = if single {
+                model.p_gate_1q
+            } else {
+                model.p_gate_2q
+            };
             self.pauli_error(p, q);
         }
     }
 
     fn measure(&mut self, qubit: usize) -> bool {
         let outcome = self.tableau.measure(qubit, &mut self.rng);
-        if self.stream.bernoulli(self.noise.p_meas) {
+        if self.stream.bernoulli(self.noise.model_for(qubit).p_meas) {
             self.sampled_errors += 1;
             return !outcome;
         }
@@ -294,7 +299,9 @@ impl QuantumBackend for NoisyStabilizerBackend {
 /// on every measurement until an active reset returns it to |0⟩.
 ///
 /// Only `p_leak` is *sampled* here (the other rates of the model are
-/// scored analytically by [`NoiseModel::infidelity`]; flipping an
+/// scored analytically by
+/// [`NoiseModel::infidelity`](hisq_quantum::NoiseModel::infidelity);
+/// flipping an
 /// already-fair coin would not change the outcome distribution). Leak
 /// draws come from a seeded [`NoiseStream`] separate from the outcome
 /// RNG, and are taken for every opportunity regardless of the qubit's
@@ -320,7 +327,7 @@ impl QuantumBackend for NoisyStabilizerBackend {
 pub struct LeakyRandomBackend {
     rng: StdRng,
     p_one: f64,
-    noise: NoiseModel,
+    noise: NoiseMap,
     stream: NoiseStream,
     /// Currently-leaked qubits; membership alone encodes the sticky
     /// `1` readout.
@@ -330,19 +337,21 @@ pub struct LeakyRandomBackend {
 impl LeakyRandomBackend {
     /// Creates a seeded leaky backend (`p_one` = probability an
     /// unleaked measurement returns 1, as in [`RandomBackend`]).
-    pub fn new(seed: u64, p_one: f64, noise: NoiseModel) -> LeakyRandomBackend {
+    /// `noise` accepts a plain [`NoiseModel`](hisq_quantum::NoiseModel)
+    /// (a uniform map) or a [`NoiseMap`] with per-qubit overrides.
+    pub fn new(seed: u64, p_one: f64, noise: impl Into<NoiseMap>) -> LeakyRandomBackend {
         LeakyRandomBackend {
             rng: StdRng::seed_from_u64(seed),
             p_one: p_one.clamp(0.0, 1.0),
-            noise,
+            noise: noise.into(),
             stream: NoiseStream::new(seed),
             leaked: BTreeSet::new(),
         }
     }
 
-    /// The configured noise model.
-    pub fn noise(&self) -> NoiseModel {
-        self.noise
+    /// The configured per-qubit noise map.
+    pub fn noise(&self) -> &NoiseMap {
+        &self.noise
     }
 
     /// `true` if `qubit` is currently leaked.
@@ -366,7 +375,7 @@ impl QuantumBackend for LeakyRandomBackend {
             // Draw for every operand — even already-leaked ones — so
             // the stream position depends only on the gate sequence,
             // which is what couples runs at different p_leak values.
-            if self.stream.bernoulli(self.noise.p_leak) {
+            if self.stream.bernoulli(self.noise.model_for(q).p_leak) {
                 self.leaked.insert(q);
             }
         }
@@ -387,6 +396,7 @@ impl QuantumBackend for LeakyRandomBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hisq_quantum::NoiseModel;
 
     #[test]
     fn random_backend_is_seed_deterministic() {

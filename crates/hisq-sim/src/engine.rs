@@ -17,7 +17,7 @@ use std::mem;
 
 use hisq_core::{BlockReason, NodeAddr, Status, MEAS_FIFO_ADDR};
 use hisq_isa::CYCLE_NS;
-use hisq_net::{LinkModel, Payload, RouterAction, Topology};
+use hisq_net::{FabricMap, LinkModel, Payload, RouterAction, Topology};
 use hisq_quantum::{ExposureLedger, OpCounts};
 
 use crate::backend::QuantumBackend;
@@ -123,11 +123,21 @@ pub struct System {
     tree_parent: Vec<NodeAddr>,
     topology: Option<Topology>,
     backend: Box<dyn QuantumBackend>,
-    /// The contention model every directed link runs (transparent by
-    /// default: no queue bookkeeping, pure `sent_at + latency` sends).
-    link_model: LinkModel,
+    /// The contention model a directed link runs unless overridden
+    /// (transparent by default: no queue bookkeeping, pure
+    /// `sent_at + latency` sends).
+    link_default: LinkModel,
+    /// Per-edge link-model overrides, resolved to directed arena-id
+    /// pairs at build time (overrides naming unregistered addresses are
+    /// dropped — they can never carry traffic). Empty for a uniform
+    /// fabric, so the hot path is one `is_empty` check.
+    edge_models: BTreeMap<(NodeId, NodeId), LinkModel>,
+    /// Precomputed [`FabricMap::is_transparent`]: `true` iff every edge
+    /// (default and overrides) is transparent, enabling the historical
+    /// no-bookkeeping send path.
+    fabric_transparent: bool,
     /// Busy-until queues of the contended links, keyed by the directed
-    /// `(from, to)` arena-id pair. Empty while the model is transparent.
+    /// `(from, to)` arena-id pair. Empty while the fabric is transparent.
     link_queues: BTreeMap<(NodeId, NodeId), LinkQueue>,
 
     /// The future-event queue: the production calendar queue, or the
@@ -155,6 +165,11 @@ pub struct System {
     /// Committed quantum operations, counted where exposure is recorded
     /// (the denominators of the analytic gate-error scoring).
     quantum_ops: OpCounts,
+    /// Per-qubit operation counts, grown on demand. Unlike the global
+    /// counts, `gates_2q` here counts **operand occurrences** (a CX
+    /// bumps both operands), which is what the per-qubit
+    /// [`NoiseMap`](hisq_quantum::NoiseMap) scoring charges.
+    ops_by_qubit: Vec<OpCounts>,
     events_processed: u64,
 }
 
@@ -177,9 +192,24 @@ impl System {
         controller_ids: Vec<NodeId>,
         topology: Option<Topology>,
         backend: Box<dyn QuantumBackend>,
-        link_model: LinkModel,
+        fabric: FabricMap,
         mut scratch: Scratch,
     ) -> System {
+        let fabric_transparent = fabric.is_transparent();
+        let link_default = fabric.default_model();
+        let mut edge_models = BTreeMap::new();
+        for (from, to, model) in fabric.overrides() {
+            let resolve = |addr: NodeAddr| {
+                arena
+                    .addr_to_id
+                    .get(addr as usize)
+                    .copied()
+                    .filter(|&id| id != NodeId::MAX)
+            };
+            if let (Some(from_id), Some(to_id)) = (resolve(from), resolve(to)) {
+                edge_models.insert((from_id, to_id), model);
+            }
+        }
         let mut tree_parent = mem::take(&mut scratch.arena.tree_parent);
         debug_assert!(tree_parent.is_empty());
         match &topology {
@@ -216,7 +246,9 @@ impl System {
             tree_parent,
             topology,
             backend,
-            link_model,
+            link_default,
+            edge_models,
+            fabric_transparent,
             link_queues: BTreeMap::new(),
             queue: EngineQueue::Calendar(scratch.events),
             gate_queue: EngineQueue::Calendar(scratch.gates),
@@ -231,6 +263,7 @@ impl System {
             routing_warnings: 0,
             exposure: ExposureLedger::new(),
             quantum_ops: OpCounts::default(),
+            ops_by_qubit: Vec::new(),
             events_processed: 0,
         }
     }
@@ -284,6 +317,24 @@ impl System {
     /// scoring of [`hisq_quantum::NoiseModel`]).
     pub fn quantum_ops(&self) -> OpCounts {
         self.quantum_ops
+    }
+
+    /// Per-qubit committed operation counts, indexed by qubit (qubits
+    /// past the highest one touched are absent). Unlike
+    /// [`System::quantum_ops`], the `gates_2q` field counts **operand
+    /// occurrences** — a two-qubit gate bumps both operands, so the sum
+    /// over qubits is twice the global gate count — matching what
+    /// [`hisq_quantum::NoiseMap`] scoring charges per qubit.
+    pub fn quantum_ops_by_qubit(&self) -> &[OpCounts] {
+        &self.ops_by_qubit
+    }
+
+    /// The per-qubit counter for `qubit`, grown on demand.
+    fn qubit_ops_mut(&mut self, qubit: usize) -> &mut OpCounts {
+        if self.ops_by_qubit.len() <= qubit {
+            self.ops_by_qubit.resize(qubit + 1, OpCounts::default());
+        }
+        &mut self.ops_by_qubit[qubit]
     }
 
     /// Read-only access to the quantum backend.
@@ -402,7 +453,10 @@ impl System {
         sent_at: u64,
         latency: u64,
     ) {
-        if self.link_model.is_transparent() || matches!(payload, Payload::SyncPulse) {
+        if self.fabric_transparent
+            || matches!(payload, Payload::SyncPulse)
+            || self.edge_model(queue_key).is_transparent()
+        {
             let from_addr = self.addrs[from as usize];
             self.push_event(
                 sent_at + latency,
@@ -415,6 +469,19 @@ impl System {
             return;
         }
         self.transmit(queue_key, to, payload, sent_at, latency, 1);
+    }
+
+    /// The contention model of the directed link behind `key`: its
+    /// per-edge override if one exists, else the fabric default. With
+    /// no overrides (the uniform fabric) this is one `is_empty` branch.
+    fn edge_model(&self, key: (NodeId, NodeId)) -> LinkModel {
+        if self.edge_models.is_empty() {
+            return self.link_default;
+        }
+        self.edge_models
+            .get(&key)
+            .copied()
+            .unwrap_or(self.link_default)
     }
 
     /// One transmission attempt on a contended link: acquire a
@@ -437,10 +504,11 @@ impl System {
         // its shared egress.
         let from_addr = self.addrs[queue_key.0 as usize];
         let to_addr = self.addrs[to as usize];
-        let hold = self.link_model.serialization_ns.div_ceil(CYCLE_NS);
+        let model = self.edge_model(queue_key);
+        let hold = model.serialization_ns.div_ceil(CYCLE_NS);
         let droppable = matches!(payload, Payload::Classical { .. });
-        let drop_policy = self.link_model.drop.filter(|_| droppable);
-        let capacity = self.link_model.capacity;
+        let drop_policy = model.drop.filter(|_| droppable);
+        let capacity = model.capacity;
         enum Outcome {
             Deliver(u64),
             Resend(u64),
@@ -614,14 +682,21 @@ impl System {
             match bound {
                 Bound::Gate(gate, qubits) => {
                     let duration = self.config.durations.gate_ns(gate);
+                    let single = gate.arity() == 1;
                     for &q in qubits.as_slice() {
                         self.exposure.record_span(
                             q,
                             commit.cycle * CYCLE_NS,
                             commit.cycle * CYCLE_NS + duration,
                         );
+                        let per_qubit = self.qubit_ops_mut(q);
+                        if single {
+                            per_qubit.gates_1q += 1;
+                        } else {
+                            per_qubit.gates_2q += 1;
+                        }
                     }
-                    if gate.arity() == 1 {
+                    if single {
                         self.quantum_ops.gates_1q += 1;
                     } else {
                         self.quantum_ops.gates_2q += 1;
@@ -640,6 +715,7 @@ impl System {
                         commit.cycle * CYCLE_NS + duration,
                     );
                     self.quantum_ops.resets += 1;
+                    self.qubit_ops_mut(qubit).resets += 1;
                     self.replay(commit.cycle, ReplayAction::Reset(qubit));
                 }
                 Bound::MeasPort {
@@ -685,6 +761,7 @@ impl System {
             (trigger_cycle + result_latency) * CYCLE_NS,
         );
         self.quantum_ops.measurements += 1;
+        self.qubit_ops_mut(qubit).measurements += 1;
         self.push_event(
             trigger_cycle + result_latency,
             EventKind::MeasResolve {

@@ -12,9 +12,10 @@
 use hisq_core::{NodeAddr, NodeConfig};
 use hisq_isa::Inst;
 use hisq_json::{Json, JsonError, ObjReader};
+use hisq_net::json::{edge_override_from_json, edge_override_to_json};
 use hisq_net::{LinkModel, Router, Topology};
 use hisq_quantum::gate::Gate;
-use hisq_quantum::noise::NoiseModel;
+use hisq_quantum::noise::NoiseMap;
 use hisq_quantum::timing::GateDurations;
 
 use crate::config::SimConfig;
@@ -144,12 +145,12 @@ impl BackendSpec {
                     .required("qubits")?
                     .as_usize(&obj.field_path("qubits"))?,
                 seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
-                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+                noise: NoiseMap::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
             },
             "leaky" => BackendSpec::Leaky {
                 seed: obj.required("seed")?.as_u64(&obj.field_path("seed"))?,
                 p_one: obj.required("p_one")?.as_f64(&obj.field_path("p_one"))?,
-                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+                noise: NoiseMap::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
             },
             other => {
                 return Err(JsonError::decode(
@@ -379,7 +380,7 @@ impl SystemSpec {
                 Json::Object(fields)
             })
             .collect();
-        Ok(Json::Object(vec![
+        let mut fields = vec![
             ("config".into(), self.config.to_json()),
             ("backend".into(), self.backend.to_json()),
             ("controllers".into(), Json::Array(controllers)),
@@ -395,10 +396,24 @@ impl SystemSpec {
                     None => Json::Null,
                 },
             ),
-            ("link_model".into(), self.link_model.to_json()),
-            ("bindings".into(), Json::Array(bindings)),
-            ("meas_ports".into(), Json::Array(meas_ports)),
-        ]))
+            ("link_model".into(), self.fabric.default_model().to_json()),
+        ];
+        // Per-edge overrides only appear when the fabric is
+        // heterogeneous, so uniform specs keep the historical shape.
+        if !self.fabric.is_uniform() {
+            fields.push((
+                "link_overrides".into(),
+                Json::Array(
+                    self.fabric
+                        .overrides()
+                        .map(|(from, to, model)| edge_override_to_json(from, to, &model))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("bindings".into(), Json::Array(bindings)));
+        fields.push(("meas_ports".into(), Json::Array(meas_ports)));
+        Ok(Json::Object(fields))
     }
 
     /// Parses a spec serialized by [`SystemSpec::to_json`]. Every
@@ -471,7 +486,23 @@ impl SystemSpec {
             }
         }
         if let Some(v) = obj.optional("link_model") {
-            spec.link_model = LinkModel::from_json(v, &obj.field_path("link_model"))?;
+            spec.fabric
+                .set_default(LinkModel::from_json(v, &obj.field_path("link_model"))?);
+        }
+        if let Some(v) = obj.optional("link_overrides") {
+            let list_path = obj.field_path("link_overrides");
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let (from, to, model) = edge_override_from_json(entry, &entry_path)?;
+                if !seen.insert((from, to)) {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate override for edge {from} -> {to}"),
+                    ));
+                }
+                spec.fabric.set_edge(from, to, model);
+            }
         }
         if let Some(v) = obj.optional("bindings") {
             let list_path = obj.field_path("bindings");
@@ -527,6 +558,7 @@ mod tests {
     use super::*;
     use hisq_isa::Assembler;
     use hisq_net::TopologyBuilder;
+    use hisq_quantum::noise::NoiseModel;
 
     fn asm(src: &str) -> Vec<Inst> {
         Assembler::new().assemble(src).unwrap().insts().to_vec()
@@ -548,7 +580,7 @@ mod tests {
         spec.backend(BackendSpec::Leaky {
             seed: 7,
             p_one: 0.5,
-            noise: NoiseModel::NOISELESS.with_leak(1e-3),
+            noise: NoiseModel::NOISELESS.with_leak(1e-3).into(),
         });
         spec.hub(
             9,
@@ -621,12 +653,12 @@ mod tests {
             BackendSpec::NoisyStabilizer {
                 qubits: 8,
                 seed: 5,
-                noise: NoiseModel::NOISELESS.with_gate_errors(1e-3, 1e-2),
+                noise: NoiseModel::NOISELESS.with_gate_errors(1e-3, 1e-2).into(),
             },
             BackendSpec::Leaky {
                 seed: u64::MAX,
                 p_one: 0.5,
-                noise: NoiseModel::NOISELESS.with_leak(2e-3),
+                noise: NoiseModel::NOISELESS.with_leak(2e-3).into(),
             },
         ] {
             let text = backend.to_json().to_string_compact();

@@ -110,8 +110,8 @@ pub use backend::{
 };
 pub use config::{LinkReport, SimConfig, SimError, SimReport};
 pub use engine::System;
-pub use hisq_net::{DropPolicy, LinkModel, RouterError};
-pub use hisq_quantum::{NoiseModel, OpCounts};
+pub use hisq_net::{DropPolicy, FabricMap, LinkModel, RouterError};
+pub use hisq_quantum::{NoiseMap, NoiseModel, OpCounts};
 pub use nodes::{Hub, MeasBinding, QuantumAction};
 pub use queue::{CalendarQueue, EngineQueue, EventQueue, HeapQueue};
 pub use spec::{BackendSpec, SystemSpec};

@@ -41,7 +41,7 @@ use std::collections::BTreeMap;
 
 use hisq_core::{NodeAddr, NodeConfig};
 use hisq_isa::Inst;
-use hisq_net::{LinkModel, Router, Topology};
+use hisq_net::{FabricMap, LinkModel, Router, Topology};
 
 use crate::backend::{
     FixedBackend, LeakyRandomBackend, NoisyStabilizerBackend, QuantumBackend, RandomBackend,
@@ -86,30 +86,31 @@ pub enum BackendSpec {
     /// Stabilizer simulation with sampled Pauli gate noise and readout
     /// flips (see
     /// [`NoisyStabilizerBackend`]). With
-    /// `noise == NoiseModel::default()` this is byte-identical to
+    /// `noise == NoiseMap::default()` this is byte-identical to
     /// [`BackendSpec::Stabilizer`] at the same seed.
     NoisyStabilizer {
         /// Number of simulated qubits.
         qubits: usize,
         /// RNG seed (measurement outcomes and channel sampling).
         seed: u64,
-        /// Per-operation error rates.
-        noise: hisq_quantum::NoiseModel,
+        /// Per-operation error rates: a uniform default plus per-qubit
+        /// overrides (a plain `NoiseModel` converts into a uniform
+        /// map).
+        noise: hisq_quantum::NoiseMap,
     },
     /// Seeded random outcomes with sticky leakage (see
     /// [`LeakyRandomBackend`]). With
-    /// `noise == NoiseModel::default()` this is byte-identical to
+    /// `noise == NoiseMap::default()` this is byte-identical to
     /// [`BackendSpec::Random`] at the same seed.
     Leaky {
         /// RNG seed.
         seed: u64,
         /// Probability an unleaked measurement returns `1`.
         p_one: f64,
-        /// Per-operation error rates (only `p_leak` is sampled here;
-        /// the rest feed the analytic
-        /// [`NoiseModel::infidelity`](hisq_quantum::NoiseModel::infidelity)
-        /// scoring).
-        noise: hisq_quantum::NoiseModel,
+        /// Per-operation error rates (only each qubit's `p_leak` is
+        /// sampled here; the rest feed the analytic
+        /// [`NoiseModel`](hisq_quantum::NoiseModel) scoring).
+        noise: hisq_quantum::NoiseMap,
     },
 }
 
@@ -125,22 +126,22 @@ impl Default for BackendSpec {
 
 impl BackendSpec {
     fn instantiate(&self) -> Box<dyn QuantumBackend> {
-        match *self {
-            BackendSpec::Random { seed, p_one } => Box::new(RandomBackend::new(seed, p_one)),
-            BackendSpec::Fixed { outcome } => Box::new(FixedBackend::new(outcome)),
+        match self {
+            BackendSpec::Random { seed, p_one } => Box::new(RandomBackend::new(*seed, *p_one)),
+            BackendSpec::Fixed { outcome } => Box::new(FixedBackend::new(*outcome)),
             BackendSpec::Stabilizer { qubits, seed } => {
-                Box::new(StabilizerBackend::new(qubits, seed))
+                Box::new(StabilizerBackend::new(*qubits, *seed))
             }
             BackendSpec::StateVector { qubits, seed } => {
-                Box::new(StateVectorBackend::new(qubits, seed))
+                Box::new(StateVectorBackend::new(*qubits, *seed))
             }
             BackendSpec::NoisyStabilizer {
                 qubits,
                 seed,
                 noise,
-            } => Box::new(NoisyStabilizerBackend::new(qubits, seed, noise)),
+            } => Box::new(NoisyStabilizerBackend::new(*qubits, *seed, noise.clone())),
             BackendSpec::Leaky { seed, p_one, noise } => {
-                Box::new(LeakyRandomBackend::new(seed, p_one, noise))
+                Box::new(LeakyRandomBackend::new(*seed, *p_one, noise.clone()))
             }
         }
     }
@@ -157,7 +158,7 @@ pub struct SystemSpec {
     pub(crate) routers: Vec<Router>,
     pub(crate) hubs: Vec<(NodeAddr, Hub)>,
     pub(crate) topology: Option<Topology>,
-    pub(crate) link_model: LinkModel,
+    pub(crate) fabric: FabricMap,
     pub(crate) bindings: Vec<(NodeAddr, u32, u32, QuantumAction)>,
     pub(crate) meas_ports: Vec<(NodeAddr, u32, MeasBinding)>,
 }
@@ -194,7 +195,7 @@ impl SystemSpec {
             spec.controller(config, program);
         }
         spec.topology = Some(topology.clone());
-        spec.link_model = topology.link_model();
+        spec.fabric = topology.fabric().clone();
         spec
     }
 
@@ -214,24 +215,40 @@ impl SystemSpec {
     /// Attaches the topology used for multi-hop latency derivation
     /// (pre-set by [`SystemSpec::from_topology`]).
     ///
-    /// A contention model configured on the topology
-    /// ([`TopologyBuilder::link_model`](hisq_net::TopologyBuilder::link_model))
-    /// is adopted — call [`SystemSpec::link_model`] *after* this to
-    /// override it.
+    /// A contention fabric configured on the topology
+    /// ([`TopologyBuilder::link_model`](hisq_net::TopologyBuilder::link_model)
+    /// /
+    /// [`TopologyBuilder::link_model_for`](hisq_net::TopologyBuilder::link_model_for))
+    /// is adopted — call [`SystemSpec::link_model`] or
+    /// [`SystemSpec::link_model_for`] *after* this to override it.
     pub fn topology(&mut self, topology: Topology) -> &mut Self {
-        if topology.link_model() != LinkModel::default() {
-            self.link_model = topology.link_model();
+        if *topology.fabric() != FabricMap::default() {
+            self.fabric = topology.fabric().clone();
         }
         self.topology = Some(topology);
         self
     }
 
-    /// Replaces the contention model every directed link runs (default:
-    /// the transparent pure-latency model; pre-set from the topology's
-    /// model by [`SystemSpec::from_topology`]).
+    /// Replaces the contention model every directed link runs by
+    /// default (the transparent pure-latency model unless overridden;
+    /// pre-set from the topology's fabric by
+    /// [`SystemSpec::from_topology`]). Per-edge overrides set earlier
+    /// are kept unless they now equal the new default.
     pub fn link_model(&mut self, model: LinkModel) -> &mut Self {
-        self.link_model = model;
+        self.fabric.set_default(model);
         self
+    }
+
+    /// Overrides the contention model of one directed link `from → to`
+    /// (see [`FabricMap::set_edge`]).
+    pub fn link_model_for(&mut self, from: NodeAddr, to: NodeAddr, model: LinkModel) -> &mut Self {
+        self.fabric.set_edge(from, to, model);
+        self
+    }
+
+    /// The per-edge contention fabric the built system will run.
+    pub fn fabric(&self) -> &FabricMap {
+        &self.fabric
     }
 
     /// Adds a controller node running `program`.
@@ -398,7 +415,7 @@ impl SystemSpec {
             controller_ids,
             self.topology,
             self.backend.instantiate(),
-            self.link_model,
+            self.fabric,
             scratch,
         ))
     }

@@ -48,6 +48,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use hisq_compiler::fabric::{apply_placement, plan_placement, FabricCosts};
 use hisq_compiler::{
     compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
     LockstepOptions, Scheme, PORT_READOUT,
@@ -55,8 +56,9 @@ use hisq_compiler::{
 use hisq_core::{NodeAddr, NodeConfig};
 use hisq_isa::CYCLE_NS;
 use hisq_json::{Json, JsonError, ObjReader};
-use hisq_net::{LinkModel, Topology, TopologyBuilder};
-use hisq_quantum::{CoherenceParams, ExposureLedger, NoiseModel};
+use hisq_net::json::{edge_override_from_json, edge_override_to_json};
+use hisq_net::{FabricMap, LinkModel, Topology, TopologyBuilder};
+use hisq_quantum::{CoherenceParams, ExposureLedger, NoiseMap, NoiseModel};
 use hisq_sim::{
     BackendSpec, Hub, QuantumAction, QuantumBackend, SimError, SimReport, SweepRecord, SweepReport,
     SweepRunner, System, SystemSpec,
@@ -351,7 +353,12 @@ pub fn run_compiled(
 /// ([`SwapWorkload`](SurgeryOp::SwapWorkload),
 /// [`OverrideLinkModel`](SurgeryOp::OverrideLinkModel),
 /// [`OverrideNoise`](SurgeryOp::OverrideNoise)) replace the
-/// corresponding scenario field. Ops apply in list order.
+/// corresponding scenario field, and the heat ops
+/// ([`HeatEdge`](SurgeryOp::HeatEdge),
+/// [`HeatQubit`](SurgeryOp::HeatQubit)) push one per-edge/per-qubit
+/// override on top of whatever the parameters declare (see
+/// [`effective_maps`] for the resolution order). Ops apply in list
+/// order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SurgeryOp {
     /// Remove the bottom router level, splicing its children into
@@ -383,6 +390,49 @@ pub enum SurgeryOp {
         /// The replacement model.
         noise: NoiseModel,
     },
+    /// Heat one directed fabric edge: run `link_model` on the
+    /// `from → to` link while every other link keeps the scenario's
+    /// default — "the same machine, with one degraded cable".
+    HeatEdge {
+        /// Source endpoint of the heated link.
+        from: NodeAddr,
+        /// Destination endpoint of the heated link.
+        to: NodeAddr,
+        /// The model the heated link runs.
+        link_model: LinkModel,
+    },
+    /// Heat one physical qubit: score (and sample) `noise` on that
+    /// qubit while every other qubit keeps the scenario's default —
+    /// "the same device, with one lossy transmon".
+    HeatQubit {
+        /// The heated physical qubit (= controller index).
+        qubit: usize,
+        /// The model the heated qubit runs.
+        noise: NoiseModel,
+    },
+}
+
+/// Short stable rendering of a [`LinkModel`] for scenario-id segments:
+/// `serN.cK[.lossPPM.sSEED.aATTEMPTS]`.
+fn link_model_fragment(model: &LinkModel) -> String {
+    let mut frag = format!("ser{}.c{}", model.serialization_ns, model.capacity);
+    if let Some(drop) = model.drop {
+        frag.push_str(&format!(
+            ".loss{}.s{}.a{}",
+            drop.loss_ppm, drop.seed, drop.max_attempts
+        ));
+    }
+    frag
+}
+
+/// Short stable rendering of a [`NoiseModel`] for scenario-id segments:
+/// `p1qA.p2qB.mC.iD.lE` (every rate, so grid points along any noise
+/// axis stay unique).
+fn noise_fragment(noise: &NoiseModel) -> String {
+    format!(
+        "p1q{}.p2q{}.m{}.i{}.l{}",
+        noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
+    )
 }
 
 impl SurgeryOp {
@@ -396,22 +446,17 @@ impl SurgeryOp {
             } => format!("rewire{subtree}-{new_parent}"),
             SurgeryOp::SwapWorkload { workload } => format!("swap-{}", workload.label()),
             SurgeryOp::OverrideLinkModel { link_model } => {
-                let mut frag = format!(
-                    "lm-ser{}.c{}",
-                    link_model.serialization_ns, link_model.capacity
-                );
-                if let Some(drop) = link_model.drop {
-                    frag.push_str(&format!(
-                        ".loss{}.s{}.a{}",
-                        drop.loss_ppm, drop.seed, drop.max_attempts
-                    ));
-                }
-                frag
+                format!("lm-{}", link_model_fragment(link_model))
             }
-            SurgeryOp::OverrideNoise { noise } => format!(
-                "noise-p1q{}.p2q{}.m{}.i{}.l{}",
-                noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
-            ),
+            SurgeryOp::OverrideNoise { noise } => format!("noise-{}", noise_fragment(noise)),
+            SurgeryOp::HeatEdge {
+                from,
+                to,
+                link_model,
+            } => format!("heatedge{from}-{to}.{}", link_model_fragment(link_model)),
+            SurgeryOp::HeatQubit { qubit, noise } => {
+                format!("heatqubit{qubit}.{}", noise_fragment(noise))
+            }
         }
     }
 
@@ -440,6 +485,21 @@ impl SurgeryOp {
             ]),
             SurgeryOp::OverrideNoise { noise } => Json::Object(vec![
                 ("op".into(), Json::str("override_noise")),
+                ("noise".into(), noise.to_json()),
+            ]),
+            SurgeryOp::HeatEdge {
+                from,
+                to,
+                link_model,
+            } => Json::Object(vec![
+                ("op".into(), Json::str("heat_edge")),
+                ("from".into(), (*from).into()),
+                ("to".into(), (*to).into()),
+                ("link_model".into(), link_model.to_json()),
+            ]),
+            SurgeryOp::HeatQubit { qubit, noise } => Json::Object(vec![
+                ("op".into(), Json::str("heat_qubit")),
+                ("qubit".into(), (*qubit).into()),
                 ("noise".into(), noise.to_json()),
             ]),
         }
@@ -480,13 +540,25 @@ impl SurgeryOp {
             "override_noise" => SurgeryOp::OverrideNoise {
                 noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
             },
+            "heat_edge" => SurgeryOp::HeatEdge {
+                from: obj.required("from")?.as_u16(&obj.field_path("from"))?,
+                to: obj.required("to")?.as_u16(&obj.field_path("to"))?,
+                link_model: LinkModel::from_json(
+                    obj.required("link_model")?,
+                    &obj.field_path("link_model"),
+                )?,
+            },
+            "heat_qubit" => SurgeryOp::HeatQubit {
+                qubit: obj.required("qubit")?.as_usize(&obj.field_path("qubit"))?,
+                noise: NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?,
+            },
             other => {
                 return Err(JsonError::decode(
                     tag_path,
                     format!(
                         "unknown surgery op \"{other}\" (expected \"drop_router_level\", \
-                         \"rewire_subtree\", \"swap_workload\", \"override_link_model\", or \
-                         \"override_noise\")"
+                         \"rewire_subtree\", \"swap_workload\", \"override_link_model\", \
+                         \"override_noise\", \"heat_edge\", or \"heat_qubit\")"
                     ),
                 ))
             }
@@ -496,11 +568,86 @@ impl SurgeryOp {
     }
 }
 
+/// One per-directed-edge link-model override of a scenario's fabric:
+/// the `from → to` link runs `link_model` while every other link keeps
+/// the scenario default. The scenario-grammar form is
+/// `{"from": a, "to": b, "model": {...}}` (the same shape
+/// [`SystemSpec`]'s `link_overrides` field uses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkOverride {
+    /// Source endpoint of the overridden link.
+    pub from: NodeAddr,
+    /// Destination endpoint of the overridden link.
+    pub to: NodeAddr,
+    /// The model that directed link runs.
+    pub link_model: LinkModel,
+}
+
+impl LinkOverride {
+    /// Serializes the override as `{"from": a, "to": b, "model": {...}}`.
+    pub fn to_json(&self) -> Json {
+        edge_override_to_json(self.from, self.to, &self.link_model)
+    }
+
+    /// Parses an override serialized by [`LinkOverride::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields or
+    /// a malformed model.
+    pub fn from_json(value: &Json, path: &str) -> Result<LinkOverride, JsonError> {
+        let (from, to, link_model) = edge_override_from_json(value, path)?;
+        Ok(LinkOverride {
+            from,
+            to,
+            link_model,
+        })
+    }
+}
+
+/// One per-qubit noise-model override of a scenario's device: physical
+/// qubit `qubit` runs `noise` while every other qubit keeps the
+/// scenario default. The scenario-grammar form is
+/// `{"qubit": q, "noise": {...}}` (the same shape [`NoiseMap`]'s
+/// `overrides` entries use).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseOverride {
+    /// The overridden physical qubit (= controller index).
+    pub qubit: usize,
+    /// The model that qubit runs.
+    pub noise: NoiseModel,
+}
+
+impl NoiseOverride {
+    /// Serializes the override as `{"qubit": q, "noise": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("qubit".into(), self.qubit.into()),
+            ("noise".into(), self.noise.to_json()),
+        ])
+    }
+
+    /// Parses an override serialized by [`NoiseOverride::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] at `path` for missing/unknown fields or
+    /// a malformed model.
+    pub fn from_json(value: &Json, path: &str) -> Result<NoiseOverride, JsonError> {
+        let mut obj = ObjReader::new(value, path)?;
+        let qubit = obj.required("qubit")?.as_usize(&obj.field_path("qubit"))?;
+        let noise = NoiseModel::from_json(obj.required("noise")?, &obj.field_path("noise"))?;
+        obj.reject_unknown()?;
+        Ok(NoiseOverride { qubit, noise })
+    }
+}
+
 /// System-level parameters of a scenario: the mesh/tree link latencies
 /// the BISP topology is built with, the star latencies of the
-/// lock-step baseline's broadcast hub, and the classical-link and
-/// quantum-noise models both schemes run under.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// lock-step baseline's broadcast hub, the classical-link and
+/// quantum-noise models both schemes run under, and the heterogeneous
+/// per-edge/per-qubit overrides on top of those defaults.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemParams {
     /// Mesh-edge latency between neighbouring controllers (cycles).
     pub neighbor_latency: u64,
@@ -524,6 +671,24 @@ pub struct SystemParams {
     /// `noise_infidelity` metric scored from the committed operation
     /// counts and the exposure ledger (`fig_noise`'s metric).
     pub noise: NoiseModel,
+    /// Per-directed-edge overrides of [`link_model`](Self::link_model)
+    /// (default: none — a uniform fabric, byte-identical to the
+    /// historical single-model path). Later entries for the same edge
+    /// win; an entry equal to the default is a no-op.
+    pub link_overrides: Vec<LinkOverride>,
+    /// Per-qubit overrides of [`noise`](Self::noise) (default: none — a
+    /// uniform device). Later entries for the same qubit win; an entry
+    /// equal to the default is a no-op. Any override (even on an
+    /// otherwise noiseless device) switches the backend to the
+    /// leakage-aware one and enables the noise metrics.
+    pub noise_overrides: Vec<NoiseOverride>,
+    /// When `true`, the BISP compile stage reads the effective fabric
+    /// and noise maps and places the circuit to avoid heated edges and
+    /// qubits (see [`hisq_compiler::fabric`]); when `false` (the
+    /// default) compilation is fabric-oblivious, exactly the historical
+    /// pipeline. Lock-step compilation has no placement freedom and
+    /// ignores the flag.
+    pub fabric_aware: bool,
 }
 
 impl Default for SystemParams {
@@ -539,15 +704,21 @@ impl Default for SystemParams {
             star_down_latency: 25,
             link_model: LinkModel::default(),
             noise: NoiseModel::NOISELESS,
+            link_overrides: Vec::new(),
+            noise_overrides: Vec::new(),
+            fabric_aware: false,
         }
     }
 }
 
 impl SystemParams {
-    /// Serializes the parameters (every field explicit, so a committed
-    /// scenario documents its full configuration).
+    /// Serializes the parameters (every scalar field explicit, so a
+    /// committed scenario documents its full configuration; the
+    /// override lists and the `fabric_aware` flag are omitted when
+    /// empty/false, so uniform-fabric scenarios render exactly as they
+    /// always have).
     pub fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("neighbor_latency".into(), self.neighbor_latency.into()),
             ("router_latency".into(), self.router_latency.into()),
             ("router_arity".into(), self.router_arity.into()),
@@ -555,7 +726,33 @@ impl SystemParams {
             ("star_down_latency".into(), self.star_down_latency.into()),
             ("link_model".into(), self.link_model.to_json()),
             ("noise".into(), self.noise.to_json()),
-        ])
+        ];
+        if !self.link_overrides.is_empty() {
+            fields.push((
+                "link_overrides".into(),
+                Json::Array(
+                    self.link_overrides
+                        .iter()
+                        .map(LinkOverride::to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.noise_overrides.is_empty() {
+            fields.push((
+                "noise_overrides".into(),
+                Json::Array(
+                    self.noise_overrides
+                        .iter()
+                        .map(NoiseOverride::to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        if self.fabric_aware {
+            fields.push(("fabric_aware".into(), true.into()));
+        }
+        Json::Object(fields)
     }
 
     /// Parses parameters serialized by [`SystemParams::to_json`].
@@ -594,6 +791,39 @@ impl SystemParams {
         }
         if let Some(v) = obj.optional("noise") {
             params.noise = NoiseModel::from_json(v, &obj.field_path("noise"))?;
+        }
+        if let Some(v) = obj.optional("link_overrides") {
+            let list_path = obj.field_path("link_overrides");
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let over = LinkOverride::from_json(entry, &entry_path)?;
+                if !seen.insert((over.from, over.to)) {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate override for edge {} -> {}", over.from, over.to),
+                    ));
+                }
+                params.link_overrides.push(over);
+            }
+        }
+        if let Some(v) = obj.optional("noise_overrides") {
+            let list_path = obj.field_path("noise_overrides");
+            let mut seen = std::collections::BTreeSet::new();
+            for (i, entry) in v.as_array(&list_path)?.iter().enumerate() {
+                let entry_path = format!("{list_path}[{i}]");
+                let over = NoiseOverride::from_json(entry, &entry_path)?;
+                if !seen.insert(over.qubit) {
+                    return Err(JsonError::decode(
+                        entry_path,
+                        format!("duplicate override for qubit {}", over.qubit),
+                    ));
+                }
+                params.noise_overrides.push(over);
+            }
+        }
+        if let Some(v) = obj.optional("fabric_aware") {
+            params.fabric_aware = v.as_bool(&obj.field_path("fabric_aware"))?;
         }
         obj.reject_unknown()?;
         Ok(params)
@@ -686,6 +916,10 @@ impl Scenario {
     /// stay unique. A non-default noise model likewise appends a
     /// `/p1qA.p2qB.mC.iD.lE` segment covering every [`NoiseModel`]
     /// rate, so grid points along any noise axis stay unique too.
+    /// Heterogeneous scenarios append one `/loF-T.<link frag>` segment
+    /// per link override, one `/noQ.<noise frag>` segment per noise
+    /// override, and `/aware` when fabric-aware compilation is on —
+    /// all absent on uniform fabrics, keeping historical ids intact.
     pub fn id(&self) -> String {
         let scheme = match self.scheme {
             Scheme::Bisp => "bisp",
@@ -704,23 +938,32 @@ impl Scenario {
         }
         let model = self.params.link_model;
         if model != LinkModel::default() {
-            id.push_str(&format!(
-                "/ser{}.c{}",
-                model.serialization_ns, model.capacity
-            ));
-            if let Some(drop) = model.drop {
-                id.push_str(&format!(
-                    ".loss{}.s{}.a{}",
-                    drop.loss_ppm, drop.seed, drop.max_attempts
-                ));
-            }
+            id.push_str(&format!("/{}", link_model_fragment(&model)));
         }
         let noise = self.params.noise;
         if !noise.is_noiseless() {
+            id.push_str(&format!("/{}", noise_fragment(&noise)));
+        }
+        // Uniform-fabric ids are unchanged from their historical form:
+        // override segments (and the `/aware` marker) only appear when
+        // the corresponding heterogeneity is actually declared.
+        for over in &self.params.link_overrides {
             id.push_str(&format!(
-                "/p1q{}.p2q{}.m{}.i{}.l{}",
-                noise.p_gate_1q, noise.p_gate_2q, noise.p_meas, noise.p_idle_per_ns, noise.p_leak
+                "/lo{}-{}.{}",
+                over.from,
+                over.to,
+                link_model_fragment(&over.link_model)
             ));
+        }
+        for over in &self.params.noise_overrides {
+            id.push_str(&format!(
+                "/no{}.{}",
+                over.qubit,
+                noise_fragment(&over.noise)
+            ));
+        }
+        if self.params.fabric_aware {
+            id.push_str("/aware");
         }
         // Surgery-free ids are unchanged from their historical form.
         for op in &self.surgery {
@@ -847,6 +1090,21 @@ impl Scenario {
             Scheme::Bisp => (0, 0),
             Scheme::Lockstep => (self.params.star_up_latency, self.params.star_down_latency),
         };
+        // Fabric-aware compilation *does* read the effective fabric and
+        // noise maps (placement depends on them), so an aware scenario
+        // keys on their canonical JSON. Oblivious scenarios keep the
+        // historical key and go on sharing artifacts across link-model
+        // and noise axes.
+        let fabric = if self.params.fabric_aware {
+            let (fabric, noise) = effective_maps(self);
+            Some(format!(
+                "{}\n{}",
+                fabric.to_json().to_string_compact(),
+                noise.to_json().to_string_compact()
+            ))
+        } else {
+            None
+        };
         CompileKey {
             workload_json: workload.to_json().to_string_compact(),
             scheme: match self.scheme {
@@ -859,17 +1117,65 @@ impl Scenario {
             router_arity: self.params.router_arity,
             star_latencies,
             topology_surgery,
+            fabric,
         }
     }
+}
+
+/// The effective heterogeneity maps of a scenario: the parameter-level
+/// defaults and override lists, with the scenario's surgery ops folded
+/// on top in list order. The resolution order is **default →
+/// per-edge/per-qubit override → surgery override**:
+/// [`SurgeryOp::OverrideLinkModel`]/[`SurgeryOp::OverrideNoise`]
+/// replace the *default* (keeping distinct per-edge/per-qubit entries),
+/// while [`SurgeryOp::HeatEdge`]/[`SurgeryOp::HeatQubit`] push one more
+/// override (last write to an edge/qubit wins).
+///
+/// This is the single source of truth both the compile stage (under
+/// fabric-aware placement) and the run stage (engine link queues,
+/// backend noise, metric gating) consume, so the two can never disagree
+/// about what fabric a scenario runs on.
+pub fn effective_maps(scenario: &Scenario) -> (FabricMap, NoiseMap) {
+    let p = &scenario.params;
+    let mut fabric = FabricMap::uniform(p.link_model);
+    for over in &p.link_overrides {
+        fabric.set_edge(over.from, over.to, over.link_model);
+    }
+    let mut noise = NoiseMap::uniform(p.noise);
+    for over in &p.noise_overrides {
+        noise.set_qubit(over.qubit, over.noise);
+    }
+    for op in &scenario.surgery {
+        match op {
+            SurgeryOp::OverrideLinkModel { link_model } => fabric.set_default(*link_model),
+            SurgeryOp::OverrideNoise { noise: model } => noise.set_default(*model),
+            SurgeryOp::HeatEdge {
+                from,
+                to,
+                link_model,
+            } => fabric.set_edge(*from, *to, *link_model),
+            SurgeryOp::HeatQubit {
+                qubit,
+                noise: model,
+            } => noise.set_qubit(*qubit, *model),
+            SurgeryOp::SwapWorkload { .. }
+            | SurgeryOp::DropRouterLevel
+            | SurgeryOp::RewireSubtree { .. } => {}
+        }
+    }
+    (fabric, noise)
 }
 
 /// The hashable identity of a scenario's compile stage (see
 /// [`Scenario::compile_key`]). Deliberately *excludes* the run-stage
 /// axes — backend seed, noise model, coherence time, and the link
-/// contention model: the compiler never reads them (the topology's
-/// embedded link model is overridden per scenario after the cached
-/// description is cloned), so scenarios differing only along those
-/// axes hash and compare equal and share one compiled artifact.
+/// contention model: the oblivious compiler never reads them (the
+/// topology's embedded link model is overridden per scenario after the
+/// cached description is cloned), so scenarios differing only along
+/// those axes hash and compare equal and share one compiled artifact.
+/// The one exception is fabric-*aware* compilation, whose placement
+/// pass does read the effective fabric/noise maps — aware scenarios
+/// additionally key on the maps' canonical encoding.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompileKey {
     /// Effective workload (post scenario surgery), in its canonical
@@ -889,6 +1195,11 @@ pub struct CompileKey {
     /// both depend on the tree they apply to, so they are part of the
     /// compile identity even when a later op fails).
     topology_surgery: Vec<TopologySurgeryKey>,
+    /// Canonical JSON of the effective fabric and noise maps when the
+    /// scenario compiles fabric-aware (placement reads them); `None`
+    /// for oblivious scenarios, which share artifacts across the
+    /// link-model and noise axes exactly as before.
+    fabric: Option<String>,
 }
 
 /// Hashable mirror of the topology-mutating [`SurgeryOp`]s.
@@ -1061,7 +1372,7 @@ fn run_scenario_with(
     cache: Option<&CompileCache>,
 ) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
-    let (mut system, artifact, p) = build_scenario_with(scenario, cache)?;
+    let (mut system, artifact, fabric, noise) = build_scenario_with(scenario, cache)?;
     let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
 
     let coherence = CoherenceParams::uniform(scenario.t1_us);
@@ -1087,7 +1398,7 @@ fn run_scenario_with(
         .with("messages", report.events_processed)
         .with("infidelity", infidelity)
         .with("all_halted", report.all_halted);
-    if p.link_model != LinkModel::default() {
+    if fabric.default_model() != LinkModel::default() || !fabric.is_uniform() {
         let messages: u64 = report.link_stats.iter().map(|l| l.messages).sum();
         record.set("link_messages", messages);
         record.set("link_retransmits", report.total_retransmits());
@@ -1097,14 +1408,22 @@ fn run_scenario_with(
             u64::from(report.peak_link_occupancy()),
         );
     }
-    if !p.noise.is_noiseless() {
+    if !noise.is_noiseless() {
         // Analytic gate-error scoring: expected infidelity from the
         // committed operation counts plus per-nanosecond idle error
-        // charged from the same exposure ledger the T1/T2 metric reads.
-        record.set(
-            "noise_infidelity",
-            p.noise.infidelity(&report.quantum_ops, &scored_exposure),
-        );
+        // charged from the same exposure ledger the T1/T2 metric
+        // reads. A uniform map scores through the exact closed-form
+        // global-count path (byte-identical to the historical single
+        // model); a heterogeneous map charges each qubit its own rates
+        // from the engine's per-qubit operation counts.
+        let noise_infidelity = if noise.is_uniform() {
+            noise
+                .default_model()
+                .infidelity(&report.quantum_ops, &scored_exposure)
+        } else {
+            noise.infidelity(system.quantum_ops_by_qubit(), &scored_exposure)
+        };
+        record.set("noise_infidelity", noise_infidelity);
         record.set("gates_1q", report.quantum_ops.gates_1q);
         record.set("gates_2q", report.quantum_ops.gates_2q);
         record.set("measurements", report.quantum_ops.measurements);
@@ -1129,7 +1448,7 @@ fn run_scenario_with(
 ///
 /// As [`run_scenario`], minus simulation-time failures.
 pub fn scenario_system(scenario: &Scenario) -> Result<System, RunnerError> {
-    build_scenario_with(scenario, None).map(|(system, _, _)| system)
+    build_scenario_with(scenario, None).map(|(system, _, _, _)| system)
 }
 
 /// The pure compile stage: everything a scenario's pipeline does
@@ -1149,7 +1468,7 @@ fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
     let built = workload
         .build()
         .ok_or_else(|| RunnerError::UnknownWorkload { id: String::new() })?;
-    let p = scenario.params;
+    let p = &scenario.params;
     // The topology is built with the *default* link model even when the
     // scenario runs a contended one: neither compiler reads the model,
     // and the spec-level override below the cache seam
@@ -1177,18 +1496,34 @@ fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
             message,
         })?;
     }
+    let mut circuit = built.circuit;
+    let mut data_sites = built.data_sites;
+    // Fabric-aware placement: under BISP, remap circuit qubits onto
+    // the grid automorphism that minimizes heated-edge traffic and
+    // heated-qubit exposure. A flat fabric plans the identity, so the
+    // flag alone never changes a uniform scenario's programs;
+    // lock-step has no placement freedom and compiles obliviously.
+    if p.fabric_aware && matches!(scenario.scheme, Scheme::Bisp) {
+        let (fabric, noise) = effective_maps(scenario);
+        let costs = FabricCosts::from_maps(&topology, &fabric, &noise);
+        if !costs.is_flat() {
+            let placement = plan_placement(&circuit, &data_sites, &topology, &costs);
+            let (placed, sites) = apply_placement(&circuit, &data_sites, &placement);
+            circuit = placed;
+            data_sites = sites;
+        }
+    }
     let (compiled, topology) = match scenario.scheme {
         Scheme::Bisp => {
             let options = BispOptions {
                 shots: scenario.shots,
                 ..BispOptions::default()
             };
-            let compiled = compile_bisp(&built.circuit, &topology, &options).map_err(|e| {
-                RunnerError::Compile {
+            let compiled =
+                compile_bisp(&circuit, &topology, &options).map_err(|e| RunnerError::Compile {
                     id: String::new(),
                     message: format!("BISP: {e}"),
-                }
-            })?;
+                })?;
             (compiled, Some(&topology))
         }
         Scheme::Lockstep => {
@@ -1199,7 +1534,7 @@ fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
                 ..LockstepOptions::default()
             };
             let compiled =
-                compile_lockstep(&built.circuit, &options).map_err(|e| RunnerError::Compile {
+                compile_lockstep(&circuit, &options).map_err(|e| RunnerError::Compile {
                     id: String::new(),
                     message: format!("lock-step: {e}"),
                 })?;
@@ -1210,7 +1545,7 @@ fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
     let spec = system_spec(&compiled, topology)?;
     Ok(CompiledArtifact {
         spec,
-        data_sites: built.data_sites,
+        data_sites,
         fingerprint,
     })
 }
@@ -1218,23 +1553,14 @@ fn compile_stage(scenario: &Scenario) -> Result<CompiledArtifact, RunnerError> {
 /// The shared scenario-to-[`System`] pipeline behind [`run_scenario`]
 /// and [`scenario_system`]: the (possibly cached) compile stage, then
 /// the per-scenario tail — clone the description, seed the backend,
-/// install the link model, build. Also returns the artifact and the
-/// post-surgery parameters the metric distillation needs.
+/// install the fabric, build. Also returns the artifact and the
+/// effective fabric/noise maps the metric distillation needs.
 fn build_scenario_with(
     scenario: &Scenario,
     cache: Option<&CompileCache>,
-) -> Result<(System, Arc<CompiledArtifact>, SystemParams), RunnerError> {
+) -> Result<(System, Arc<CompiledArtifact>, FabricMap, NoiseMap), RunnerError> {
     let id = scenario.id();
-    let mut p = scenario.params;
-    for op in &scenario.surgery {
-        match op {
-            SurgeryOp::OverrideLinkModel { link_model } => p.link_model = *link_model,
-            SurgeryOp::OverrideNoise { noise } => p.noise = *noise,
-            SurgeryOp::SwapWorkload { .. }
-            | SurgeryOp::DropRouterLevel
-            | SurgeryOp::RewireSubtree { .. } => {}
-        }
-    }
+    let (fabric, noise) = effective_maps(scenario);
     let artifact = match cache {
         Some(cache) => cache.get_or_compile(scenario),
         None => compile_stage(scenario).map(Arc::new),
@@ -1242,9 +1568,9 @@ fn build_scenario_with(
     .map_err(|e| e.with_id(&id))?;
     let mut spec = artifact.spec.clone();
     // Noiseless scenarios keep the historical random backend (and its
-    // byte-identical outcome stream); a noisy model samples leakage so
+    // byte-identical outcome stream); a noisy map samples leakage so
     // sticky readouts steer the feedback branches.
-    spec.backend(if p.noise.is_noiseless() {
+    spec.backend(if noise.is_noiseless() {
         BackendSpec::Random {
             seed: scenario.seed,
             p_one: 0.5,
@@ -1253,15 +1579,18 @@ fn build_scenario_with(
         BackendSpec::Leaky {
             seed: scenario.seed,
             p_one: 0.5,
-            noise: p.noise,
+            noise: noise.clone(),
         }
     });
-    // The run-stage link model: overrides whatever the description
+    // The run-stage fabric: overrides whatever the description
     // inherited (the lock-step star has no topology to inherit from,
     // and the cached BISP description carries the default).
-    spec.link_model(p.link_model);
+    spec.link_model(fabric.default_model());
+    for (from, to, model) in fabric.overrides() {
+        spec.link_model_for(from, to, model);
+    }
     let system = spec.build().map_err(|e| RunnerError::sim(e).with_id(&id))?;
-    Ok((system, artifact, p))
+    Ok((system, artifact, fabric, noise))
 }
 
 /// Runs a batch of scenarios on `threads` workers and aggregates their

@@ -44,7 +44,7 @@ use hisq_net::LinkModel;
 use hisq_quantum::NoiseModel;
 use hisq_workloads::WorkloadSpec;
 
-use crate::runner::{Scenario, SurgeryOp};
+use crate::runner::{LinkOverride, NoiseOverride, Scenario, SurgeryOp};
 
 /// The scenario-file schema version this build reads and writes.
 ///
@@ -73,6 +73,15 @@ pub enum Axis {
     LinkModel(Vec<LinkModel>),
     /// Vary the quantum noise model.
     Noise(Vec<NoiseModel>),
+    /// Vary the per-edge link-model override list (each value
+    /// *replaces* the base list, so `[]` is the uniform fabric).
+    LinkOverrides(Vec<Vec<LinkOverride>>),
+    /// Vary the per-qubit noise override list (each value *replaces*
+    /// the base list, so `[]` is the uniform device).
+    NoiseOverrides(Vec<Vec<NoiseOverride>>),
+    /// Vary fabric-aware compilation on/off (the `fig_hetero`
+    /// aware-vs-oblivious comparison axis).
+    FabricAware(Vec<bool>),
     /// Vary the spec-surgery op list (each value *replaces* the base
     /// list, so `[]` is the unmodified machine).
     Surgery(Vec<Vec<SurgeryOp>>),
@@ -89,6 +98,9 @@ impl Axis {
             Axis::Workload(v) => v.len(),
             Axis::LinkModel(v) => v.len(),
             Axis::Noise(v) => v.len(),
+            Axis::LinkOverrides(v) => v.len(),
+            Axis::NoiseOverrides(v) => v.len(),
+            Axis::FabricAware(v) => v.len(),
             Axis::Surgery(v) => v.len(),
         }
     }
@@ -109,6 +121,9 @@ impl Axis {
             Axis::Workload(_) => "workload",
             Axis::LinkModel(_) => "link_model",
             Axis::Noise(_) => "noise",
+            Axis::LinkOverrides(_) => "link_overrides",
+            Axis::NoiseOverrides(_) => "noise_overrides",
+            Axis::FabricAware(_) => "fabric_aware",
             Axis::Surgery(_) => "surgery",
         }
     }
@@ -123,6 +138,9 @@ impl Axis {
             Axis::Workload(v) => scenario.workload = v[index].clone(),
             Axis::LinkModel(v) => scenario.params.link_model = v[index],
             Axis::Noise(v) => scenario.params.noise = v[index],
+            Axis::LinkOverrides(v) => scenario.params.link_overrides = v[index].clone(),
+            Axis::NoiseOverrides(v) => scenario.params.noise_overrides = v[index].clone(),
+            Axis::FabricAware(v) => scenario.params.fabric_aware = v[index],
             Axis::Surgery(v) => scenario.surgery = v[index].clone(),
         }
     }
@@ -145,6 +163,15 @@ impl Axis {
             Axis::Workload(v) => v.iter().map(WorkloadSpec::to_json).collect(),
             Axis::LinkModel(v) => v.iter().map(LinkModel::to_json).collect(),
             Axis::Noise(v) => v.iter().map(NoiseModel::to_json).collect(),
+            Axis::LinkOverrides(v) => v
+                .iter()
+                .map(|overs| Json::Array(overs.iter().map(LinkOverride::to_json).collect()))
+                .collect(),
+            Axis::NoiseOverrides(v) => v
+                .iter()
+                .map(|overs| Json::Array(overs.iter().map(NoiseOverride::to_json).collect()))
+                .collect(),
+            Axis::FabricAware(v) => v.iter().map(|&b| b.into()).collect(),
             Axis::Surgery(v) => v
                 .iter()
                 .map(|ops| Json::Array(ops.iter().map(SurgeryOp::to_json).collect()))
@@ -234,6 +261,43 @@ impl Axis {
                     .map(|(i, v)| NoiseModel::from_json(v, &at(i)))
                     .collect::<Result<_, _>>()?,
             ),
+            "link_overrides" => Axis::LinkOverrides(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        v.as_array(&at(i))?
+                            .iter()
+                            .enumerate()
+                            .map(|(j, over)| {
+                                LinkOverride::from_json(over, &format!("{}[{j}]", at(i)))
+                            })
+                            .collect::<Result<Vec<LinkOverride>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            "noise_overrides" => Axis::NoiseOverrides(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        v.as_array(&at(i))?
+                            .iter()
+                            .enumerate()
+                            .map(|(j, over)| {
+                                NoiseOverride::from_json(over, &format!("{}[{j}]", at(i)))
+                            })
+                            .collect::<Result<Vec<NoiseOverride>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?,
+            ),
+            "fabric_aware" => Axis::FabricAware(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v.as_bool(&at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             "surgery" => Axis::Surgery(
                 values
                     .iter()
@@ -252,7 +316,9 @@ impl Axis {
                     name_path,
                     format!(
                         "unknown axis \"{other}\" (expected \"scheme\", \"seed\", \"t1_us\", \
-                         \"shots\", \"workload\", \"link_model\", \"noise\", or \"surgery\")"
+                         \"shots\", \"workload\", \"link_model\", \"noise\", \
+                         \"link_overrides\", \"noise_overrides\", \"fabric_aware\", or \
+                         \"surgery\")"
                     ),
                 ))
             }

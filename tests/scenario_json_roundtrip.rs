@@ -174,7 +174,7 @@ proptest! {
             _ => BackendSpec::Leaky {
                 seed,
                 p_one: 0.5,
-                noise: NoiseModel::NOISELESS.with_leak(0.01),
+                noise: NoiseModel::NOISELESS.with_leak(0.01).into(),
             },
         });
         let json = spec.to_json().expect("spec serializes");

@@ -6,7 +6,9 @@
 # scenarios/reports/ — once on 1 thread and once on 4, so the gate
 # also proves the parallel sweep engine is deterministic on the whole
 # corpus. One file additionally runs with `--repetitions` to pin the
-# seed++ expansion semantics.
+# seed++ expansion semantics, and the load_saturation report is
+# grepped for the job-engine metric surface (latency percentiles) so
+# the multi-tenant path can't silently degrade to a plain replay.
 #
 # Mismatching outputs are left under $DIFF_DIR (default
 # target/scenario-diff/) for CI to upload as an artifact.
@@ -63,6 +65,18 @@ if grep -q '^{"scenarios":8,' "$reps_out" \
 else
     echo "FAIL bisp_vs_lockstep: --repetitions 2 did not expand to 8 scenarios" >&2
     echo "     output kept at $reps_out" >&2
+    status=1
+fi
+
+# The load corpus entry must carry the job-engine metric surface: a
+# scenario with a `load` block reports latency percentiles and a
+# rejection count, not just a makespan.
+load_golden="scenarios/reports/load_saturation.json"
+if grep -q '"latency_p99_ns"' "$load_golden" \
+    && grep -q '"jobs_rejected"' "$load_golden"; then
+    echo "ok   load_saturation carries job-engine metrics"
+else
+    echo "FAIL load_saturation: $load_golden lacks job-engine metrics" >&2
     status=1
 fi
 

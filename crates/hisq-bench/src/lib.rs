@@ -15,6 +15,7 @@
 //! | Figure 15 (runtime vs baseline) | [`figures::fig15_scenarios`] | `fig15` |
 //! | Figure 16 (infidelity vs T1) | [`figures::fig16_scenarios`] | `fig16` |
 //! | Sweep throughput (beyond the paper) | [`sweep_throughput::throughput_scenarios`] | `fig_sweep_throughput` |
+//! | Multi-tenant saturation (beyond the paper) | [`load::fig_load_scenarios`] | `fig_load` |
 //!
 //! Every binary shares the [`cli::FigArgs`] flag surface
 //! (`--threads N`, `--json`, `--quick`); the scenario-driven harnesses
@@ -25,6 +26,7 @@
 
 pub mod cli;
 pub mod figures;
+pub mod load;
 pub mod resources;
 pub mod scale;
 pub mod sweep_throughput;

@@ -194,6 +194,22 @@ impl Json {
         }
     }
 
+    /// The value as a list of unsigned 64-bit integers (trace-driven
+    /// arrival lists and other bulk integer fields). Errors name the
+    /// offending element: `path[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError::Decode`] for non-arrays, or at `path[i]`
+    /// for the first element that is not a non-negative integer.
+    pub fn as_u64_array(&self, path: &str) -> Result<Vec<u64>, JsonError> {
+        self.as_array(path)?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| item.as_u64(&format!("{path}[{i}]")))
+            .collect()
+    }
+
     /// Builds a float value, which must be finite (JSON has no
     /// NaN/infinity).
     ///

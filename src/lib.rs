@@ -51,12 +51,21 @@
 //! The [`scenario`] module is the same harness as *files*: versioned
 //! JSON documents describing a base scenario plus sweep axes, executed
 //! by the `hisq run` binary and replayed byte-for-byte in CI.
+//!
+//! The [`load`] module is the multi-tenant job engine on top of the
+//! runner: seeded open-loop arrival streams, a bounded admission
+//! queue, and a scheduler multiplexing compiled jobs over disjoint
+//! controller partitions — attached to a scenario as its `load` block.
+//! [`stats`] holds the deterministic statistics helpers (nearest-rank
+//! percentiles) its reports are defined by.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod load;
 pub mod runner;
 pub mod scenario;
+pub mod stats;
 pub mod testing;
 
 pub use hisq_analog as analog;

@@ -48,6 +48,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::load::LoadSpec;
 use hisq_compiler::fabric::{apply_placement, plan_placement, FabricCosts};
 use hisq_compiler::{
     compile_bisp, compile_lockstep, Binding, BindingAction, BispOptions, CompiledSystem,
@@ -118,6 +119,15 @@ pub enum RunnerError {
         /// What the surgery op objected to.
         message: String,
     },
+    /// The scenario's `load` block was missing or structurally invalid
+    /// (see [`crate::load::LoadSpec::validate`]), or a job-engine run
+    /// could not produce a service time.
+    Load {
+        /// Scenario id.
+        id: String,
+        /// What the job engine objected to.
+        message: String,
+    },
 }
 
 impl RunnerError {
@@ -133,7 +143,7 @@ impl RunnerError {
     /// including *cached* errors replayed for a different scenario of
     /// the same [`CompileKey`] — and the caller stamps its own id on,
     /// so cached and fresh failures render identically.
-    fn with_id(self, id: &str) -> RunnerError {
+    pub(crate) fn with_id(self, id: &str) -> RunnerError {
         let id = id.to_string();
         match self {
             RunnerError::UnknownWorkload { .. } => RunnerError::UnknownWorkload { id },
@@ -142,6 +152,7 @@ impl RunnerError {
             RunnerError::MissingHub { .. } => RunnerError::MissingHub { id },
             RunnerError::Sim { source, .. } => RunnerError::Sim { id, source },
             RunnerError::Surgery { message, .. } => RunnerError::Surgery { id, message },
+            RunnerError::Load { message, .. } => RunnerError::Load { id, message },
         }
     }
 }
@@ -171,6 +182,9 @@ impl fmt::Display for RunnerError {
             RunnerError::Sim { id, source } => write!(f, "{id}: {source}"),
             RunnerError::Surgery { id, message } => {
                 write!(f, "{id}: invalid surgery: {message}")
+            }
+            RunnerError::Load { id, message } => {
+                write!(f, "{id}: invalid load: {message}")
             }
         }
     }
@@ -852,6 +866,11 @@ pub struct Scenario {
     pub params: SystemParams,
     /// Spec-surgery transforms applied before the run (usually empty).
     pub surgery: Vec<SurgeryOp>,
+    /// Optional multi-tenant load block: when set, the scenario runs
+    /// the [`crate::load`] job engine (arrival streams multiplexed
+    /// over controller partitions, each job an instance of this
+    /// scenario) instead of a single program run.
+    pub load: Option<LoadSpec>,
 }
 
 impl Scenario {
@@ -866,6 +885,7 @@ impl Scenario {
             shots: 1,
             params: SystemParams::default(),
             surgery: Vec::new(),
+            load: None,
         }
     }
 
@@ -901,6 +921,13 @@ impl Scenario {
     #[must_use]
     pub fn with_surgery(mut self, op: SurgeryOp) -> Scenario {
         self.surgery.push(op);
+        self
+    }
+
+    /// Attaches a multi-tenant load block (builder style).
+    #[must_use]
+    pub fn with_load(mut self, load: LoadSpec) -> Scenario {
+        self.load = Some(load);
         self
     }
 
@@ -970,6 +997,10 @@ impl Scenario {
             id.push_str("/x-");
             id.push_str(&op.id_fragment());
         }
+        // Load-free ids are unchanged from their historical form.
+        if let Some(load) = &self.load {
+            id.push_str(&format!("/{}", load.id_fragment()));
+        }
         id
     }
 
@@ -993,6 +1024,9 @@ impl Scenario {
                 "surgery".into(),
                 Json::Array(self.surgery.iter().map(SurgeryOp::to_json).collect()),
             ));
+        }
+        if let Some(load) = &self.load {
+            fields.push(("load".into(), load.to_json()));
         }
         Json::Object(fields)
     }
@@ -1045,6 +1079,9 @@ impl Scenario {
                     .push(SurgeryOp::from_json(entry, &format!("{list_path}[{i}]"))?);
             }
         }
+        if let Some(v) = obj.optional("load") {
+            scenario.load = Some(LoadSpec::from_json(v, &obj.field_path("load"))?);
+        }
         obj.reject_unknown()?;
         Ok(scenario)
     }
@@ -1061,7 +1098,10 @@ impl Scenario {
         // Scenario-level surgery folds into the effective inputs the
         // same way `compile_scenario` applies it: the last workload
         // swap wins; link-model and noise overrides are run-stage
-        // parameters the compiler never sees.
+        // parameters the compiler never sees. The load block is
+        // run-stage too (the job engine schedules *instances* of the
+        // compiled program), so a load sweep's grid points share one
+        // artifact with their unloaded twin.
         let mut workload = self.workload.clone();
         for op in &self.surgery {
             if let SurgeryOp::SwapWorkload { workload: w } = op {
@@ -1287,7 +1327,10 @@ impl CompileCache {
     /// The artifact for `scenario`'s compile key, compiling it on this
     /// thread if no worker has yet. Errors come back *without* a
     /// scenario id (the caller stamps its own via `with_id`).
-    fn get_or_compile(&self, scenario: &Scenario) -> Result<Arc<CompiledArtifact>, RunnerError> {
+    pub(crate) fn get_or_compile(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<Arc<CompiledArtifact>, RunnerError> {
         let key = scenario.compile_key();
         let mut hasher = std::hash::DefaultHasher::new();
         key.hash(&mut hasher);
@@ -1371,8 +1414,42 @@ fn run_scenario_with(
     scenario: &Scenario,
     cache: Option<&CompileCache>,
 ) -> Result<ScenarioReport, RunnerError> {
+    // Load scenarios run the multi-tenant job engine instead: every
+    // job is an instance of this scenario (minus the load block),
+    // compiled once through the cache and run per job.
+    if scenario.load.is_some() {
+        return match cache {
+            Some(cache) => crate::load::load_record(scenario, cache),
+            None => crate::load::load_record(scenario, &CompileCache::new()),
+        };
+    }
+    let (system, artifact, fabric, noise) = build_scenario_with(scenario, cache)?;
+    run_built(scenario, system, artifact, fabric, noise)
+}
+
+/// [`run_scenario`] against an already-resolved compile artifact: the
+/// run stage alone, with no cache consult. The job engine uses this to
+/// run every job of a load scenario from the artifact its `run_load`
+/// resolved once.
+pub(crate) fn run_scenario_from_artifact(
+    scenario: &Scenario,
+    artifact: Arc<CompiledArtifact>,
+) -> Result<ScenarioReport, RunnerError> {
+    let (system, artifact, fabric, noise) = build_from_artifact(scenario, artifact)?;
+    run_built(scenario, system, artifact, fabric, noise)
+}
+
+/// The run-and-score tail shared by [`run_scenario_with`] and
+/// [`run_scenario_from_artifact`]: simulate the built system and
+/// distill the scenario's metric record.
+fn run_built(
+    scenario: &Scenario,
+    mut system: System,
+    artifact: Arc<CompiledArtifact>,
+    fabric: FabricMap,
+    noise: NoiseMap,
+) -> Result<ScenarioReport, RunnerError> {
     let id = scenario.id();
-    let (mut system, artifact, fabric, noise) = build_scenario_with(scenario, cache)?;
     let report = system.run().map_err(|e| RunnerError::sim(e).with_id(&id))?;
 
     let coherence = CoherenceParams::uniform(scenario.t1_us);
@@ -1559,13 +1636,22 @@ fn build_scenario_with(
     scenario: &Scenario,
     cache: Option<&CompileCache>,
 ) -> Result<(System, Arc<CompiledArtifact>, FabricMap, NoiseMap), RunnerError> {
-    let id = scenario.id();
-    let (fabric, noise) = effective_maps(scenario);
     let artifact = match cache {
         Some(cache) => cache.get_or_compile(scenario),
         None => compile_stage(scenario).map(Arc::new),
     }
-    .map_err(|e| e.with_id(&id))?;
+    .map_err(|e| e.with_id(&scenario.id()))?;
+    build_from_artifact(scenario, artifact)
+}
+
+/// The cache-free half of [`build_scenario_with`]: backend seeding and
+/// fabric resolution onto an already-compiled artifact.
+fn build_from_artifact(
+    scenario: &Scenario,
+    artifact: Arc<CompiledArtifact>,
+) -> Result<(System, Arc<CompiledArtifact>, FabricMap, NoiseMap), RunnerError> {
+    let id = scenario.id();
+    let (fabric, noise) = effective_maps(scenario);
     let mut spec = artifact.spec.clone();
     // Noiseless scenarios keep the historical random backend (and its
     // byte-identical outcome stream); a noisy map samples leakage so

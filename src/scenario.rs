@@ -44,6 +44,7 @@ use hisq_net::LinkModel;
 use hisq_quantum::NoiseModel;
 use hisq_workloads::WorkloadSpec;
 
+use crate::load::LoadSpec;
 use crate::runner::{LinkOverride, NoiseOverride, Scenario, SurgeryOp};
 
 /// The scenario-file schema version this build reads and writes.
@@ -85,6 +86,10 @@ pub enum Axis {
     /// Vary the spec-surgery op list (each value *replaces* the base
     /// list, so `[]` is the unmodified machine).
     Surgery(Vec<Vec<SurgeryOp>>),
+    /// Vary the multi-tenant load block (each value *replaces* the
+    /// base block — the `fig_load` offered-load × partition-count
+    /// axes).
+    Load(Vec<LoadSpec>),
 }
 
 impl Axis {
@@ -102,6 +107,7 @@ impl Axis {
             Axis::NoiseOverrides(v) => v.len(),
             Axis::FabricAware(v) => v.len(),
             Axis::Surgery(v) => v.len(),
+            Axis::Load(v) => v.len(),
         }
     }
 
@@ -125,6 +131,7 @@ impl Axis {
             Axis::NoiseOverrides(_) => "noise_overrides",
             Axis::FabricAware(_) => "fabric_aware",
             Axis::Surgery(_) => "surgery",
+            Axis::Load(_) => "load",
         }
     }
 
@@ -142,6 +149,7 @@ impl Axis {
             Axis::NoiseOverrides(v) => scenario.params.noise_overrides = v[index].clone(),
             Axis::FabricAware(v) => scenario.params.fabric_aware = v[index],
             Axis::Surgery(v) => scenario.surgery = v[index].clone(),
+            Axis::Load(v) => scenario.load = Some(v[index].clone()),
         }
     }
 
@@ -176,6 +184,7 @@ impl Axis {
                 .iter()
                 .map(|ops| Json::Array(ops.iter().map(SurgeryOp::to_json).collect()))
                 .collect(),
+            Axis::Load(v) => v.iter().map(LoadSpec::to_json).collect(),
         };
         Json::Object(vec![
             ("axis".into(), Json::str(self.axis_name())),
@@ -311,14 +320,21 @@ impl Axis {
                     })
                     .collect::<Result<_, _>>()?,
             ),
+            "load" => Axis::Load(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| LoadSpec::from_json(v, &at(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
             other => {
                 return Err(JsonError::decode(
                     name_path,
                     format!(
                         "unknown axis \"{other}\" (expected \"scheme\", \"seed\", \"t1_us\", \
                          \"shots\", \"workload\", \"link_model\", \"noise\", \
-                         \"link_overrides\", \"noise_overrides\", \"fabric_aware\", or \
-                         \"surgery\")"
+                         \"link_overrides\", \"noise_overrides\", \"fabric_aware\", \
+                         \"surgery\", or \"load\")"
                     ),
                 ))
             }

@@ -1,0 +1,123 @@
+//! Small deterministic statistics helpers shared by the report
+//! distillers — currently the nearest-rank percentile rule the job
+//! engine's latency metrics are defined by.
+//!
+//! # Why nearest-rank, spelled out
+//!
+//! Quick-mode load reports aggregate *small* completion sets — a p99
+//! over 120 jobs, or over 2 jobs in a degenerate sweep point. An
+//! interpolating percentile definition returns values that are not in
+//! the sample, whose bytes wobble with float rounding as the sample
+//! count changes, and which are ill-defined at `n = 1`. The job
+//! engine therefore uses the **nearest-rank** rule exclusively:
+//!
+//! > the p-th percentile of `n` sorted samples is the sample at
+//! > 1-based rank `ceil(p/100 · n)`, clamped to `[1, n]`.
+//!
+//! Consequences worth pinning (and regression-tested below at
+//! `n = 1, 2, 99, 100`):
+//!
+//! - every percentile is an **observed sample** (exact `u64` bytes, no
+//!   interpolation, no float in the output);
+//! - at `n = 1` every percentile is the one sample;
+//! - at `n = 2`, p50 is the smaller sample (`ceil(0.5·2) = 1`) and
+//!   p51–p100 the larger;
+//! - at `n = 99`, p99 is the maximum (`ceil(0.99·99) = ceil(98.01) =
+//!   99`) — below 100 samples there is no tail sample to separate p99
+//!   from p100;
+//! - at `n = 100`, p99 is exactly the 99th sample — the first `n`
+//!   where p99 and the maximum come apart.
+
+/// The p-th percentile of `sorted` (ascending) by the nearest-rank
+/// rule: the sample at 1-based rank `ceil(p/100 · n)`, clamped to
+/// `[1, n]`. Returns `None` on an empty sample set.
+///
+/// `p` is clamped to `[0, 100]`; `p = 0` returns the minimum (rank
+/// clamps up to 1) and `p = 100` the maximum.
+///
+/// # Panics
+///
+/// Debug-asserts that `sorted` is ascending — callers sort once and
+/// take every percentile from the same slice.
+#[must_use]
+pub fn percentile_nearest_rank(sorted: &[u64], p: f64) -> Option<u64> {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted ascending"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let p = p.clamp(0.0, 100.0);
+    // ceil(p/100 * n) in 1-based ranks; the clamp below also absorbs
+    // any float rounding at p = 100 (e.g. 100.0/100.0 * n == n exactly,
+    // but a perturbed p must never index past the end).
+    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    let rank = rank.clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_percentile() {
+        assert_eq!(percentile_nearest_rank(&[], 99.0), None);
+    }
+
+    #[test]
+    fn n1_every_percentile_is_the_sample() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_nearest_rank(&[42], p), Some(42), "p={p}");
+        }
+    }
+
+    #[test]
+    fn n2_p50_is_the_smaller_sample_and_p99_the_larger() {
+        let s = [10, 20];
+        assert_eq!(percentile_nearest_rank(&s, 50.0), Some(10));
+        assert_eq!(percentile_nearest_rank(&s, 51.0), Some(20));
+        assert_eq!(percentile_nearest_rank(&s, 95.0), Some(20));
+        assert_eq!(percentile_nearest_rank(&s, 99.0), Some(20));
+        assert_eq!(percentile_nearest_rank(&s, 100.0), Some(20));
+    }
+
+    #[test]
+    fn n99_p99_is_the_maximum() {
+        // ceil(0.99 · 99) = ceil(98.01) = 99: below 100 samples the
+        // p99 rank rounds up to the last sample.
+        let s: Vec<u64> = (1..=99).collect();
+        assert_eq!(percentile_nearest_rank(&s, 99.0), Some(99));
+        // p98 of 99: ceil(97.02) = 98 — one sample in from the end.
+        assert_eq!(percentile_nearest_rank(&s, 98.0), Some(98));
+        assert_eq!(percentile_nearest_rank(&s, 50.0), Some(50));
+    }
+
+    #[test]
+    fn n100_p99_first_separates_from_the_maximum() {
+        // ceil(0.99 · 100) = 99 exactly: rank 99 of 100, not the max.
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&s, 99.0), Some(99));
+        assert_eq!(percentile_nearest_rank(&s, 100.0), Some(100));
+        assert_eq!(percentile_nearest_rank(&s, 50.0), Some(50));
+        assert_eq!(percentile_nearest_rank(&s, 0.0), Some(1));
+    }
+
+    #[test]
+    fn percentiles_are_always_observed_samples() {
+        let s = [3, 7, 7, 9, 1000];
+        for p in 0..=100 {
+            let v = percentile_nearest_rank(&s, f64::from(p)).unwrap();
+            assert!(s.contains(&v), "p{p} returned unobserved {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let s = [5, 6];
+        assert_eq!(percentile_nearest_rank(&s, -3.0), Some(5));
+        assert_eq!(percentile_nearest_rank(&s, 250.0), Some(6));
+    }
+}

@@ -1,0 +1,73 @@
+//! Analytic M/M/c oracle for the job engine: at low utilization with
+//! exponential service proxies, the DES's mean job latency must match
+//! the closed-form M/M/c prediction — Poisson arrivals onto c
+//! partitions with exponential service is *exactly* the M/M/c queue,
+//! so queueing theory supplies an independent ground truth no amount
+//! of scheduler code can argue with.
+//!
+//! With c = 3 partitions, mean service 1/μ = 50 µs, and offered load
+//! ρ = 0.3 (λ = 18 jobs/ms), Erlang C gives P(wait) ≈ 0.0700, mean
+//! queueing delay Wq = C/(cμ − λ) ≈ 1.67 µs, and mean sojourn
+//! W = Wq + 1/μ ≈ 51.7 µs. 20 000 jobs put the sampling error of the
+//! mean near 0.7%, so a 5% tolerance is comfortable but not hollow.
+
+use distributed_hisq::load::{run_load, ArrivalStream, LoadSpec, ServiceModel};
+use distributed_hisq::runner::{CompileCache, Scenario};
+use hisq_compiler::Scheme;
+use hisq_workloads::WorkloadSpec;
+
+/// Erlang C (probability an arrival waits) for `c` servers at offered
+/// traffic `a = λ/μ` erlangs, via the stable Erlang B recurrence
+/// `B(k) = a·B(k−1) / (k + a·B(k−1))`.
+fn erlang_c(c: u32, a: f64) -> f64 {
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    let rho = a / f64::from(c);
+    b / (1.0 - rho * (1.0 - b))
+}
+
+#[test]
+fn mean_latency_matches_the_mmc_closed_form() {
+    const PARTITIONS: u32 = 3;
+    const MEAN_SERVICE_NS: f64 = 50_000.0;
+    const RHO: f64 = 0.3;
+    const JOBS: u64 = 20_000;
+
+    // λ = ρ·c·μ, expressed per millisecond for the arrival stream.
+    let rate_per_ms = RHO * f64::from(PARTITIONS) * 1e6 / MEAN_SERVICE_NS;
+    let spec = LoadSpec::new(vec![ArrivalStream::poisson(rate_per_ms, JOBS)], PARTITIONS)
+        // Effectively infinite queue: M/M/c, not M/M/c/K.
+        .with_queue_capacity(usize::MAX)
+        .with_service(ServiceModel::Exponential {
+            mean_ns: MEAN_SERVICE_NS,
+        });
+    let scenario = Scenario::new(WorkloadSpec::suite("w_state_n12"), Scheme::Bisp)
+        .with_seed(20_260_808)
+        .with_load(spec);
+    let outcome = run_load(&scenario, &CompileCache::new()).expect("M/M/c scenario runs");
+    assert_eq!(outcome.completed(), JOBS, "nothing rejected, nothing stuck");
+
+    let a = RHO * f64::from(PARTITIONS); // offered erlangs λ/μ
+    let mu_per_ns = 1.0 / MEAN_SERVICE_NS;
+    let lambda_per_ns = RHO * f64::from(PARTITIONS) * mu_per_ns;
+    let wq = erlang_c(PARTITIONS, a) / (f64::from(PARTITIONS) * mu_per_ns - lambda_per_ns);
+    let w = wq + MEAN_SERVICE_NS;
+
+    let latencies = outcome.latencies_sorted();
+    let mean = latencies.iter().map(|&v| v as f64).sum::<f64>() / latencies.len() as f64;
+    let error = (mean - w).abs() / w;
+    assert!(
+        error < 0.05,
+        "mean sojourn {mean:.0} ns vs M/M/c prediction {w:.0} ns \
+         (relative error {error:.4}, tolerance 0.05)"
+    );
+
+    // The measured partition utilization must track ρ as well.
+    let util = outcome.utilization();
+    assert!(
+        (util - RHO).abs() < 0.03,
+        "measured utilization {util:.4} vs offered load {RHO}"
+    );
+}
